@@ -1,0 +1,11 @@
+"""E1 benchmark: parallel Grover (Lemma 2)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e01_parallel_grover
+
+
+def test_e01_parallel_grover(benchmark):
+    result = run_and_report(benchmark, e01_parallel_grover)
+    # Reproduction criterion: b ~ p^{-1/2} within a generous envelope.
+    assert -0.8 <= result.p_exponent <= -0.25

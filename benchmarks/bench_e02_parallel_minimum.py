@@ -1,0 +1,11 @@
+"""E2 benchmark: parallel minimum finding (Lemma 3)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e02_parallel_minimum
+
+
+def test_e02_parallel_minimum(benchmark):
+    result = run_and_report(benchmark, e02_parallel_minimum)
+    # Reproduction criterion: b ~ k^{1/2} within a generous envelope.
+    assert 0.3 <= result.k_exponent <= 0.75

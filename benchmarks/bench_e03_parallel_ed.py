@@ -1,0 +1,11 @@
+"""E3 benchmark: parallel element distinctness (Lemma 5)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e03_parallel_ed
+
+
+def test_e03_parallel_ed(benchmark):
+    result = run_and_report(benchmark, e03_parallel_ed)
+    # Reproduction criterion: b ~ k^{2/3} within a generous envelope.
+    assert 0.45 <= result.k_exponent <= 0.9

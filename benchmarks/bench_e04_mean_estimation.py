@@ -1,0 +1,11 @@
+"""E4 benchmark: parallel mean estimation (Lemma 6)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e04_mean_estimation
+
+
+def test_e04_mean_estimation(benchmark):
+    result = run_and_report(benchmark, e04_mean_estimation)
+    # Reproduction criterion: b ~ 1/ε up to polylog.
+    assert -1.8 <= result.eps_exponent <= -0.7

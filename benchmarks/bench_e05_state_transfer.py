@@ -1,0 +1,11 @@
+"""E5 benchmark: Lemma 7 register distribution."""
+
+from conftest import run_and_report
+
+from repro.experiments import e05_state_transfer
+
+
+def test_e05_state_transfer(benchmark):
+    result = run_and_report(benchmark, e05_state_transfer)
+    # Reproduction criterion: pipelined rounds within a constant of D + q/B.
+    assert result.max_pipelined_ratio <= 2.0

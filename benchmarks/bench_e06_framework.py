@@ -1,0 +1,11 @@
+"""E6 benchmark: Theorem 8 / Corollary 9 framework costs."""
+
+from conftest import run_and_report
+
+from repro.experiments import e06_framework
+
+
+def test_e06_framework(benchmark):
+    result = run_and_report(benchmark, e06_framework)
+    # Reproduction criterion: engine and formula agree within constants.
+    assert result.max_engine_formula_ratio <= 5.0

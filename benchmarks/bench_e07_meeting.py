@@ -1,0 +1,12 @@
+"""E7 benchmark: meeting scheduling (Lemmas 10/11)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e07_meeting
+
+
+def test_e07_meeting(benchmark):
+    result = run_and_report(benchmark, e07_meeting)
+    # Reproduction criteria: √k growth and a crossover against classical.
+    assert 0.3 <= result.k_exponent <= 0.7
+    assert result.crossover_k is not None

@@ -1,0 +1,11 @@
+"""E8 benchmark: distributed element distinctness (Lemmas 12-15)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e08_element_distinctness
+
+
+def test_e08_distributed_ed(benchmark):
+    result = run_and_report(benchmark, e08_element_distinctness)
+    # Reproduction criterion: rounds ~ k^{2/3} within a generous envelope.
+    assert 0.45 <= result.k_exponent <= 0.9

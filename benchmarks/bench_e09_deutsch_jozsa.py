@@ -1,0 +1,14 @@
+"""E9 benchmark: distributed Deutsch-Jozsa (Theorems 17/18)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e09_deutsch_jozsa
+
+
+def test_e09_deutsch_jozsa(benchmark):
+    result = run_and_report(benchmark, e09_deutsch_jozsa)
+    # Reproduction criteria: flat quantum growth, linear classical growth,
+    # and zero errors on both sides (the separation is for EXACT protocols).
+    assert result.quantum_k_exponent <= 0.25
+    assert result.classical_k_exponent >= 0.75
+    assert result.zero_error

@@ -1,0 +1,11 @@
+"""E10 benchmark: diameter and radius (Lemma 21)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e10_diameter
+
+
+def test_e10_diameter(benchmark):
+    result = run_and_report(benchmark, e10_diameter)
+    # Reproduction criterion: rounds ~ √n at fixed D.
+    assert 0.3 <= result.n_exponent <= 0.7

@@ -1,0 +1,11 @@
+"""E11 benchmark: average eccentricity estimation (Lemma 22)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e11_avg_eccentricity
+
+
+def test_e11_avg_eccentricity(benchmark):
+    result = run_and_report(benchmark, e11_avg_eccentricity)
+    # Reproduction criterion: rounds ~ 1/ε up to polylog.
+    assert -1.8 <= result.eps_exponent <= -0.5

@@ -1,0 +1,12 @@
+"""E12 benchmark: bounded-length cycle detection (Lemmas 23-25)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e12_cycles
+
+
+def test_e12_cycles(benchmark):
+    result = run_and_report(benchmark, e12_cycles)
+    # Reproduction criterion: sublinear-in-n round growth with exponent
+    # in the vicinity of the bound's 1/2 − 1/(4⌈k/2⌉+2) ≈ 0.43.
+    assert 0.15 <= result.n_exponent <= 0.75

@@ -1,0 +1,11 @@
+"""E13 benchmark: girth computation (Corollary 26)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e13_girth
+
+
+def test_e13_girth(benchmark):
+    result = run_and_report(benchmark, e13_girth)
+    # Reproduction criterion: one-sided error never violated.
+    assert result.soundness_violations == 0

@@ -1,0 +1,11 @@
+"""E14 benchmark: amplitude techniques (Lemmas 27-30)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e14_amplitude
+
+
+def test_e14_amplitude(benchmark):
+    result = run_and_report(benchmark, e14_amplitude)
+    # Reproduction criterion: amplification rounds ~ p^{-1/2}.
+    assert -0.8 <= result.p_exponent <= -0.25

@@ -1,0 +1,11 @@
+"""E15 benchmark: lower-bound reductions and certificates."""
+
+from conftest import run_and_report
+
+from repro.experiments import e15_lowerbounds
+
+
+def test_e15_lowerbounds(benchmark):
+    result = run_and_report(benchmark, e15_lowerbounds)
+    # Reproduction criterion: every reduction answers every instance.
+    assert result.all_reductions_sound

@@ -1,0 +1,13 @@
+"""E16 benchmark: exact even-cycle detection (post-Lemma-25 remark)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e16_even_cycles
+
+
+def test_e16_even_cycles(benchmark):
+    result = run_and_report(benchmark, e16_even_cycles)
+    # Reproduction criteria: one-sided error holds and the quantum bound
+    # sits below the classical Ω̃(√n) floor for every supported k.
+    assert result.all_sound
+    assert result.quantum_below_classical

@@ -1,0 +1,13 @@
+"""E17 benchmark: triangle finding (the Corollary 26 subroutine)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e17_triangles
+
+
+def test_e17_triangles(benchmark):
+    result = run_and_report(benchmark, e17_triangles)
+    # Reproduction criteria: the classical protocol is exact and the
+    # quantum emulation has one-sided error.
+    assert result.local_exact
+    assert result.no_false_positives

@@ -1,0 +1,13 @@
+"""E18 benchmark: success-probability boosting (the paper's remark)."""
+
+from conftest import run_and_report
+
+from repro.experiments import e18_boosting
+
+
+def test_e18_boosting(benchmark):
+    result = run_and_report(benchmark, e18_boosting)
+    # Reproduction criteria: failure rates track (1/3)^r and the round
+    # cost is linear in the repetition count.
+    assert result.failure_rates_decrease
+    assert result.rounds_linear_in_reps

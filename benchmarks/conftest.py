@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench module wraps one experiment from :mod:`repro.experiments`
+(one per paper result — see DESIGN.md §5), times it under
+pytest-benchmark, prints its result table, and asserts the reproduction
+criterion (fitted exponents, separations, soundness).
+"""
+
+import pytest
+
+
+def run_and_report(benchmark, module, **kwargs):
+    """Benchmark an experiment module once and emit its table."""
+    result = benchmark.pedantic(
+        lambda: module.run(quick=True, **kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.table.render())
+    return result

@@ -1,0 +1,95 @@
+"""Extending the framework: write your own parallel-query algorithm.
+
+The framework (Theorem 8) is generic: anything that speaks the
+``BatchOracle`` protocol runs over the network with its batches charged
+automatically.  This example builds a *threshold counter* — "are at least
+T of the k distributed counters above a limit?" — by composing the
+library's parallel Grover find-all with early stopping, and runs it in
+both formula mode (charged rounds) and engine mode (real messages).
+
+It also demonstrates the exact quantum layer: the same Grover law that
+drives the emulation, verified on a statevector in a few lines.
+
+Run:  python examples/custom_query_algorithm.py
+"""
+
+import numpy as np
+
+from repro.congest import topologies
+from repro.core.framework import DistributedInput, run_framework
+from repro.core.semigroup import sum_semigroup
+from repro.quantum import grover as exact_grover
+from repro.queries.grover import find_one
+from repro.queries.oracle import MaskedOracle
+
+
+def threshold_counter(limit, threshold):
+    """Build a parallel-query algorithm: are ≥ threshold values > limit?
+
+    Strategy: repeatedly Grover-search for a yet-unseen index whose value
+    exceeds the limit; stop as soon as `threshold` distinct witnesses are
+    found (cheaper than find-all when the threshold is small — an early
+    exit the paper's framework permits because each find-one is its own
+    batch sequence).
+    """
+
+    def algorithm(oracle, rng):
+        witnesses = []
+        seen = set()
+        misses = 0
+        while len(witnesses) < threshold and misses < 2:
+            view = MaskedOracle(oracle, seen, mask_value=0)
+            out = find_one(view, lambda v: v > limit, rng)
+            if out.found:
+                witnesses.append((out.index, out.value))
+                seen.add(out.index)
+                misses = 0
+            else:
+                misses += 1
+        return witnesses
+
+    return algorithm
+
+
+def main():
+    print("=== A custom algorithm on the Theorem 8 framework ===\n")
+    net = topologies.grid(5, 5)
+    k = 300
+    rng = np.random.default_rng(13)
+
+    # Each node holds a slice of k counters; the global counter is the sum.
+    vectors = {v: [0] * k for v in net.nodes()}
+    for j in range(k):
+        owner = int(rng.integers(0, net.n))
+        vectors[owner][j] = int(rng.integers(0, 12))
+    hot = rng.choice(k, size=9, replace=False)
+    for j in hot:
+        vectors[int(rng.integers(0, net.n))][j] += 90  # overload!
+
+    dist_input = DistributedInput(vectors, sum_semigroup(110 * net.n))
+    algorithm = threshold_counter(limit=80, threshold=5)
+
+    for mode in ("formula", "engine"):
+        run = run_framework(
+            net, algorithm, parallelism=net.diameter,
+            dist_input=dist_input, mode=mode, seed=13,
+        )
+        witnesses = run.result
+        print(f"[{mode:7s}] found {len(witnesses)} overloaded counters "
+              f"in {run.total_rounds} rounds / {run.batches} batches: "
+              f"{sorted(j for j, _ in witnesses)}")
+    print(f"(ground truth hot counters: {sorted(int(j) for j in hot)})\n")
+
+    print("=== The amplitude law underneath (Level E vs Level S) ===")
+    marked = {5, 17}
+    for j in range(4):
+        exact = exact_grover.success_probability(6, marked, j)
+        law = exact_grover.theoretical_success_probability(64, 2, j)
+        print(f"  Grover iterations j={j}: statevector {exact:.6f}  "
+              f"sin²((2j+1)θ) {law:.6f}")
+    print("\nThe emulation layer samples from exactly this law — that is "
+          "what makes the batch counts above faithful (DESIGN.md §3).")
+
+
+if __name__ == "__main__":
+    main()

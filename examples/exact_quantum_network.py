@@ -1,0 +1,100 @@
+"""Watching the actual quantum state of a CONGEST network (Lemma 7, Thm 17).
+
+Most of this library emulates quantum protocols at scale; this example
+runs the real thing on a small network.  One global statevector holds
+every node's register, Lemma 7's CNOT cascade spreads the leader's
+superposition down the BFS tree, each node applies its private phase
+oracle with zero communication, and the uncompute returns the register to
+the leader — the full Theorem 17 circuit, exactly.
+
+Run:  python examples/exact_quantum_network.py
+"""
+
+import numpy as np
+
+from repro.congest import topologies
+from repro.congest.algorithms import bfs_with_echo
+from repro.quantum.distributed import (
+    DistributedRegisters,
+    apply_local_phase_oracle,
+    distributed_deutsch_jozsa_exact,
+    is_shared_state,
+    load_leader_state,
+    share_register,
+    unshare_register,
+)
+
+
+def lemma7_live():
+    print("=== Lemma 7, live: sharing a 2-qubit register over 5 nodes ===")
+    net = topologies.path(5)
+    tree = bfs_with_echo(net, 2)  # leader in the middle
+    print(f"network: path of {net.n}; leader = node 2; tree depth = "
+          f"{tree.eccentricity}")
+
+    rng = np.random.default_rng(1)
+    amps = rng.normal(size=4) + 1j * rng.normal(size=4)
+    amps = amps / np.linalg.norm(amps)
+    print("leader register amplitudes:",
+          np.round(amps, 3))
+
+    regs = DistributedRegisters.all_zero(net.n, 2)
+    load_leader_state(regs, 2, amps)
+    layers = share_register(regs, tree)
+    print(f"shared in {layers} CNOT layers (= tree depth); "
+          f"state is Σᵢ αᵢ|i⟩^⊗5: {is_shared_state(regs, amps)}")
+    print("node 0's local measurement distribution now equals the "
+          "leader's:", np.round(regs.node_marginal(0), 3))
+
+    unshare_register(regs, tree)
+    print("uncomputed; every non-leader register is |00⟩ again, leader "
+          "marginal:", np.round(regs.node_marginal(2), 3))
+    print()
+
+
+def theorem17_live():
+    print("=== Theorem 17, live: exact distributed Deutsch–Jozsa ===")
+    net = topologies.star(5)
+    tree = bfs_with_echo(net, 0)
+    k = 4
+
+    balanced_inputs = {v: [0] * k for v in net.nodes()}
+    balanced_inputs[1] = [1, 0, 1, 0]
+    balanced_inputs[3] = [0, 0, 1, 1]  # xor = [1,0,0,1]: balanced
+    out = distributed_deutsch_jozsa_exact(net, tree, balanced_inputs)
+    print(f"balanced promise input over {net.n} nodes "
+          f"({out.total_qubits} simulated qubits):")
+    print(f"  leader |0..0> probability = {out.leader_zero_probability:.10f}"
+          f" -> classified {'constant' if out.constant else 'balanced'}")
+
+    constant_inputs = {v: [0] * k for v in net.nodes()}
+    constant_inputs[2] = [1, 1, 1, 1]
+    constant_inputs[4] = [1, 1, 1, 1]  # xor cancels: constant zero
+    out = distributed_deutsch_jozsa_exact(net, tree, constant_inputs)
+    print("constant promise input:")
+    print(f"  leader |0..0> probability = {out.leader_zero_probability:.10f}"
+          f" -> classified {'constant' if out.constant else 'balanced'}")
+    print("\nProbabilities are exactly 0 and 1 — the zero-error separation "
+          "of Theorems 17/18 is not statistical.\n")
+
+
+def phases_cost_nothing():
+    print("=== The punchline: the query itself is communication-free ===")
+    net = topologies.path(3)
+    tree = bfs_with_echo(net, 0)
+    regs = DistributedRegisters.all_zero(net.n, 2)
+    uniform = np.full(4, 0.5)
+    load_leader_state(regs, 0, uniform)
+    share_register(regs, tree)
+    for v in net.nodes():
+        apply_local_phase_oracle(regs, v, [0, v % 2, 0, v % 2])
+    print("three nodes each applied a private phase oracle to the shared "
+          "state — 0 messages, 0 rounds.")
+    print("Theorem 8's per-batch cost is purely the register transport "
+          "(D + p word-rounds), which is what the framework meters.")
+
+
+if __name__ == "__main__":
+    lemma7_live()
+    theorem17_live()
+    phases_cost_nothing()

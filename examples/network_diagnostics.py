@@ -1,0 +1,58 @@
+"""Scenario: self-diagnosing network metrics (Lemmas 20-22).
+
+An overlay network wants to publish its own health metrics — diameter
+(worst-case latency), radius (best center placement), and average
+eccentricity (typical worst-case latency) — without any node collecting
+the whole topology.  Lemma 21 computes the extremes in O(√(nD)) rounds
+and Lemma 22 estimates the average in Õ(D^{3/2}/ε), versus the classical
+Θ(n) all-sources-BFS.
+
+Run:  python examples/network_diagnostics.py
+"""
+
+from repro.apps.eccentricity import (
+    compute_diameter,
+    compute_radius,
+    estimate_average_eccentricity,
+)
+from repro.baselines.diameter import classical_all_eccentricities
+from repro.congest import topologies
+
+
+def diagnose(name, net, seed):
+    print(f"--- {name}: n={net.n}, D={net.diameter}, R={net.radius}, "
+          f"avg ecc={net.average_eccentricity:.2f} ---")
+
+    diameter = compute_diameter(net, seed=seed)
+    radius = compute_radius(net, seed=seed + 1)
+    average = estimate_average_eccentricity(net, epsilon=0.5, seed=seed + 2)
+    classical = classical_all_eccentricities(net)
+
+    print(f"  diameter : {diameter.value:>4}   in {diameter.rounds:>6} rounds "
+          f"(witness node {diameter.witness})")
+    print(f"  radius   : {radius.value:>4}   in {radius.rounds:>6} rounds "
+          f"(a center: node {radius.witness})")
+    print(f"  avg ecc  : {average.estimate:>7.2f} in {average.rounds:>6} rounds "
+          f"(err {average.error_against(net):.2f}, target ±0.5)")
+    print(f"  classical all-BFS baseline: {classical.rounds} rounds")
+    quantum_best = min(diameter.rounds, radius.rounds)
+    verdict = "quantum wins" if quantum_best < classical.rounds else (
+        "classical wins (n too small for √(nD) to pay off)")
+    print(f"  -> {verdict}\n")
+
+
+def main():
+    print("=== Network self-diagnostics (Lemmas 20-22) ===\n")
+    diagnose("metro grid", topologies.grid(8, 8), seed=3)
+    diagnose("hub-and-spoke", topologies.star(64), seed=4)
+    diagnose(
+        "large flat overlay (n=1600, D=6)",
+        topologies.diameter_controlled(1600, 6, seed=0),
+        seed=5,
+    )
+    print("Note the last case: at n ≫ D² the √(nD) algorithm overtakes the "
+          "classical Θ(n) baseline — the [LM18] regime the paper recovers.")
+
+
+if __name__ == "__main__":
+    main()

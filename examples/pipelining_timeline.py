@@ -1,0 +1,59 @@
+"""Seeing Lemma 7's pipelining: an edge-by-edge message timeline.
+
+The difference between D·⌈q/log n⌉ and D + ⌈q/log n⌉ is easiest to see,
+not prove: trace every message of the register stream and print which
+edges were busy in which rounds.  Pipelined, the chunks fill the path
+like a bucket brigade; naive, they travel in waves and every edge idles
+most of the time.
+
+Run:  python examples/pipelining_timeline.py
+"""
+
+from repro.congest import topologies
+from repro.congest.algorithms import bfs_with_echo
+from repro.congest.tracing import run_traced
+from repro.core.state_transfer import RegisterStreamProgram, _chunk_register
+
+
+def stream_trace(pipelined: bool):
+    net = topologies.path(8)
+    tree = bfs_with_echo(net, 0)
+    children = tree.children()
+    q_bits = 180
+    chunk_bits = net.bandwidth - 8
+    chunks = _chunk_register([1] * q_bits, chunk_bits)
+    programs = {
+        v: RegisterStreamProgram(
+            v, tree.parent.get(v), children.get(v, []),
+            chunks if v == 0 else None, len(chunks),
+            1 << chunk_bits, pipelined=pipelined,
+        )
+        for v in net.nodes()
+    }
+    result, trace = run_traced(net, programs, seed=0)
+    return net, result, trace, len(chunks)
+
+
+def main():
+    edges = [(i, i + 1) for i in range(7)]
+
+    net, result, trace, chunks = stream_trace(pipelined=True)
+    print(f"=== Pipelined (Lemma 7): {chunks} chunks over a depth-7 path ===")
+    print(trace.render_timeline(edges))
+    print(f"total rounds: {result.rounds}  "
+          f"(bound depth + chunks = {7 + chunks})")
+    print(f"edge (0,1) utilization: {trace.edge_utilization(0, 1):.0%}\n")
+
+    net, result, trace, chunks = stream_trace(pipelined=False)
+    print("=== Naive (the proof's strawman): forward only when complete ===")
+    print(trace.render_timeline(edges))
+    print(f"total rounds: {result.rounds}  "
+          f"(≈ depth × chunks = {7 * chunks}, plus per-hop latency)")
+    print(f"edge (0,1) utilization: {trace.edge_utilization(0, 1):.0%}")
+    print("\nEach '#' is a delivered chunk. The pipelined run is a solid "
+          "diagonal band; the naive run is a staircase of idle edges — "
+          "that gap is exactly the D·⌈q/log n⌉ vs D + ⌈q/log n⌉ of Lemma 7.")
+
+
+if __name__ == "__main__":
+    main()

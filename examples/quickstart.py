@@ -1,0 +1,81 @@
+"""Quickstart: distributed quantum queries in three acts.
+
+1. Build a CONGEST network and run a classical primitive on the real
+   round engine (BFS with echo).
+2. Run a quantum application end to end: meeting scheduling (Lemma 10),
+   with the per-phase round breakdown the framework charges.
+3. Compare against the classical streaming baseline to see the √(kD)-vs-k
+   separation appear as k grows.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.apps.meeting import quantum_round_bound, schedule_meeting
+from repro.baselines.streaming import classical_meeting
+from repro.congest import topologies
+from repro.congest.algorithms import bfs_with_echo, elect_leader
+
+
+def act_one_classical_substrate():
+    print("=== Act 1: the CONGEST substrate ===")
+    net = topologies.grid(6, 6)
+    print(f"network: {net.n} nodes, diameter {net.diameter}, "
+          f"bandwidth {net.bandwidth} bits/edge/round")
+
+    leader = elect_leader(net, seed=0)
+    print(f"leader election: node {leader.leader} in {leader.rounds} rounds")
+
+    tree = bfs_with_echo(net, leader.leader, seed=0)
+    print(f"BFS + echo from the leader: {tree.rounds} rounds, "
+          f"eccentricity {tree.eccentricity} (true: "
+          f"{net.eccentricities[leader.leader]})")
+    print()
+
+
+def act_two_quantum_meeting():
+    print("=== Act 2: meeting scheduling (Lemma 10) ===")
+    net = topologies.grid(6, 6)
+    k = 200  # time slots
+    rng = np.random.default_rng(7)
+    calendars = {
+        v: [int(rng.random() < 0.45) for _ in range(k)] for v in net.nodes()
+    }
+
+    result = schedule_meeting(net, calendars, seed=7)
+    totals = [sum(calendars[v][i] for v in net.nodes()) for i in range(k)]
+    print(f"{net.n} participants, {k} slots")
+    print(f"chosen slot {result.best_slot} with {result.availability} "
+          f"available (true best: {max(totals)})")
+    print(f"total rounds: {result.rounds} "
+          f"(bound ~ (sqrt(kD)+D)·ceil(log k/log n) = "
+          f"{quantum_round_bound(k, net.diameter, net.n):.0f} pre-constant)")
+    print(f"oracle batches: {result.batches} of width <= {net.diameter}")
+    print("round breakdown by phase:")
+    for phase, rounds in sorted(result.run.rounds.by_phase().items()):
+        print(f"  {phase:28s} {rounds}")
+    print()
+
+
+def act_three_separation():
+    print("=== Act 3: quantum vs classical as k grows ===")
+    net = topologies.path_with_endpoints(6)
+    rng = np.random.default_rng(11)
+    print(f"{'k':>8} {'quantum':>10} {'classical':>10} {'winner':>10}")
+    for k in [256, 1024, 4096, 16384]:
+        calendars = {
+            v: [int(rng.random() < 0.5) for _ in range(k)] for v in net.nodes()
+        }
+        quantum = schedule_meeting(net, calendars, seed=3).rounds
+        classical = classical_meeting(net, calendars, seed=3)[2]
+        winner = "quantum" if quantum < classical else "classical"
+        print(f"{k:>8} {quantum:>10} {classical:>10} {winner:>10}")
+    print("\nclassical pays Θ(k/log n); quantum pays Õ(√(kD)) — the "
+          "crossover is exactly the paper's Lemma 10 vs Lemma 11 picture.")
+
+
+if __name__ == "__main__":
+    act_one_classical_substrate()
+    act_two_quantum_meeting()
+    act_three_separation()

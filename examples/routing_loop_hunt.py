@@ -1,0 +1,65 @@
+"""Scenario: hunting short routing loops (Lemmas 23-26).
+
+A data-center fabric suspects a miswired short cycle is causing broadcast
+storms.  The network must (a) detect whether any cycle of length ≤ k
+exists, and (b) measure its girth, without shipping the topology anywhere
+— the paper's cycle-detection and girth algorithms, with their quantum
+round budgets beating the classical Ω(√n) regime.
+
+Run:  python examples/routing_loop_hunt.py
+"""
+
+from repro.analysis.graphtruth import girth as true_girth
+from repro.apps.cycles import detect_cycle, detect_cycle_clustered, quantum_cycle_bound
+from repro.apps.girth import compute_girth, verify_girth
+from repro.baselines.cycles import classical_cycle_bound, detect_cycle_classical
+from repro.congest import topologies
+
+
+def hunt(name, net, k, seed):
+    truth = true_girth(net.graph)
+    print(f"--- {name}: n={net.n}, true girth {truth} ---")
+    quantum = detect_cycle(net, k, seed=seed)
+    classical = detect_cycle_classical(net, k, seed=seed)
+    print(f"  quantum  (Lemma 23): length<= {k} -> {quantum.length}, "
+          f"{quantum.rounds} rounds "
+          f"(light {quantum.light_rounds} + heavy {quantum.heavy_rounds}, "
+          f"beta={quantum.beta:.3f})")
+    print(f"  classical sampling : length<= {k} -> {classical.length}, "
+          f"{classical.rounds} rounds")
+    clustered = detect_cycle_clustered(net, k, seed=seed)
+    print(f"  clustered (Lemma 25): -> {clustered.length}, "
+          f"{clustered.rounds} rounds, {clustered.detail.get('colors')} colors")
+    print()
+
+
+def main():
+    print("=== Short-cycle hunt (Lemmas 23-25) ===\n")
+    hunt("fabric with a miswired C5", topologies.planted_cycle(160, 5, seed=1),
+         k=6, seed=2)
+    hunt("healthy tree fabric", topologies.balanced_tree(3, 4), k=6, seed=3)
+
+    print("=== Girth measurement (Corollary 26) ===\n")
+    for name, net in [
+        ("petersen fabric", topologies.petersen()),
+        ("girth-7 ring-of-rings", topologies.known_girth(7, copies=3, tail=5)),
+    ]:
+        result = compute_girth(net, seed=4)
+        print(f"{name}: girth -> {result.girth} "
+              f"(true {true_girth(net.graph)}), {result.rounds} rounds, "
+              f"schedule k = {result.ks_tried}, "
+              f"sound = {verify_girth(net, result)}")
+
+    print("\n=== Asymptotics: where the quantum advantage lives ===")
+    n = 10**6
+    print(f"{'k':>4} {'quantum bound':>15} {'classical bound':>17}")
+    for k in [4, 6, 8, 12]:
+        print(f"{k:>4} {quantum_cycle_bound(n, k):>15.0f} "
+              f"{classical_cycle_bound(n, k):>17.0f}")
+    print("\n(k = cycle length bound, n = 10^6; the paper's "
+          "(kn)^{1/2-1/Θ(k)} vs n^{1-1/Θ(k)} — and the classical girth "
+          "lower bound is Ω(√n) = 1000 regardless of g [FHW12].)")
+
+
+if __name__ == "__main__":
+    main()

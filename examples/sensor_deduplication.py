@@ -1,0 +1,83 @@
+"""Scenario: duplicate detection in a sensor deployment (Corollary 14).
+
+A field of sensors was flashed with supposedly unique 20-bit hardware ids.
+Two sensors sharing an id corrupt the data pipeline, so before going live
+the network must check that all ids are pairwise distinct — the paper's
+"element distinctness between nodes".  Corollary 14 solves it in
+Õ(n^{2/3}D^{1/3} + D) rounds where any classical protocol needs Ω(n/log n)
+(Lemma 15): the network checks itself faster than it could ship its ids
+to any single point.
+
+The script also rebuilds Lemma 15's two-star lower-bound gadget to show
+*why* classical protocols are stuck: all information must cross one edge.
+
+Run:  python examples/sensor_deduplication.py
+"""
+
+import numpy as np
+
+from repro.apps.element_distinctness import distinctness_between_nodes
+from repro.congest import topologies
+from repro.lowerbounds.disjointness import random_instance
+from repro.lowerbounds.reductions import build_ed_nodes_gadget
+
+
+def deploy_and_check(duplicate: bool, seed: int):
+    rng = np.random.default_rng(seed)
+    net = topologies.random_regular(48, 3, seed=seed)
+    ids = {
+        v: int(unique_id)
+        for v, unique_id in enumerate(
+            rng.choice(2**20, size=net.n, replace=False)
+        )
+    }
+    if duplicate:
+        clone_a, clone_b = 7, 31
+        ids[clone_b] = ids[clone_a]
+
+    result = None
+    for attempt in range(4):  # boost the 2/3 guarantee by repetition
+        result = distinctness_between_nodes(
+            net, ids, max_value=2**20, seed=seed + attempt
+        )
+        if result.pair is not None:
+            break
+    return net, ids, result
+
+
+def main():
+    print("=== Sensor-field id deduplication (Corollary 14) ===\n")
+
+    net, ids, result = deploy_and_check(duplicate=True, seed=5)
+    print(f"deployment A: {net.n} sensors, diameter {net.diameter}, "
+          "one cloned id planted")
+    if result.pair:
+        a, b = result.pair
+        print(f"  -> duplicate found: sensors {a} and {b} share id "
+              f"{ids[a]:#07x} ({result.rounds} rounds, "
+              f"{result.batches} query batches)")
+    else:
+        print("  -> missed (probability <= (1/3)^4 with boosting)")
+
+    net, ids, result = deploy_and_check(duplicate=False, seed=9)
+    print(f"\ndeployment B: {net.n} sensors, all ids genuinely unique")
+    print(f"  -> verdict: {'all distinct' if result.all_distinct else result.pair}"
+          f" ({result.rounds} rounds)")
+
+    print("\n=== Why classical protocols cannot keep up (Lemma 15) ===")
+    inst = random_instance(16, np.random.default_rng(1), force_intersecting=True)
+    gadget = build_ed_nodes_gadget(inst)
+    print(f"two-star gadget: {gadget.network.n} nodes, every bit of the "
+          "disjointness instance must cross the single center-center edge")
+    check = distinctness_between_nodes(
+        gadget.network, gadget.values, gadget.max_value, seed=2
+    )
+    print(f"our algorithm on the gadget: duplicate {check.pair} "
+          f"<-> sets intersect = {inst.intersecting}")
+    print("classical bound: Ω(n/log n) rounds through that edge; quantum "
+          "needs Ω(∛(nD²) + √n) [MN20] — matched by Corollary 14 up to "
+          "polylog for small D.")
+
+
+if __name__ == "__main__":
+    main()

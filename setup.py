@@ -1,0 +1,10 @@
+"""Setuptools shim for legacy editable installs (pip install -e .).
+
+All project metadata lives in pyproject.toml; this file only exists so that
+environments without the ``wheel`` package can still do editable installs
+through the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

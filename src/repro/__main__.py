@@ -1,0 +1,72 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro list                 # list experiments
+    python -m repro run E7 [--full]     # run one experiment, print its table
+    python -m repro run all [--full]    # run everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    bounds_parser = sub.add_parser(
+        "bounds", help="print the paper's bound table at given parameters"
+    )
+    bounds_parser.add_argument("--n", type=int, default=4096)
+    bounds_parser.add_argument("--k", type=int, default=65536)
+    bounds_parser.add_argument("--diameter", type=int, default=16)
+    bounds_parser.add_argument("--epsilon", type=float, default=0.5)
+    bounds_parser.add_argument("--girth", type=int, default=6)
+    run_parser = sub.add_parser("run", help="run an experiment")
+    run_parser.add_argument("experiment", help="experiment id (E1..E18) or 'all'")
+    run_parser.add_argument("--full", action="store_true", help="full sweep")
+    run_parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, module in ALL_EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:>4}  {doc}")
+        return 0
+
+    if args.command == "bounds":
+        from .analysis.bounds import bounds_summary
+
+        bounds_summary(
+            n=args.n, k=args.k, diameter=args.diameter,
+            epsilon=args.epsilon, girth=args.girth,
+        ).show()
+        return 0
+
+    targets = (
+        list(ALL_EXPERIMENTS)
+        if args.experiment.lower() == "all"
+        else [args.experiment.upper()]
+    )
+    unknown = [t for t in targets if t not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        print(f"available: {list(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for target in targets:
+        start = time.time()
+        result = ALL_EXPERIMENTS[target].run(quick=not args.full, seed=args.seed)
+        result.table.show()
+        print(f"({target} finished in {time.time() - start:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

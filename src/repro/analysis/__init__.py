@@ -1,0 +1,5 @@
+"""Analysis utilities: ground-truth graph computations, scaling fits, reports."""
+
+from . import bounds, fitting, graphtruth, report
+
+__all__ = ["bounds", "fitting", "graphtruth", "report"]

@@ -1,0 +1,63 @@
+"""Plain-text experiment tables (paper bound vs. measured).
+
+The benchmark harness prints one table per experiment in a fixed format so
+EXPERIMENTS.md entries can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table with typed columns and optional footnotes."""
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        header = [str(c) for c in self.columns]
+        body = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render())
+        print()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

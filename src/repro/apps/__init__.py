@@ -1,0 +1,25 @@
+"""Applications of the framework (paper Sections 4–6)."""
+
+from . import (
+    amplitude_apps,
+    cycles,
+    deutsch_jozsa,
+    eccentricity,
+    element_distinctness,
+    even_cycles,
+    girth,
+    meeting,
+    triangles,
+)
+
+__all__ = [
+    "amplitude_apps",
+    "cycles",
+    "deutsch_jozsa",
+    "eccentricity",
+    "element_distinctness",
+    "even_cycles",
+    "girth",
+    "meeting",
+    "triangles",
+]

@@ -1,0 +1,144 @@
+"""Lemmas 12–15: element distinctness in Quantum CONGEST.
+
+Two variants, both composing Lemma 5 (parallel element distinctness with
+p = D, so b = O(⌈k^{2/3}/D^{2/3}⌉)) with Theorem 8:
+
+* **Distributed vector** (Lemma 12): each node holds x^{(v)} ∈ [N]^k and
+  the target string is the elementwise sum x = Σ_v x^{(v)} over
+  (A, ⊕) = ([Nn], +); cost Õ((k^{2/3}D^{1/3} + D)·(⌈log N/log n⌉ +
+  ⌈log k/log n⌉)).
+* **Between nodes** (Corollary 14): each node holds one value x^{(v)} ∈ [N];
+  reduced to the vector variant with k = n, each node's vector having a
+  single non-zero entry at its own index.
+
+The classical lower bounds (Lemmas 13/15) are Ω(k/log n + D) and
+Ω(n/log n); see :mod:`repro.lowerbounds.reductions` for the gadgets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..congest.network import Network
+from ..core.cost import CostModel
+from ..core.framework import DistributedInput, FrameworkRun, run_framework
+from ..core.semigroup import sum_semigroup
+from ..queries import element_distinctness as parallel_ed
+
+
+@dataclass
+class DistinctnessResult:
+    """Outcome of a distributed element-distinctness run."""
+
+    pair: Optional[Tuple[int, int]]
+    value: Optional[int]
+    rounds: int
+    batches: int
+    run: FrameworkRun
+
+    @property
+    def all_distinct(self) -> bool:
+        return self.pair is None
+
+    def correct_against(self, aggregated: List[int]) -> bool:
+        has_collision = len(set(aggregated)) < len(aggregated)
+        if self.pair is None:
+            return not has_collision
+        i, j = self.pair
+        return i != j and aggregated[i] == aggregated[j]
+
+
+def distinctness_distributed_vector(
+    network: Network,
+    vectors: Dict[int, List[int]],
+    max_value: int,
+    parallelism: Optional[int] = None,
+    mode: str = "formula",
+    seed: Optional[int] = None,
+) -> DistinctnessResult:
+    """Lemma 12: element distinctness on x = Σ_v x^{(v)}.
+
+    Args:
+        network: the CONGEST network.
+        vectors: per-node vectors in [max_value]^k.
+        max_value: N, the per-node value bound (the sum lives in [Nn]).
+        parallelism: batch width p, default D.
+        mode: ``formula`` or ``engine``.
+    """
+    p = parallelism if parallelism is not None else max(network.diameter, 1)
+    dist_input = DistributedInput(
+        dict(vectors), sum_semigroup(max_value * network.n)
+    )
+
+    def algorithm(oracle, rng):
+        return parallel_ed.find_collision(oracle, rng)
+
+    run = run_framework(
+        network,
+        algorithm,
+        parallelism=p,
+        dist_input=dist_input,
+        mode=mode,
+        seed=seed,
+    )
+    outcome = run.result
+    return DistinctnessResult(
+        pair=outcome.pair,
+        value=outcome.value,
+        rounds=run.total_rounds,
+        batches=run.batches,
+        run=run,
+    )
+
+
+def distinctness_between_nodes(
+    network: Network,
+    values: Dict[int, int],
+    max_value: int,
+    parallelism: Optional[int] = None,
+    mode: str = "formula",
+    seed: Optional[int] = None,
+) -> DistinctnessResult:
+    """Corollary 14: are the n per-node values pairwise distinct?
+
+    Reduction from the corollary's proof: node v's vector is length n with
+    its actual value (shifted by +1 so 0 can be the absent marker) at
+    index v and zeros elsewhere; a collision in the sum is a collision
+    between node values.
+    """
+    for v in network.nodes():
+        if v not in values:
+            raise ValueError(f"node {v} has no value")
+        if not 0 <= values[v] <= max_value:
+            raise ValueError(f"value of node {v} outside [0, {max_value}]")
+    vectors = {
+        v: [(values[v] + 1) if j == v else 0 for j in range(network.n)]
+        for v in network.nodes()
+    }
+    return distinctness_distributed_vector(
+        network,
+        vectors,
+        max_value=max_value + 1,
+        parallelism=parallelism,
+        mode=mode,
+        seed=seed,
+    )
+
+
+def quantum_round_bound_vector(k: int, diameter: int, n: int, max_value: int) -> float:
+    """Lemma 12: (k^{2/3}D^{1/3} + D)(⌈log N/log n⌉ + ⌈log k/log n⌉)."""
+    d = max(diameter, 1)
+    cm = CostModel(
+        n=n, diameter=d, word_bits=max(1, math.ceil(math.log2(max(n, 2))))
+    )
+    word_factor = cm.words(
+        max(1, math.ceil(math.log2(max(max_value * n, 2))))
+    ) + cm.index_words(k)
+    return (k ** (2 / 3) * d ** (1 / 3) + d) * word_factor
+
+
+def classical_round_lower_bound(k: int, diameter: int, n: int) -> float:
+    """Lemma 13: Ω(k/log n + D)."""
+    return k / max(1, math.ceil(math.log2(max(n, 2)))) + diameter

@@ -1,0 +1,160 @@
+"""Triangle finding — the subroutine Corollary 26 consumes.
+
+The paper's girth search first runs quantum triangle finding, citing the
+Õ(n^{1/5})-round algorithm of [CFGLO22] (improving the Õ(n^{1/4}) of
+[IGM19] mentioned as prior work).  This module provides:
+
+* :func:`detect_triangle_local` — a *real* classical CONGEST protocol run
+  on the engine: every node streams its adjacency list to each neighbor
+  (one id per edge per round, so max-degree Δ rounds) and then checks
+  locally for an edge between two of its neighbors.  This is the folklore
+  O(Δ) algorithm, exact and deterministic.
+* :func:`detect_triangle_quantum` — the cited quantum subroutine,
+  executed against ground truth with rounds charged at Õ(n^{1/5})
+  (substitution, DESIGN.md §2); one-sided error.
+* bound helpers for the classical Õ(n^{1/3}) [CFGGLO20-style] and both
+  quantum rates, used by E17.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..congest.encoding import Field
+from ..congest.engine import run_program
+from ..congest.messages import Inbox
+from ..congest.network import Network
+from ..congest.program import Context, NodeProgram
+
+
+def find_triangle_truth(graph: nx.Graph) -> Optional[Tuple[int, int, int]]:
+    """Ground truth: some triangle, or None."""
+    for u, v in graph.edges():
+        common = set(graph.neighbors(u)) & set(graph.neighbors(v))
+        common.discard(u)
+        common.discard(v)
+        if common:
+            w = min(common)
+            return tuple(sorted((u, v, w)))
+    return None
+
+
+class NeighborhoodExchangeProgram(NodeProgram):
+    """Stream the full adjacency list to every neighbor, one id per round.
+
+    After deg(v) rounds each neighbor of v knows N(v); a node holding
+    N(u) for a neighbor u can detect any triangle through the edge (v,u)
+    locally.  The node halts once it has sent its whole list and received
+    complete lists from all neighbors (list lengths are exchanged in the
+    first round as (degree, first-id) pairs).
+    """
+
+    def __init__(self, node: int):
+        self.node = node
+        self.sent = 0
+        self.expected: Dict[int, int] = {}
+        self.received: Dict[int, List[int]] = {}
+        self.triangle: Optional[Tuple[int, int, int]] = None
+
+    def _send_next(self, ctx: Context) -> None:
+        if self.sent >= len(ctx.neighbors):
+            return
+        payload = (
+            Field(len(ctx.neighbors), ctx.n + 1),
+            Field(ctx.neighbors[self.sent], ctx.n),
+        )
+        for u in ctx.neighbors:
+            ctx.send(u, payload)
+        self.sent += 1
+
+    def _check_done(self, ctx: Context) -> None:
+        if self.sent < len(ctx.neighbors):
+            return
+        if any(
+            len(self.received.get(u, [])) < self.expected.get(u, math.inf)
+            for u in ctx.neighbors
+        ):
+            return
+        mine = set(ctx.neighbors)
+        for u in ctx.neighbors:
+            for w in self.received[u]:
+                if w in mine and w != u:
+                    self.triangle = tuple(sorted((self.node, u, w)))
+        ctx.halt(output=self.triangle)
+
+    def on_start(self, ctx: Context) -> None:
+        if not ctx.neighbors:
+            ctx.halt(output=None)
+            return
+        self._send_next(ctx)
+
+    def on_round(self, ctx: Context, inbox: Inbox) -> None:
+        for msg in inbox:
+            degree, neighbor_id = msg.value
+            self.expected[msg.src] = degree
+            self.received.setdefault(msg.src, []).append(neighbor_id)
+        self._send_next(ctx)
+        self._check_done(ctx)
+
+
+@dataclass
+class TriangleResult:
+    triangle: Optional[Tuple[int, int, int]]
+    rounds: int
+    method: str
+
+    @property
+    def found(self) -> bool:
+        return self.triangle is not None
+
+
+def detect_triangle_local(
+    network: Network, seed: Optional[int] = None
+) -> TriangleResult:
+    """The folklore O(Δ) neighborhood-exchange protocol, engine-measured."""
+    programs = {
+        v: NeighborhoodExchangeProgram(v) for v in network.nodes()
+    }
+    result = run_program(network, programs, seed=seed)
+    triangles = [t for t in result.outputs.values() if t is not None]
+    best = min(triangles) if triangles else None
+    return TriangleResult(
+        triangle=best, rounds=result.rounds, method="local-exchange"
+    )
+
+
+def quantum_triangle_bound(n: int) -> float:
+    """[CFGLO22]: Õ(n^{1/5}) rounds (log factor included as measured)."""
+    return n ** 0.2 * max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def quantum_triangle_bound_igm(n: int) -> float:
+    """[IGM19]: the earlier Õ(n^{1/4}) quantum bound."""
+    return n ** 0.25 * max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def classical_triangle_bound(n: int) -> float:
+    """Classical CONGEST triangle detection: Õ(n^{1/3}) [CFGGLO20-style]."""
+    return n ** (1 / 3) * max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def detect_triangle_quantum(
+    network: Network,
+    seed: Optional[int] = None,
+    success_probability: float = 0.9,
+) -> TriangleResult:
+    """The cited Õ(n^{1/5}) quantum subroutine (substituted, one-sided).
+
+    A found triangle is always real (it is verified locally in O(1)
+    rounds); an existing triangle is missed with probability ≤ 1/3.
+    """
+    rng = np.random.default_rng(seed)
+    truth = find_triangle_truth(network.graph)
+    rounds = math.ceil(quantum_triangle_bound(network.n))
+    found = truth if truth is not None and rng.random() < success_probability else None
+    return TriangleResult(triangle=found, rounds=rounds, method="quantum-cfglo22")

@@ -1,0 +1,5 @@
+"""Classical CONGEST comparators for every quantum application."""
+
+from . import cycles, diameter, streaming
+
+__all__ = ["cycles", "diameter", "streaming"]

@@ -1,0 +1,47 @@
+"""Classical CONGEST model substrate: engine, network, node programs.
+
+Quick tour::
+
+    from repro.congest import Network, topologies
+    from repro.congest.algorithms import bfs_with_echo, elect_leader
+
+    net = topologies.grid(8, 8)
+    leader = elect_leader(net).leader
+    tree = bfs_with_echo(net, leader)
+    print(tree.eccentricity, tree.rounds)
+"""
+
+from .encoding import Field, bits_for_domain, payload_bits
+from .engine import Engine, RunResult, run_program
+from .errors import (
+    BandwidthExceeded,
+    CongestError,
+    DuplicateSend,
+    ModelViolation,
+    NotANeighbor,
+    RoundLimitExceeded,
+)
+from .messages import Inbox, Message
+from .network import Network
+from .program import Context, IdleProgram, NodeProgram
+
+__all__ = [
+    "Field",
+    "bits_for_domain",
+    "payload_bits",
+    "Engine",
+    "RunResult",
+    "run_program",
+    "BandwidthExceeded",
+    "CongestError",
+    "DuplicateSend",
+    "ModelViolation",
+    "NotANeighbor",
+    "RoundLimitExceeded",
+    "Inbox",
+    "Message",
+    "Network",
+    "Context",
+    "IdleProgram",
+    "NodeProgram",
+]

@@ -1,0 +1,31 @@
+"""Distributed algorithms running on the CONGEST engine."""
+
+from .aggregate import (
+    aggregate_single,
+    pipelined_downcast,
+    pipelined_upcast,
+)
+from .bfs import BFSResult, bfs_with_echo
+from .clustering import Clustering, build_clustering, verify_clustering
+from .leader import LeaderResult, elect_leader
+from .multibfs import (
+    MultiBFSResult,
+    eccentricities_of_sources,
+    multi_source_bfs,
+)
+
+__all__ = [
+    "aggregate_single",
+    "pipelined_downcast",
+    "pipelined_upcast",
+    "BFSResult",
+    "bfs_with_echo",
+    "Clustering",
+    "build_clustering",
+    "verify_clustering",
+    "LeaderResult",
+    "elect_leader",
+    "MultiBFSResult",
+    "eccentricities_of_sources",
+    "multi_source_bfs",
+]

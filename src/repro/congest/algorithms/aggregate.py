@@ -1,0 +1,327 @@
+"""Pipelined convergecast and broadcast over a precomputed BFS tree.
+
+These are the CONGEST workhorses behind the paper's Lemma 7 and Theorem 8:
+moving a length-t vector of bounded values between the leader and the rest
+of the network in O(depth + t) rounds by streaming one coordinate per round
+along every tree edge.
+
+* :func:`pipelined_upcast` — every node holds a length-t vector; the root
+  learns the coordinatewise ⊕-combination over all nodes.  This is exactly
+  the query-result aggregation step of Theorem 8 ("leaf nodes send the
+  query results to their parent, who computes ⊕ ... as soon as the leaves
+  are done with the first query value they can start with the second").
+* :func:`pipelined_downcast` — the root holds a length-t vector; every node
+  learns it.  This is the index-distribution step (and Lemma 7's classical
+  shadow: a register streamed down the tree, each log(n)-bit chunk
+  forwarded the round after it arrives).
+
+Both run on the engine with real messages and return measured rounds,
+which benchmarks compare against the depth + t bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..encoding import Field
+from ..engine import run_program
+from ..messages import Inbox
+from ..network import Network
+from ..program import Context, NodeProgram
+from .bfs import BFSResult
+
+
+class UpcastProgram(NodeProgram):
+    """Stream a t-vector up the tree, combining coordinatewise."""
+
+    def __init__(
+        self,
+        node: int,
+        parent: Optional[int],
+        children: Sequence[int],
+        values: Sequence[int],
+        combine: Callable[[int, int], int],
+        domain: int,
+        length: int,
+    ):
+        self.node = node
+        self.parent = parent
+        self.children = list(children)
+        self.acc: List[int] = list(values)
+        if len(self.acc) != length:
+            raise ValueError(
+                f"node {node} holds {len(self.acc)} values, expected {length}"
+            )
+        self.combine = combine
+        self.domain = domain
+        self.length = length
+        self.received_count = [0] * length
+        self.next_to_send = 0
+
+    def _ready(self, index: int) -> bool:
+        return self.received_count[index] == len(self.children)
+
+    def _push(self, ctx: Context) -> None:
+        if self.next_to_send >= self.length:
+            return
+        i = self.next_to_send
+        if not self._ready(i):
+            return
+        if self.parent is not None:
+            ctx.send(
+                self.parent,
+                (Field(i, max(self.length, 1)), Field(self.acc[i], self.domain)),
+            )
+        self.next_to_send += 1
+        if self.next_to_send >= self.length:
+            ctx.halt(output=tuple(self.acc) if self.parent is None else None)
+
+    def on_start(self, ctx: Context) -> None:
+        if self.length == 0:
+            ctx.halt(output=() if self.parent is None else None)
+            return
+        self._push(ctx)
+
+    def on_round(self, ctx: Context, inbox: Inbox) -> None:
+        for msg in inbox:
+            index, value = msg.value
+            self.acc[index] = self.combine(self.acc[index], value)
+            self.received_count[index] += 1
+        # One coordinate can leave per round (single parent edge), but a
+        # newly completed coordinate may also unblock this round's send.
+        self._push(ctx)
+
+
+class DowncastProgram(NodeProgram):
+    """Stream a t-vector from the root down the tree, pipelined."""
+
+    def __init__(
+        self,
+        node: int,
+        parent: Optional[int],
+        children: Sequence[int],
+        values: Optional[Sequence[int]],
+        domain: int,
+        length: int,
+    ):
+        self.node = node
+        self.parent = parent
+        self.children = list(children)
+        self.domain = domain
+        self.length = length
+        self.received: List[Optional[int]] = (
+            list(values) if values is not None else [None] * length
+        )
+        self.next_to_send = 0
+
+    def _push(self, ctx: Context) -> None:
+        if self.next_to_send >= self.length:
+            return
+        i = self.next_to_send
+        if self.received[i] is None:
+            return
+        for child in self.children:
+            ctx.send(
+                child,
+                (Field(i, max(self.length, 1)), Field(self.received[i], self.domain)),
+            )
+        self.next_to_send += 1
+        if self.next_to_send >= self.length:
+            ctx.halt(output=tuple(self.received))
+
+    def on_start(self, ctx: Context) -> None:
+        if self.length == 0:
+            ctx.halt(output=())
+            return
+        self._push(ctx)
+
+    def on_round(self, ctx: Context, inbox: Inbox) -> None:
+        for msg in inbox:
+            index, value = msg.value
+            self.received[index] = value
+        self._push(ctx)
+
+
+def pipelined_upcast(
+    network: Network,
+    tree: BFSResult,
+    values: Dict[int, Sequence[int]],
+    combine: Callable[[int, int], int],
+    domain: int,
+    seed: Optional[int] = None,
+) -> Tuple[Tuple[int, ...], int]:
+    """Coordinatewise ⊕ of per-node t-vectors, collected at the tree root.
+
+    Returns:
+        (combined vector at the root, measured rounds).
+    """
+    children = tree.children()
+    lengths = {len(v) for v in values.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"all nodes must hold equal-length vectors, got {lengths}")
+    length = lengths.pop()
+    programs = {
+        v: UpcastProgram(
+            v,
+            tree.parent.get(v),
+            children.get(v, []),
+            values[v],
+            combine,
+            domain,
+            length,
+        )
+        for v in network.nodes()
+    }
+    result = run_program(network, programs, seed=seed)
+    root_output = result.outputs[tree.root]
+    return tuple(root_output), result.rounds
+
+
+def pipelined_downcast(
+    network: Network,
+    tree: BFSResult,
+    values: Sequence[int],
+    domain: int,
+    seed: Optional[int] = None,
+) -> Tuple[Dict[int, Tuple[int, ...]], int]:
+    """Broadcast a t-vector from the tree root to every node.
+
+    Returns:
+        (per-node received vectors, measured rounds).
+    """
+    children = tree.children()
+    length = len(values)
+    programs = {
+        v: DowncastProgram(
+            v,
+            tree.parent.get(v),
+            children.get(v, []),
+            list(values) if v == tree.root else None,
+            domain,
+            length,
+        )
+        for v in network.nodes()
+    }
+    result = run_program(network, programs, seed=seed)
+    received = {v: tuple(result.outputs[v]) for v in network.nodes()}
+    return received, result.rounds
+
+
+def aggregate_single(
+    network: Network,
+    tree: BFSResult,
+    values: Dict[int, int],
+    combine: Callable[[int, int], int],
+    domain: int,
+    seed: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Convergecast a single bounded value per node to the root.
+
+    Returns:
+        (combined value, measured rounds).
+    """
+    vectors = {v: [values[v]] for v in network.nodes()}
+    combined, rounds = pipelined_upcast(
+        network, tree, vectors, combine, domain, seed=seed
+    )
+    return combined[0], rounds
+
+
+class GatherProgram(NodeProgram):
+    """Stream every node's tagged values to the root (no combining).
+
+    Unlike :class:`UpcastProgram`, nothing is merged: the root ends up
+    holding all n·t (origin, value) pairs.  This is the communication
+    pattern of the classical "stream everything to a leader" baselines;
+    pipelining makes it O(depth + n·t) rounds — each tree edge must carry
+    everything its subtree holds, so the root's incident edges are the
+    bottleneck the Ω(k/log n) lower bounds talk about.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        parent: Optional[int],
+        children: Sequence[int],
+        values: Sequence[int],
+        domain: int,
+        n: int,
+    ):
+        self.node = node
+        self.parent = parent
+        self.children = list(children)
+        self.domain = domain
+        self.n = n
+        self.queue: List[Tuple[int, int]] = [(node, v) for v in values]
+        self.expected_children = set(self.children)
+        self.done_received = False
+
+    def _push(self, ctx: Context) -> None:
+        if self.parent is None:
+            return
+        if self.queue:
+            origin, value = self.queue.pop(0)
+            ctx.send(
+                self.parent,
+                (False, Field(origin, self.n), Field(value, self.domain)),
+            )
+        elif not self.expected_children and not self.done_received:
+            # A final "subtree drained" marker so ancestors can terminate.
+            ctx.send(self.parent, (True, Field(0, self.n), Field(0, self.domain)))
+            self.done_received = True
+            ctx.halt()
+
+    def on_start(self, ctx: Context) -> None:
+        if self.parent is None and not self.children:
+            ctx.halt(output=tuple(self.queue))
+            return
+        self._push(ctx)
+
+    def on_round(self, ctx: Context, inbox: Inbox) -> None:
+        for msg in inbox:
+            done, origin, value = msg.value
+            if done:
+                self.expected_children.discard(msg.src)
+            else:
+                self.queue.append((origin, value))
+        if self.parent is None:
+            if not self.expected_children:
+                ctx.halt(output=tuple(self.queue))
+            return
+        self._push(ctx)
+
+
+def pipelined_gather(
+    network: Network,
+    tree: BFSResult,
+    values: Dict[int, Sequence[int]],
+    domain: int,
+    seed: Optional[int] = None,
+) -> Tuple[Dict[int, Tuple[int, ...]], int]:
+    """Collect every node's values (tagged by origin) at the tree root.
+
+    Returns:
+        (mapping origin -> tuple of that node's values as received by the
+        root, measured rounds ≈ depth + total value count).
+    """
+    children = tree.children()
+    programs = {
+        v: GatherProgram(
+            v,
+            tree.parent.get(v),
+            children.get(v, []),
+            list(values[v]),
+            domain,
+            network.n,
+        )
+        for v in network.nodes()
+    }
+    result = run_program(network, programs, seed=seed)
+    collected: Dict[int, List[int]] = {}
+    root_items = result.outputs[tree.root] or ()
+    for origin, value in root_items:
+        collected.setdefault(origin, []).append(value)
+    return (
+        {origin: tuple(vals) for origin, vals in collected.items()},
+        result.rounds,
+    )

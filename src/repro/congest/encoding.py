@@ -1,0 +1,105 @@
+"""Bit-size accounting for CONGEST message payloads.
+
+The CONGEST model limits each message to O(log n) bits.  Simulated messages
+carry ordinary Python values for convenience, but every payload must have a
+well-defined encoded size so the engine can enforce the bandwidth limit.
+This module defines the sizing rules.
+
+The canonical wire format we charge for is:
+
+* ``None``            — 1 bit (a "nothing here" flag),
+* ``bool``            — 1 bit,
+* ``int``             — one *field*; its width must be declared via a
+  :class:`Field` wrapper, or defaults to the number of bits in its absolute
+  value plus a sign bit,
+* ``float``           — 64 bits (IEEE-754 double),
+* ``str``             — 8 bits per character (used only for small tags),
+* ``tuple``/``list``  — the sum of the element sizes (structure is part of
+  the protocol, so it costs nothing extra, matching how CONGEST proofs
+  count "a message consists of an id and a distance" as log n + log n bits).
+
+Algorithms that want exact theory-grade accounting wrap integers in
+:class:`Field` with an explicit domain size, e.g. ``Field(v, domain=n)`` for
+a node identifier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Field:
+    """An integer payload element with an explicit domain.
+
+    ``Field(value, domain=k)`` is charged ``ceil(log2(k))`` bits (minimum 1),
+    matching the paper's convention that an index into ``[k]`` costs
+    ``log(k)`` bits.
+    """
+
+    value: int
+    domain: int
+
+    def __post_init__(self):
+        if self.domain < 1:
+            raise ValueError(f"domain must be >= 1, got {self.domain}")
+        if not 0 <= self.value < max(self.domain, 1):
+            raise ValueError(
+                f"value {self.value} outside domain [0, {self.domain})"
+            )
+
+    @property
+    def bits(self) -> int:
+        return bits_for_domain(self.domain)
+
+
+def bits_for_domain(domain: int) -> int:
+    """Bits required to encode one value from a domain of the given size."""
+    if domain < 1:
+        raise ValueError(f"domain must be >= 1, got {domain}")
+    return max(1, math.ceil(math.log2(domain))) if domain > 1 else 1
+
+
+def bits_for_int(value: int) -> int:
+    """Default sizing for a bare int: magnitude bits plus a sign bit."""
+    return max(1, abs(value).bit_length()) + 1
+
+
+def payload_bits(payload: Any) -> int:
+    """Return the charged encoded size of a payload in bits.
+
+    Raises:
+        TypeError: if the payload contains an unsupported type.
+    """
+    if payload is None:
+        return 1
+    if isinstance(payload, Field):
+        return payload.bits
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return bits_for_int(payload)
+    if isinstance(payload, float):
+        return 64
+    if isinstance(payload, str):
+        return 8 * len(payload)
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_bits(item) for item in payload)
+    if isinstance(payload, frozenset):
+        return sum(payload_bits(item) for item in payload)
+    raise TypeError(
+        f"payload of type {type(payload).__name__} has no defined wire size"
+    )
+
+
+def unwrap(payload: Any) -> Any:
+    """Strip :class:`Field` wrappers, returning plain Python values."""
+    if isinstance(payload, Field):
+        return payload.value
+    if isinstance(payload, tuple):
+        return tuple(unwrap(item) for item in payload)
+    if isinstance(payload, list):
+        return [unwrap(item) for item in payload]
+    return payload

@@ -1,0 +1,169 @@
+"""The synchronous round engine for the CONGEST model.
+
+The engine drives a set of :class:`~repro.congest.program.NodeProgram`
+instances through synchronized rounds over a
+:class:`~repro.congest.network.Network`, enforcing the model rules
+(bandwidth, adjacency, one message per edge direction per round) and
+recording round and traffic statistics.
+
+Round accounting matches the convention used in the paper's proofs: local
+computation is free and unbounded; only communication rounds count.  The
+reported ``rounds`` is the index of the last round in which any message was
+in flight or any program executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .errors import RoundLimitExceeded
+from .messages import Inbox, Message, TrafficStats
+from .network import Network
+from .program import Context, NodeProgram
+
+#: Safety valve: CONGEST algorithms in this repo are all polylog·(n + D)
+#: or small-polynomial; anything past this many rounds is a bug.
+DEFAULT_MAX_ROUNDS_PER_NODE = 50
+DEFAULT_MAX_ROUNDS_FLOOR = 10_000
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine execution."""
+
+    rounds: int
+    outputs: Dict[int, Any]
+    stats: TrafficStats = field(default_factory=TrafficStats)
+
+    def output_of(self, v: int) -> Any:
+        return self.outputs.get(v)
+
+    def common_output(self) -> Any:
+        """The single output shared by all nodes that produced one.
+
+        Raises:
+            ValueError: if nodes disagree or none produced output.
+        """
+        produced = {v: o for v, o in self.outputs.items() if o is not None}
+        if not produced:
+            raise ValueError("no node produced an output")
+        values = set(produced.values())
+        if len(values) != 1:
+            raise ValueError(f"nodes disagree on output: {values}")
+        return values.pop()
+
+
+class Engine:
+    """Synchronous executor for CONGEST node programs.
+
+    Args:
+        network: the communication graph and bandwidth limit.
+        programs: one program per node (all nodes must be covered).
+        seed: seeds the per-node RNGs (each node gets an independent
+            child generator, so runs are reproducible but nodes do not
+            share randomness — the model has no shared coins).
+        max_rounds: execution budget; exceeded budgets raise
+            :class:`RoundLimitExceeded`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        programs: Dict[int, NodeProgram],
+        seed: Optional[int] = None,
+        max_rounds: Optional[int] = None,
+        stop_on_quiescence: bool = False,
+    ):
+        missing = set(network.nodes()) - set(programs)
+        if missing:
+            raise ValueError(f"no program supplied for nodes {sorted(missing)}")
+        self.network = network
+        self.programs = programs
+        if max_rounds is None:
+            max_rounds = max(
+                DEFAULT_MAX_ROUNDS_FLOOR,
+                DEFAULT_MAX_ROUNDS_PER_NODE * network.n,
+            )
+        self.max_rounds = max_rounds
+        #: When set, the run also ends once no messages are in flight, even
+        #: if programs have not halted.  This models flooding algorithms
+        #: (multi-source BFS, max-id election) whose natural end is network
+        #: quiescence; a deployed version would add an O(D) termination-
+        #: detection phase, which callers charge separately.
+        self.stop_on_quiescence = stop_on_quiescence
+        seed_seq = np.random.SeedSequence(seed)
+        children = seed_seq.spawn(network.n)
+        self.contexts: Dict[int, Context] = {
+            v: Context(
+                node=v,
+                neighbors=network.neighbors(v),
+                n=network.n,
+                bandwidth=network.bandwidth,
+                rng=np.random.default_rng(children[v]),
+            )
+            for v in network.nodes()
+        }
+
+    def run(self) -> RunResult:
+        """Execute until every node halts; return outputs and statistics."""
+        stats = TrafficStats()
+        in_flight: List[Message] = []
+
+        # Round 0: local initialization, no communication charged.
+        for v, program in self.programs.items():
+            ctx = self.contexts[v]
+            program.on_start(ctx)
+            in_flight.extend(ctx._drain_outbox(0))
+
+        rounds = 0
+        while True:
+            if not in_flight and (self._all_halted() or self.stop_on_quiescence):
+                break
+            if rounds >= self.max_rounds:
+                raise RoundLimitExceeded(self.max_rounds)
+            rounds += 1
+
+            inboxes: Dict[int, List[Message]] = {}
+            for msg in in_flight:
+                inboxes.setdefault(msg.dst, []).append(msg)
+            stats.record_round(
+                len(in_flight), sum(m.bits for m in in_flight)
+            )
+            in_flight = []
+
+            for v, program in self.programs.items():
+                ctx = self.contexts[v]
+                if ctx.halted:
+                    # Messages to halted nodes are dropped; well-formed
+                    # algorithms never rely on them.
+                    continue
+                ctx.round = rounds
+                program.on_round(ctx, Inbox(inboxes.get(v)))
+                in_flight.extend(ctx._drain_outbox(rounds))
+
+        outputs = {v: self.contexts[v].output for v in self.network.nodes()}
+        return RunResult(rounds=rounds, outputs=outputs, stats=stats)
+
+    def _all_halted(self) -> bool:
+        return all(ctx.halted for ctx in self.contexts.values())
+
+
+def run_program(
+    network: Network,
+    programs: Dict[int, NodeProgram],
+    seed: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    stop_on_quiescence: bool = False,
+) -> RunResult:
+    """Convenience wrapper: build an engine and run it."""
+    engine = Engine(
+        network,
+        programs,
+        seed=seed,
+        max_rounds=max_rounds,
+        stop_on_quiescence=stop_on_quiescence,
+    )
+    return engine.run()

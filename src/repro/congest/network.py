@@ -1,0 +1,142 @@
+"""Network topology wrapper for the CONGEST model.
+
+A :class:`Network` pins down everything the model needs about the
+communication graph: the node set (integers ``0..n-1``), adjacency, the
+per-edge per-round bandwidth in bits, and cached graph metrics (diameter,
+eccentricities) used both by algorithms that are allowed to know them and
+by tests/benchmarks that compare measured behaviour against theory.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import cached_property
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+from .encoding import bits_for_domain
+from .errors import CongestError
+
+#: Default bandwidth allowance, as a multiple of ceil(log2 n).  CONGEST
+#: messages are O(log n) bits; proofs in the paper pack a constant number of
+#: identifiers/distances per message, so we allow 4 log-n-sized fields plus
+#: a small tag budget by default.
+DEFAULT_LOG_FACTOR = 4
+DEFAULT_TAG_BITS = 16
+
+
+class Network:
+    """An n-node CONGEST network over an undirected connected graph.
+
+    Args:
+        graph: a connected undirected networkx graph whose nodes are the
+            integers ``0..n-1`` (use :func:`repro.congest.topologies`
+            generators, or :meth:`Network.from_edges`).
+        bandwidth: per-edge per-round message size limit in bits.  Defaults
+            to ``DEFAULT_LOG_FACTOR * ceil(log2 n) + DEFAULT_TAG_BITS``.
+    """
+
+    def __init__(self, graph: nx.Graph, bandwidth: int | None = None):
+        if graph.number_of_nodes() == 0:
+            raise CongestError("network must have at least one node")
+        expected = set(range(graph.number_of_nodes()))
+        if set(graph.nodes()) != expected:
+            raise CongestError(
+                "network nodes must be the integers 0..n-1; "
+                "use Network.from_edges or repro.congest.topologies"
+            )
+        if graph.number_of_nodes() > 1 and not nx.is_connected(graph):
+            raise CongestError("CONGEST networks must be connected")
+        self.graph = graph
+        self.n = graph.number_of_nodes()
+        self.m = graph.number_of_edges()
+        if bandwidth is None:
+            bandwidth = (
+                DEFAULT_LOG_FACTOR * bits_for_domain(max(self.n, 2))
+                + DEFAULT_TAG_BITS
+            )
+        if bandwidth < 1:
+            raise CongestError(f"bandwidth must be positive, got {bandwidth}")
+        self.bandwidth = bandwidth
+        self._adj: Dict[int, Tuple[int, ...]] = {
+            v: tuple(sorted(graph.neighbors(v))) for v in range(self.n)
+        }
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_edges(
+        edges: Iterable[Tuple[int, int]], bandwidth: int | None = None
+    ) -> "Network":
+        """Build a network from an edge list over integer nodes.
+
+        Node labels are compacted to ``0..n-1`` preserving order.
+        """
+        g = nx.Graph()
+        g.add_edges_from(edges)
+        mapping = {v: i for i, v in enumerate(sorted(g.nodes()))}
+        return Network(nx.relabel_nodes(g, mapping), bandwidth=bandwidth)
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def nodes(self) -> range:
+        return range(self.n)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self.graph.has_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # cached graph metrics (ground truth for tests and cost models)
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def eccentricities(self) -> Dict[int, int]:
+        """True eccentricity of every node (ground truth, not CONGEST)."""
+        if self.n == 1:
+            return {0: 0}
+        return nx.eccentricity(self.graph)
+
+    @cached_property
+    def diameter(self) -> int:
+        return max(self.eccentricities.values()) if self.n > 1 else 0
+
+    @cached_property
+    def radius(self) -> int:
+        return min(self.eccentricities.values()) if self.n > 1 else 0
+
+    @cached_property
+    def average_eccentricity(self) -> float:
+        return sum(self.eccentricities.values()) / self.n
+
+    def distances_from(self, source: int) -> Dict[int, int]:
+        """Ground-truth BFS distances from ``source``."""
+        return dict(nx.single_source_shortest_path_length(self.graph, source))
+
+    @cached_property
+    def log_n_bits(self) -> int:
+        """``ceil(log2 n)`` — the unit in which the paper counts bandwidth."""
+        return bits_for_domain(max(self.n, 2))
+
+    def words(self, bits: int) -> int:
+        """Number of CONGEST rounds needed to push ``bits`` over one edge.
+
+        This is the ``ceil(q / log n)`` factor appearing throughout the
+        paper, evaluated against this network's actual bandwidth.
+        """
+        return max(1, math.ceil(bits / self.bandwidth))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Network(n={self.n}, m={self.m}, bandwidth={self.bandwidth} bits)"
+        )

@@ -1,0 +1,129 @@
+"""Node program API for the CONGEST engine.
+
+A distributed algorithm is a :class:`NodeProgram` subclass; the engine
+instantiates one program object per node (or the caller supplies
+pre-configured instances, e.g. carrying each node's private input) and
+drives them through synchronous rounds:
+
+* ``on_start(ctx)`` runs once, before any communication.  Sends issued here
+  are delivered in round 1.
+* ``on_round(ctx, inbox)`` runs every round on every non-halted node, even
+  when the inbox is empty.  Sends are delivered next round.
+* ``ctx.halt(output)`` marks the node finished; the engine stops when all
+  nodes have halted.
+
+The context enforces the CONGEST rules at send time: one message per edge
+direction per round, neighbors only, and the network's bandwidth cap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .encoding import payload_bits
+from .errors import BandwidthExceeded, DuplicateSend, NotANeighbor
+from .messages import Inbox, Message
+
+
+class Context:
+    """Per-node view of the network handed to programs each round.
+
+    Exposes exactly what a CONGEST node is allowed to know initially: its
+    own id, its neighbors' ids, and the network size ``n`` (knowledge of n,
+    or a polynomial upper bound, is standard in CONGEST algorithms).
+    """
+
+    def __init__(
+        self,
+        node: int,
+        neighbors: Tuple[int, ...],
+        n: int,
+        bandwidth: int,
+        rng: np.random.Generator,
+    ):
+        self.node = node
+        self.neighbors = neighbors
+        self.n = n
+        self.bandwidth = bandwidth
+        self.rng = rng
+        self.round: int = 0
+        self.output: Any = None
+        self._halted = False
+        self._outbox: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # actions available to programs
+    # ------------------------------------------------------------------
+
+    def send(self, dst: int, payload: Any) -> None:
+        """Queue a message for delivery to ``dst`` next round."""
+        if dst not in self.neighbors:
+            raise NotANeighbor(self.node, dst)
+        if dst in self._outbox:
+            raise DuplicateSend(self.node, dst, self.round)
+        bits = payload_bits(payload)
+        if bits > self.bandwidth:
+            raise BandwidthExceeded(self.node, dst, bits, self.bandwidth)
+        self._outbox[dst] = payload
+
+    def broadcast(self, payload: Any) -> None:
+        """Send the same payload to every neighbor."""
+        for u in self.neighbors:
+            self.send(u, payload)
+
+    def halt(self, output: Any = None) -> None:
+        """Stop participating.  Queued sends this round are still delivered."""
+        if output is not None:
+            self.output = output
+        self._halted = True
+
+    # ------------------------------------------------------------------
+    # engine-side plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def _drain_outbox(self, round_no: int) -> list:
+        msgs = [
+            Message.make(self.node, dst, payload, round_no)
+            for dst, payload in self._outbox.items()
+        ]
+        self._outbox = {}
+        return msgs
+
+
+class NodeProgram:
+    """Base class for CONGEST node programs.
+
+    Subclasses override :meth:`on_round` (and optionally
+    :meth:`on_start`).  Instances may carry per-node private input set at
+    construction time.
+    """
+
+    def on_start(self, ctx: Context) -> None:
+        """Local initialization before round 1.  May send and halt."""
+
+    def on_round(self, ctx: Context, inbox: Inbox) -> None:
+        """One synchronous round.  Must eventually call ``ctx.halt``."""
+        raise NotImplementedError
+
+
+class IdleProgram(NodeProgram):
+    """A program that halts immediately; useful filler in tests."""
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.halt()
+
+    def on_round(self, ctx: Context, inbox: Inbox) -> None:  # pragma: no cover
+        ctx.halt()
+
+
+def make_programs(
+    network_size: int, factory, *args, **kwargs
+) -> Dict[int, NodeProgram]:
+    """Instantiate one program per node from a factory ``factory(v)``."""
+    return {v: factory(v, *args, **kwargs) for v in range(network_size)}

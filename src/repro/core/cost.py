@@ -1,0 +1,118 @@
+"""Round-cost formulas (Lemma 7, Theorem 8, Corollary 9) and the ledger.
+
+The paper charges rounds in units of ⌈log2 n⌉-bit messages.  The
+:class:`CostModel` evaluates the closed-form bounds against a concrete
+network; the :class:`RoundLedger` accumulates charges phase by phase so
+applications can report a per-phase breakdown (setup / index distribution
+/ aggregation / on-the-fly computation) and benchmarks can compare each
+phase to its formula.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..congest.network import Network
+
+
+@dataclass
+class CostModel:
+    """Closed-form round costs for a concrete network.
+
+    Args:
+        n: number of nodes.
+        diameter: network diameter D.
+        word_bits: message size unit; the paper's ⌈log2 n⌉.
+    """
+
+    n: int
+    diameter: int
+    word_bits: int
+
+    @staticmethod
+    def for_network(network: Network) -> "CostModel":
+        return CostModel(
+            n=network.n,
+            diameter=max(network.diameter, 1),
+            word_bits=network.log_n_bits,
+        )
+
+    def words(self, bits: int) -> int:
+        """⌈q / log n⌉ — rounds to push ``bits`` over one edge."""
+        return max(1, math.ceil(bits / self.word_bits))
+
+    def index_words(self, k: int) -> int:
+        """⌈log(k) / log(n)⌉ — rounds per index in [k]."""
+        return self.words(max(1, math.ceil(math.log2(max(k, 2)))))
+
+    # ------------------------------------------------------------------
+    # Lemma 7
+    # ------------------------------------------------------------------
+
+    def state_distribution_rounds(self, q_bits: int, pipelined: bool = True) -> int:
+        """Lemma 7: O(D + q/log n) pipelined; naive is D·⌈q/log n⌉."""
+        if pipelined:
+            return self.diameter + self.words(q_bits)
+        return self.diameter * self.words(q_bits)
+
+    # ------------------------------------------------------------------
+    # Theorem 8 / Corollary 9
+    # ------------------------------------------------------------------
+
+    def batch_rounds(
+        self, p: int, q_bits: int, k: int, alpha: int = 0
+    ) -> int:
+        """Per-batch cost: (D + p)·⌈q/log n⌉ + p·⌈log k/log n⌉ + α(p)."""
+        return (
+            (self.diameter + p) * self.words(q_bits)
+            + p * self.index_words(k)
+            + alpha
+        )
+
+    def framework_rounds(
+        self, b: int, p: int, q_bits: int, k: int, alpha: int = 0
+    ) -> int:
+        """Theorem 8 / Corollary 9 total: D + b·(batch cost)."""
+        return self.diameter + b * self.batch_rounds(p, q_bits, k, alpha)
+
+    # ------------------------------------------------------------------
+    # Cited subroutine costs (substitutions; see DESIGN.md §2)
+    # ------------------------------------------------------------------
+
+    def clustering_rounds(self, d: int) -> int:
+        """Lemma 24 [EFFKO21]: O(d log² n)."""
+        log_n = max(1, math.ceil(math.log2(max(self.n, 2))))
+        return d * log_n * log_n
+
+    def quantum_triangle_rounds(self) -> int:
+        """[CFGLO22]: Õ(n^{1/5}) quantum triangle finding, charged as cited."""
+        log_n = max(1, math.ceil(math.log2(max(self.n, 2))))
+        return math.ceil(self.n ** 0.2) * log_n
+
+
+@dataclass
+class RoundLedger:
+    """Accumulates charged rounds by phase."""
+
+    charges: List[Tuple[str, int]] = field(default_factory=list)
+
+    def charge(self, phase: str, rounds: int) -> None:
+        if rounds < 0:
+            raise ValueError(f"negative round charge for phase {phase!r}")
+        self.charges.append((phase, rounds))
+
+    @property
+    def total(self) -> int:
+        return sum(r for _, r in self.charges)
+
+    def by_phase(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for phase, rounds in self.charges:
+            out[phase] = out.get(phase, 0) + rounds
+        return out
+
+    def merge(self, other: "RoundLedger", prefix: str = "") -> None:
+        for phase, rounds in other.charges:
+            self.charge(prefix + phase, rounds)

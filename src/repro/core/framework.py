@@ -1,0 +1,370 @@
+"""Theorem 8 / Corollary 9: running parallel-query algorithms over CONGEST.
+
+The central construction of the paper.  A leader runs a (b, p)-parallel-
+query quantum algorithm for F; each batch of p queries j₁..j_p ∈ [k] is
+served by the network:
+
+1. the indices are distributed down the BFS tree (Lemma 7 on ⊗ᵢ|jᵢ>,
+   p·⌈log k/log n⌉ + D rounds),
+2. every node contributes x^{(v)}_{jᵢ} and the tree convergecasts the
+   semigroup combination ⊕_v x^{(v)}_{jᵢ}, pipelined over the p values
+   ((D + p)·⌈q/log n⌉ rounds), with the children's values uncomputed on
+   the way back down,
+3. the index distribution is reversed (uncompute).
+
+Total: O(D + b·((D + p)·⌈q/log n⌉ + p·⌈log k/log n⌉ [+ α(p)])) rounds.
+
+Two execution modes:
+
+* ``formula`` — the batch cost is charged from :class:`CostModel` (exact
+  paper formula); values are aggregated centrally.  Scales to large n, k.
+* ``engine`` — every batch runs *real node programs*: a pipelined downcast
+  of the indices, a chunked pipelined upcast of the ⊕-aggregation, and the
+  two uncompute passes; rounds are measured, not assumed.  Tests assert
+  engine-measured ≈ formula within constant factors.
+
+The oracle handed to the algorithm implements
+:class:`repro.queries.oracle.BatchOracle`, so every Section 2 algorithm
+runs unchanged over the network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..congest.algorithms.aggregate import pipelined_downcast, pipelined_upcast
+from ..congest.algorithms.bfs import BFSResult, bfs_with_echo
+from ..congest.algorithms.leader import elect_leader
+from ..congest.network import Network
+from ..queries.ledger import QueryLedger
+from .cost import CostModel, RoundLedger
+from .semigroup import Semigroup
+
+
+@dataclass
+class DistributedInput:
+    """Per-node input vectors x^{(v)} ∈ A^k and the semigroup that joins them."""
+
+    vectors: Dict[int, List[int]]
+    semigroup: Semigroup
+
+    def __post_init__(self):
+        lengths = {len(v) for v in self.vectors.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"all nodes must hold length-k vectors, got {lengths}")
+        self.k = lengths.pop()
+        if self.k == 0:
+            raise ValueError("input vectors must be non-empty")
+
+    def aggregated(self) -> List[int]:
+        """⊕_v x^{(v)}, the effective input string (ground truth)."""
+        nodes = sorted(self.vectors)
+        out = list(self.vectors[nodes[0]])
+        for v in nodes[1:]:
+            vec = self.vectors[v]
+            out = [self.semigroup.combine(a, b) for a, b in zip(out, vec)]
+        return out
+
+
+class ValueComputer:
+    """Corollary 9 hook: compute a batch of values on the fly.
+
+    ``compute(indices)`` returns ``(values, rounds)`` where ``values`` maps
+    each index j to a sparse per-node dict {v: x_j^{(v)}} (nodes absent
+    from the dict hold the semigroup identity).  Graph applications
+    implement this with multi-source BFS etc.; ``rounds`` is the measured
+    or charged α cost of computing that batch.
+    """
+
+    def compute(
+        self, indices: Sequence[int]
+    ) -> Tuple[Dict[int, Dict[int, int]], int]:
+        raise NotImplementedError
+
+    def alpha(self, p: int) -> int:
+        """The formula-mode α(p) charge."""
+        raise NotImplementedError
+
+
+class CongestBatchOracle:
+    """A :class:`BatchOracle` whose queries cost CONGEST rounds.
+
+    Not constructed directly — use :func:`run_framework`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        dist_input: Optional[DistributedInput],
+        parallelism: int,
+        mode: str,
+        tree: BFSResult,
+        cost_model: CostModel,
+        round_ledger: RoundLedger,
+        computer: Optional[ValueComputer] = None,
+        k: Optional[int] = None,
+        seed: Optional[int] = None,
+        semigroup: Optional[Semigroup] = None,
+    ):
+        if mode not in ("formula", "engine"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if dist_input is None and computer is None:
+            raise ValueError("need either a DistributedInput or a ValueComputer")
+        self.network = network
+        self.dist_input = dist_input
+        self.semigroup = dist_input.semigroup if dist_input is not None else semigroup
+        self.ledger = QueryLedger(parallelism)
+        self.mode = mode
+        self.tree = tree
+        self.cost_model = cost_model
+        self.rounds = round_ledger
+        self.computer = computer
+        self._k = k if k is not None else dist_input.k
+        self._seed = seed
+        self._cache: Dict[int, int] = {}
+        self._cache_vectors: Dict[int, Dict[int, int]] = {}
+        self._full: Optional[List[int]] = (
+            dist_input.aggregated() if dist_input is not None else None
+        )
+
+    # -- BatchOracle interface ------------------------------------------
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def query_batch(self, indices: Sequence[int], label: str = "") -> List:
+        indices = list(indices)
+        for j in indices:
+            if not 0 <= j < self._k:
+                raise IndexError(f"query index {j} out of range [0, {self._k})")
+        self.ledger.record(len(indices), label=label)
+        semigroup = self.semigroup
+        q_bits = semigroup.bits if semigroup is not None else self.cost_model.word_bits
+
+        alpha_rounds = 0
+        if self.computer is not None:
+            missing = [j for j in indices if j not in self._cache]
+            if missing:
+                computed, _ = self.computer.compute(missing)
+                # Values are deterministic so they are cached, but α is
+                # charged on *every* batch, exactly as the paper's
+                # algorithm recomputes them (Corollary 9).
+                self._merge_computed(computed)
+            alpha_rounds = self.computer.alpha(self.ledger.parallelism)
+
+        if self.mode == "formula":
+            self.rounds.charge(
+                f"batch:{label or 'query'}",
+                self.cost_model.batch_rounds(
+                    self.ledger.parallelism, q_bits, self._k, alpha=alpha_rounds
+                ),
+            )
+            return [self._value_of(j) for j in indices]
+
+        # ---- engine mode: run the real protocols --------------------
+        if alpha_rounds:
+            self.rounds.charge("alpha", alpha_rounds)
+        # 1. distribute indices (downcast), then 4. its uncompute.
+        _, down_rounds = pipelined_downcast(
+            self.network, self.tree, indices, domain=max(self._k, 2),
+            seed=self._seed,
+        )
+        self.rounds.charge("index-distribute", down_rounds)
+        # 2. chunked pipelined ⊕-convergecast of the p values, and
+        # 3. the send-back-down uncompute pass.
+        values = self._engine_aggregate(indices, semigroup)
+        # Uncompute passes mirror the forward passes round-for-round.
+        self.rounds.charge("index-uncompute", down_rounds)
+        return values
+
+    def query_superposed(self, label: str = "") -> None:
+        """Meter one *superposed* batch (no concrete indices; DJ-style).
+
+        A single query in superposition over all of [k] costs one batch of
+        width 1: the register of ⌈log k⌉ qubits is distributed and
+        un-distributed regardless of which indices carry amplitude, so the
+        network charge is the standard p = 1 batch cost.
+        """
+        self.ledger.record(1, label=label)
+        semigroup = self.semigroup
+        q_bits = (
+            semigroup.bits if semigroup is not None else self.cost_model.word_bits
+        )
+        self.rounds.charge(
+            f"batch:{label or 'superposed'}",
+            self.cost_model.batch_rounds(1, q_bits, self._k),
+        )
+
+    def peek_all(self) -> Sequence:
+        if self._full is not None:
+            return self._full
+        # On-the-fly inputs: the physics peek needs every value; compute
+        # them without charging (outcome simulation only, DESIGN.md §3).
+        missing = [j for j in range(self._k) if j not in self._cache]
+        if missing:
+            computed, _ = self.computer.compute(missing)
+            self._merge_computed(computed)
+        return [self._cache[j] for j in range(self._k)]
+
+    # -- internals -------------------------------------------------------
+
+    def _merge_computed(self, computed: Dict[int, Dict[int, int]]) -> None:
+        semigroup = self.semigroup
+        for j, per_node in computed.items():
+            self._cache_vectors[j] = dict(per_node)
+            column = list(per_node.values())
+            if semigroup is not None:
+                self._cache[j] = semigroup.fold(column)
+            elif column:
+                # With no semigroup supplied the computer's values must
+                # already be node-disjoint single contributions.
+                if len(column) != 1:
+                    raise ValueError(
+                        "a ValueComputer without a semigroup must return "
+                        "exactly one contribution per index"
+                    )
+                self._cache[j] = column[0]
+            else:
+                raise ValueError(f"computer returned no value for index {j}")
+
+    def _value_of(self, j: int) -> int:
+        if self._full is not None:
+            return self._full[j]
+        return self._cache[j]
+
+    def _engine_aggregate(
+        self, indices: Sequence[int], semigroup: Optional[Semigroup]
+    ) -> List[int]:
+        if semigroup is None:
+            raise ValueError("engine mode requires a semigroup")
+        if semigroup.identity is None:
+            raise ValueError(
+                "engine-mode chunked streaming requires a monoid identity"
+            )
+        words = self.cost_model.words(semigroup.bits)
+        identity = semigroup.identity
+        domain = max(semigroup.domain_size or (1 << semigroup.bits), 2)
+        # Each logical value occupies `words` slots; the value rides in the
+        # last slot, identity pads the rest (combine(identity, ·) = id).
+        per_node_vectors: Dict[int, List[int]] = {}
+        for v in self.network.nodes():
+            row = []
+            for j in indices:
+                row.extend([identity] * (words - 1))
+                if self.dist_input is not None:
+                    row.append(self.dist_input.vectors[v][j])
+                else:
+                    row.append(self._cache_vectors[j].get(v, identity))
+            per_node_vectors[v] = row
+        combined, up_rounds = pipelined_upcast(
+            self.network,
+            self.tree,
+            per_node_vectors,
+            combine=semigroup.combine,
+            domain=domain,
+            seed=self._seed,
+        )
+        self.rounds.charge("value-upcast", up_rounds)
+        # Theorem 8's "sends the x^{(w)} back to the children, who
+        # uncompute it": a mirrored downcast of the same volume.
+        _, down_rounds = pipelined_downcast(
+            self.network,
+            self.tree,
+            list(combined),
+            domain=domain,
+            seed=self._seed,
+        )
+        self.rounds.charge("value-uncompute", down_rounds)
+        values = [combined[i * words + (words - 1)] for i in range(len(indices))]
+        return values
+
+
+@dataclass
+class FrameworkRun:
+    """Everything a framework execution produced."""
+
+    result: object
+    rounds: RoundLedger
+    query_ledger: QueryLedger
+    leader: int
+    tree_depth: int
+    mode: str
+
+    @property
+    def total_rounds(self) -> int:
+        return self.rounds.total
+
+    @property
+    def batches(self) -> int:
+        return self.query_ledger.batches
+
+
+def run_framework(
+    network: Network,
+    algorithm: Callable[[CongestBatchOracle, np.random.Generator], object],
+    parallelism: int,
+    dist_input: Optional[DistributedInput] = None,
+    computer: Optional[ValueComputer] = None,
+    k: Optional[int] = None,
+    mode: str = "formula",
+    seed: Optional[int] = None,
+    leader: Optional[int] = None,
+    semigroup: Optional[Semigroup] = None,
+) -> FrameworkRun:
+    """Evaluate f(x) = F(⊕_v x^{(v)}) per Theorem 8 / Corollary 9.
+
+    Args:
+        network: the CONGEST network.
+        algorithm: a parallel-query algorithm ``(oracle, rng) -> result``
+            (any of :mod:`repro.queries`, or custom).
+        parallelism: p, the batch width (the paper's applications use p=D).
+        dist_input: per-node vectors + semigroup (Theorem 8 setting).
+        computer: on-the-fly value computation (Corollary 9 setting).
+        k: input length when only a computer is supplied.
+        mode: ``formula`` (charged costs) or ``engine`` (measured costs).
+        seed: reproducibility seed for the algorithm and the engine.
+        leader: optional pre-designated leader (skips election, as the
+            paper allows "assume there is a designated leader").
+
+    Returns:
+        a :class:`FrameworkRun` with the algorithm result, per-phase round
+        ledger, and query ledger.
+    """
+    rounds = RoundLedger()
+    cost_model = CostModel.for_network(network)
+    rng = np.random.default_rng(seed)
+
+    if leader is None:
+        election = elect_leader(network, seed=seed)
+        leader = election.leader
+        rounds.charge("setup:leader-election", election.rounds)
+    tree = bfs_with_echo(network, leader, seed=seed)
+    rounds.charge("setup:bfs-tree", tree.rounds)
+
+    oracle = CongestBatchOracle(
+        network=network,
+        dist_input=dist_input,
+        parallelism=parallelism,
+        mode=mode,
+        tree=tree,
+        cost_model=cost_model,
+        round_ledger=rounds,
+        computer=computer,
+        k=k,
+        seed=seed,
+        semigroup=semigroup,
+    )
+    result = algorithm(oracle, rng)
+    return FrameworkRun(
+        result=result,
+        rounds=rounds,
+        query_ledger=oracle.ledger,
+        leader=leader,
+        tree_depth=tree.eccentricity,
+        mode=mode,
+    )

@@ -1,0 +1,111 @@
+"""Commutative semigroups (A, ⊕) for Theorem 8.
+
+Theorem 8 evaluates f(x) = F(⊕_{v∈V} x^{(v)}) for an elementwise
+commutative semigroup operation ⊕ on a domain A with q = ⌈log|A|⌉ bits per
+element.  The semigroup's bit-width drives the framework's round cost
+(the ⌈q/log n⌉ factors), so it is part of the type.
+
+Engine-mode aggregation streams values in ⌈q/log n⌉ chunks with identity
+padding, so engine mode requires an identity element; all the semigroups
+used by the paper's applications (+, XOR, max, min, AND, OR) have one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class Semigroup:
+    """A commutative semigroup with explicit bit-width.
+
+    Attributes:
+        name: human-readable label.
+        combine: the associative commutative operation ⊕.
+        bits: q = ⌈log2 |A|⌉, the width of one element on the wire.
+        identity: neutral element if the semigroup is a monoid (required
+            for engine-mode chunked streaming).
+        domain_size: |A|, used for payload Field sizing in engine mode.
+    """
+
+    name: str
+    combine: Callable[[int, int], int]
+    bits: int
+    identity: Optional[int] = None
+    domain_size: Optional[int] = None
+
+    def fold(self, values) -> int:
+        it = iter(values)
+        try:
+            acc = next(it)
+        except StopIteration:
+            if self.identity is None:
+                raise ValueError(f"empty fold over {self.name} with no identity")
+            return self.identity
+        for v in it:
+            acc = self.combine(acc, v)
+        return acc
+
+
+def _bits_for(domain_size: int) -> int:
+    return max(1, math.ceil(math.log2(max(domain_size, 2))))
+
+
+def sum_semigroup(max_total: int) -> Semigroup:
+    """(ℕ∩[0,max_total], +).  Lemma 10 uses A = [n]; Lemma 12 uses A = [Nn]."""
+    return Semigroup(
+        name=f"sum[0,{max_total}]",
+        combine=lambda a, b: a + b,
+        bits=_bits_for(max_total + 1),
+        identity=0,
+        domain_size=max_total + 1,
+    )
+
+
+def xor_semigroup(width_bits: int) -> Semigroup:
+    """({0,1}^w, ⊕) — Problem 16's elementwise XOR."""
+    return Semigroup(
+        name=f"xor{width_bits}",
+        combine=lambda a, b: a ^ b,
+        bits=width_bits,
+        identity=0,
+        domain_size=1 << width_bits,
+    )
+
+
+def max_semigroup(max_value: int) -> Semigroup:
+    """([0, max_value], max) with identity 0."""
+    return Semigroup(
+        name=f"max[0,{max_value}]",
+        combine=max,
+        bits=_bits_for(max_value + 1),
+        identity=0,
+        domain_size=max_value + 1,
+    )
+
+
+def min_semigroup(max_value: int) -> Semigroup:
+    """Min with ``max_value`` doubling as +∞ (and the monoid identity)."""
+    return Semigroup(
+        name=f"min[0,{max_value}]",
+        combine=min,
+        bits=_bits_for(max_value + 1),
+        identity=max_value,
+        domain_size=max_value + 1,
+    )
+
+
+def and_semigroup() -> Semigroup:
+    """({0,1}, AND) with identity 1 — distributed all-zero tests (Lemma 27)."""
+    return Semigroup(
+        name="and", combine=lambda a, b: a & b, bits=1, identity=1, domain_size=2
+    )
+
+
+def or_semigroup() -> Semigroup:
+    """({0,1}, OR) with identity 0."""
+    return Semigroup(
+        name="or", combine=lambda a, b: a | b, bits=1, identity=0, domain_size=2
+    )

@@ -1,0 +1,52 @@
+"""The experiment harness: one module per paper result (see DESIGN.md §5).
+
+Each module exposes ``run(quick=True, seed=0)`` returning a result object
+with a formatted :class:`~repro.analysis.report.ExperimentTable` plus the
+key fitted quantities the reproduction criteria check.  ``quick=True``
+keeps each experiment under ~a minute; ``quick=False`` is the full sweep
+used to regenerate EXPERIMENTS.md.
+"""
+
+from . import (
+    e01_parallel_grover,
+    e02_parallel_minimum,
+    e03_parallel_ed,
+    e04_mean_estimation,
+    e05_state_transfer,
+    e06_framework,
+    e07_meeting,
+    e08_element_distinctness,
+    e09_deutsch_jozsa,
+    e10_diameter,
+    e11_avg_eccentricity,
+    e12_cycles,
+    e13_girth,
+    e14_amplitude,
+    e15_lowerbounds,
+    e16_even_cycles,
+    e17_triangles,
+    e18_boosting,
+)
+
+ALL_EXPERIMENTS = {
+    "E1": e01_parallel_grover,
+    "E2": e02_parallel_minimum,
+    "E3": e03_parallel_ed,
+    "E4": e04_mean_estimation,
+    "E5": e05_state_transfer,
+    "E6": e06_framework,
+    "E7": e07_meeting,
+    "E8": e08_element_distinctness,
+    "E9": e09_deutsch_jozsa,
+    "E10": e10_diameter,
+    "E11": e11_avg_eccentricity,
+    "E12": e12_cycles,
+    "E13": e13_girth,
+    "E14": e14_amplitude,
+    "E15": e15_lowerbounds,
+    "E16": e16_even_cycles,
+    "E17": e17_triangles,
+    "E18": e18_boosting,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + [m.__name__.split(".")[-1] for m in ALL_EXPERIMENTS.values()]

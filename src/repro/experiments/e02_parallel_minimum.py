@@ -1,0 +1,70 @@
+"""E2 — Lemma 3: parallel minimum finding scaling.
+
+Claims under test: b = O(⌈√(k/p)⌉), and with multiplicity ℓ of the
+minimum, b = O(⌈√(k/(ℓp))⌉).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..analysis.fitting import fit_power_law
+from ..analysis.report import ExperimentTable
+from ..queries.ledger import QueryLedger
+from ..queries.minimum import expected_batches, find_minimum
+from ..queries.oracle import StringOracle
+
+
+@dataclass
+class E02Result:
+    table: ExperimentTable
+    k_exponent: float  # fitted b ~ k^x; paper predicts x ≈ 1/2
+
+
+def _avg(k: int, p: int, multiplicity: int, trials: int, seed: int):
+    batches = 0.0
+    correct = 0
+    for trial in range(trials):
+        rng = np.random.default_rng(seed + trial)
+        values = list(rng.integers(100, 10**6, size=k))
+        plant = rng.choice(k, size=multiplicity, replace=False)
+        for i in plant:
+            values[i] = 1
+        out = find_minimum(
+            StringOracle(values, QueryLedger(p)), rng, multiplicity=multiplicity
+        )
+        batches += out.batches_used
+        correct += out.value == 1
+    return batches / trials, correct / trials
+
+
+def run(quick: bool = True, seed: int = 0) -> E02Result:
+    """Run the experiment sweep; quick mode keeps it under a minute."""
+    ks = [256, 1024, 4096] if quick else [256, 1024, 4096, 16384]
+    p = 16
+    trials = 10 if quick else 25
+
+    table = ExperimentTable(
+        "E2",
+        "Parallel minimum finding (Lemma 3): batches vs k, p, multiplicity",
+        ["k", "p", "multiplicity", "measured b", "bound sqrt(k/(l*p))", "success"],
+    )
+    measured: List[float] = []
+    for k in ks:
+        avg, rate = _avg(k, p, 1, trials, seed)
+        table.add_row(k, p, 1, avg, expected_batches(k, p, 1), rate)
+        measured.append(avg)
+    fit = fit_power_law(ks, measured)
+    table.add_note(
+        f"fitted b ~ k^{fit.exponent:.2f} (paper: k^0.5), R²={fit.r_squared:.3f}"
+    )
+
+    k = ks[-1]
+    for ell in [1, 16, 64]:
+        avg, rate = _avg(k, p, ell, trials, seed + 999)
+        table.add_row(k, p, ell, avg, expected_batches(k, p, ell), rate)
+    table.add_note("multiplicity rows: budget shrinks like 1/sqrt(l)")
+    return E02Result(table=table, k_exponent=fit.exponent)

@@ -1,0 +1,133 @@
+"""E15 — Lemmas 11/13/15 + Theorem 18: lower-bound machinery, end to end.
+
+Claims under test: each reduction gadget maps disjointness instances to
+the distributed problem such that our (boosted) algorithms recover the
+disjointness answer; the DJ fooling-set certificate verifies and grows
+with k; the bound formulas order quantum below classical where claimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.report import ExperimentTable
+from ..apps.deutsch_jozsa import solve_distributed_dj
+from ..apps.element_distinctness import (
+    distinctness_between_nodes,
+    distinctness_distributed_vector,
+)
+from ..apps.meeting import schedule_meeting
+from ..lowerbounds.disjointness import (
+    classical_congest_lower_bound,
+    quantum_line_lower_bound,
+    random_instance,
+)
+from ..lowerbounds.rank_certificate import certify_dj_lower_bound
+from ..lowerbounds.reductions import (
+    build_dj_gadget,
+    build_ed_nodes_gadget,
+    build_ed_vector_gadget,
+    build_meeting_gadget,
+)
+
+
+@dataclass
+class E15Result:
+    table: ExperimentTable
+    all_reductions_sound: bool
+
+
+def _boosted(fn, tries):
+    return any(fn(s) for s in range(tries))
+
+
+def run(quick: bool = True, seed: int = 0) -> E15Result:
+    """Run the experiment sweep; quick mode keeps it under a minute."""
+    k = 12
+    distance = 5
+    cases = 6 if quick else 16
+    tries = 5 if quick else 8
+    rng = np.random.default_rng(seed)
+
+    table = ExperimentTable(
+        "E15",
+        "Lower-bound reductions (Lemmas 11/13/15, Thm 18): soundness",
+        ["reduction", "instances", "correct", "all sound"],
+    )
+    sound_all = True
+
+    correct = 0
+    for case in range(cases):
+        inst = random_instance(k, rng, force_intersecting=bool(case % 2))
+        gadget = build_meeting_gadget(inst, distance)
+        answer = _boosted(
+            lambda s: gadget.interpret(
+                schedule_meeting(gadget.network, gadget.calendars, seed=s).availability
+            ),
+            tries,
+        )
+        correct += answer == inst.intersecting
+    table.add_row("disjointness → meeting (Lem 11)", cases, correct,
+                  correct == cases)
+    sound_all &= correct == cases
+
+    correct = 0
+    for case in range(cases):
+        inst = random_instance(k, rng, force_intersecting=bool(case % 2))
+        gadget = build_ed_vector_gadget(inst, distance)
+        answer = _boosted(
+            lambda s: gadget.interpret(
+                distinctness_distributed_vector(
+                    gadget.network, gadget.vectors, gadget.max_value, seed=s
+                ).pair
+            ),
+            tries,
+        )
+        correct += answer == inst.intersecting
+    table.add_row("disjointness → ED vector (Lem 13)", cases, correct,
+                  correct == cases)
+    sound_all &= correct == cases
+
+    correct = 0
+    for case in range(cases):
+        inst = random_instance(k, rng, force_intersecting=bool(case % 2))
+        gadget = build_ed_nodes_gadget(inst)
+        answer = _boosted(
+            lambda s: gadget.interpret(
+                distinctness_between_nodes(
+                    gadget.network, gadget.values, gadget.max_value, seed=s
+                ).pair
+            ),
+            tries,
+        )
+        correct += answer == inst.intersecting
+    table.add_row("disjointness → ED nodes (Lem 15)", cases, correct,
+                  correct == cases)
+    sound_all &= correct == cases
+
+    correct = 0
+    for case in range(cases):
+        balanced = bool(case % 2)
+        half = [1, 0] * (k // 2) if balanced else [0] * k
+        gadget = build_dj_gadget(half, [0] * k, distance)
+        res = solve_distributed_dj(gadget.network, gadget.inputs, seed=case)
+        correct += res.constant == gadget.constant_truth
+    table.add_row("two-party DJ → distributed DJ (Thm 18)", cases, correct,
+                  correct == cases)
+    sound_all &= correct == cases
+
+    for kk in [8, 16, 32]:
+        cert = certify_dj_lower_bound(kk)
+        table.add_note(
+            f"DJ fooling certificate k={kk}: set size {cert.set_size}, "
+            f"≥ {cert.bits_lower_bound:.1f} bits, verified={cert.verified} "
+            "(machine-checkable log₂k bound; the full Ω(k) is cited)"
+        )
+    table.add_note(
+        "bound ordering at k=10^5, D=10, n=10^3: classical "
+        f"Ω {classical_congest_lower_bound(10**5, 10, 10**3):.0f} rounds vs "
+        f"quantum-line Ω {quantum_line_lower_bound(10**5, 10):.0f} rounds"
+    )
+    return E15Result(table=table, all_reductions_sound=sound_all)

@@ -1,0 +1,91 @@
+"""Programmatic verification of the reproduction criteria.
+
+The pytest-benchmark wrappers under ``benchmarks/`` assert one criterion
+per experiment; this module exposes the same checks as plain callables so
+they can run inside the test suite, a CI gate, or a notebook without the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from . import ALL_EXPERIMENTS
+
+
+@dataclass
+class Verdict:
+    """Outcome of one experiment's reproduction check."""
+
+    experiment: str
+    passed: bool
+    detail: str
+
+
+#: criterion name -> (experiment id, check on the result object)
+CRITERIA: Dict[str, Callable] = {
+    "E1": lambda r: (-0.8 <= r.p_exponent <= -0.25,
+                     f"b ~ p^{r.p_exponent:.2f} (want ≈ -0.5)"),
+    "E2": lambda r: (0.3 <= r.k_exponent <= 0.75,
+                     f"b ~ k^{r.k_exponent:.2f} (want ≈ 0.5)"),
+    "E3": lambda r: (0.45 <= r.k_exponent <= 0.9,
+                     f"b ~ k^{r.k_exponent:.2f} (want ≈ 0.67)"),
+    "E4": lambda r: (-1.8 <= r.eps_exponent <= -0.7,
+                     f"b ~ eps^{r.eps_exponent:.2f} (want ≈ -1)"),
+    "E5": lambda r: (r.max_pipelined_ratio <= 2.0,
+                     f"pipelined/bound ratio {r.max_pipelined_ratio:.2f}"),
+    "E6": lambda r: (r.max_engine_formula_ratio <= 5.0,
+                     f"engine/formula ratio {r.max_engine_formula_ratio:.2f}"),
+    "E7": lambda r: (0.3 <= r.k_exponent <= 0.7 and r.crossover_k is not None,
+                     f"rounds ~ k^{r.k_exponent:.2f}, crossover at k={r.crossover_k}"),
+    "E8": lambda r: (0.45 <= r.k_exponent <= 0.9,
+                     f"rounds ~ k^{r.k_exponent:.2f} (want ≈ 0.67)"),
+    "E9": lambda r: (r.quantum_k_exponent <= 0.25
+                     and r.classical_k_exponent >= 0.75 and r.zero_error,
+                     f"q ~ k^{r.quantum_k_exponent:.2f}, "
+                     f"c ~ k^{r.classical_k_exponent:.2f}, "
+                     f"zero-error={r.zero_error}"),
+    "E10": lambda r: (0.3 <= r.n_exponent <= 0.7,
+                      f"rounds ~ n^{r.n_exponent:.2f} (want ≈ 0.5)"),
+    "E11": lambda r: (-1.8 <= r.eps_exponent <= -0.5,
+                      f"rounds ~ eps^{r.eps_exponent:.2f} (want ≈ -1)"),
+    "E12": lambda r: (0.15 <= r.n_exponent <= 0.75,
+                      f"rounds ~ n^{r.n_exponent:.2f} (bound exponent ≈ 0.43)"),
+    "E13": lambda r: (r.soundness_violations == 0,
+                      f"{r.soundness_violations} soundness violations"),
+    "E14": lambda r: (-0.8 <= r.p_exponent <= -0.25,
+                      f"rounds ~ p^{r.p_exponent:.2f} (want ≈ -0.5)"),
+    "E15": lambda r: (r.all_reductions_sound, "reductions sound"),
+    "E16": lambda r: (r.all_sound and r.quantum_below_classical,
+                      f"sound={r.all_sound}, quantum<classical="
+                      f"{r.quantum_below_classical}"),
+    "E17": lambda r: (r.local_exact and r.no_false_positives,
+                      f"local exact={r.local_exact}, "
+                      f"one-sided={r.no_false_positives}"),
+    "E18": lambda r: (r.failure_rates_decrease and r.rounds_linear_in_reps,
+                      f"failures decrease={r.failure_rates_decrease}, "
+                      f"linear rounds={r.rounds_linear_in_reps}"),
+}
+
+
+def verify_experiment(
+    experiment: str, quick: bool = True, seed: int = 0
+) -> Verdict:
+    """Run one experiment and evaluate its reproduction criterion."""
+    if experiment not in ALL_EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment!r}")
+    result = ALL_EXPERIMENTS[experiment].run(quick=quick, seed=seed)
+    passed, detail = CRITERIA[experiment](result)
+    return Verdict(experiment=experiment, passed=passed, detail=detail)
+
+
+def verify_all(
+    quick: bool = True,
+    seed: int = 0,
+    only: Optional[List[str]] = None,
+) -> List[Verdict]:
+    """Run every experiment (or ``only`` the listed ones) and check all
+    reproduction criteria."""
+    targets = only if only is not None else list(ALL_EXPERIMENTS)
+    return [verify_experiment(name, quick=quick, seed=seed) for name in targets]

@@ -1,0 +1,5 @@
+"""Lower-bound machinery: reduction gadgets and certificates (Section 4)."""
+
+from . import disjointness, rank_certificate, reductions
+
+__all__ = ["disjointness", "rank_certificate", "reductions"]

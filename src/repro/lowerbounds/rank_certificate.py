@@ -1,0 +1,110 @@
+"""Machine-checked certificates toward the exact Deutsch–Jozsa lower bound.
+
+Theorem 18 rests on [BCW98]'s Ω(k) bound for exact two-party DJ.  That
+full bound uses a counting argument over monochromatic rectangles that
+cannot be certified by a polynomial-size witness; what *can* be checked by
+machine is the classical fooling-set/log-rank certificate:
+
+* **Fooling sets** — a set S ⊆ {0,1}^k such that every pair a ≠ b ∈ S has
+  a ⊕ b balanced.  Every pair (a, a) is a constant ("answer 1") promise
+  input, while the crossed pairs (a, b) are balanced ("answer 0") promise
+  inputs, so S is a fooling set for the DJ communication problem and any
+  exact protocol needs ≥ log2|S| bits.  Pairwise-exactly-k/2-distant
+  binary codes are equidistant codes, so |S| ≤ O(k) (Plotkin-type bound)
+  and the certificate yields log2(k) — unconditionally verified, strictly
+  weaker than the cited Ω(k), and recorded as such in EXPERIMENTS.md.
+* **Log-rank** — the rank of the ±1 answer matrix restricted to a fooling
+  set is |S| (it is the 2I − J pattern), confirming the same bound
+  through the log-rank inequality.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+def xor_is_balanced(a: int, b: int, k: int) -> bool:
+    """Does a ⊕ b have Hamming weight exactly k/2?"""
+    return bin(a ^ b).count("1") * 2 == k
+
+
+def greedy_fooling_set(k: int, limit: int = 4096) -> List[int]:
+    """Greedily grow a pairwise-XOR-balanced set of k-bit strings.
+
+    Scans strings in an order seeded by Hadamard codewords (which are
+    pairwise at distance exactly k/2) so the greedy pass provably reaches
+    size ≥ k for k a power of two, and typically far exceeds it.
+    """
+    if k % 2:
+        raise ValueError("k must be even for the DJ promise")
+    chosen: List[int] = []
+    candidates = _hadamard_seeds(k) + list(range(min(1 << k, limit)))
+    seen = set()
+    for cand in candidates:
+        if cand in seen:
+            continue
+        seen.add(cand)
+        if all(xor_is_balanced(cand, other, k) for other in chosen):
+            chosen.append(cand)
+    return chosen
+
+
+def _hadamard_seeds(k: int) -> List[int]:
+    """Hadamard codewords of length k (when k is a power of two)."""
+    if k & (k - 1):
+        return []
+    m = k.bit_length() - 1
+    words = []
+    for row in range(k):
+        bits = 0
+        for col in range(k):
+            parity = bin(row & col).count("1") & 1
+            bits = (bits << 1) | parity
+        words.append(bits)
+    return words
+
+
+@dataclass
+class FoolingCertificate:
+    k: int
+    set_size: int
+    bits_lower_bound: float
+    verified: bool
+
+
+def certify_dj_lower_bound(k: int, limit: int = 4096) -> FoolingCertificate:
+    """Build and verify a fooling set; returns the implied bit bound."""
+    fooling = greedy_fooling_set(k, limit=limit)
+    verified = all(
+        xor_is_balanced(a, b, k)
+        for a, b in itertools.combinations(fooling, 2)
+    )
+    return FoolingCertificate(
+        k=k,
+        set_size=len(fooling),
+        bits_lower_bound=math.log2(max(len(fooling), 1)),
+        verified=verified,
+    )
+
+
+def fooling_matrix_rank(fooling: List[int], k: int) -> int:
+    """Rank of the ±1 DJ answer matrix restricted to the fooling set.
+
+    Entry (a, b) is +1 if a ⊕ b is constant (only the diagonal, since
+    distinct fooling elements XOR to balanced) and −1 if balanced: the
+    matrix is 2I − J whose rank is |S| for |S| ≥ 2.
+    """
+    size = len(fooling)
+    matrix = np.full((size, size), -1.0)
+    for i, a in enumerate(fooling):
+        for j, b in enumerate(fooling):
+            x = a ^ b
+            ones = bin(x).count("1")
+            if ones in (0, k):
+                matrix[i, j] = 1.0
+    return int(np.linalg.matrix_rank(matrix))

@@ -1,0 +1,31 @@
+"""Level-E exact quantum substrate: a dense statevector simulator.
+
+Validates the amplitude laws the stochastic emulation layer
+(:mod:`repro.queries`) relies on, and runs the paper's exact algorithms
+(Deutsch–Jozsa, phase estimation, amplitude amplification/estimation)
+end-to-end on small instances.
+"""
+
+from . import (
+    amplitude,
+    circuits,
+    deutsch_jozsa,
+    distributed,
+    gates,
+    grover,
+    phase_estimation,
+)
+from .statevector import Statevector, basis_state, uniform_superposition
+
+__all__ = [
+    "amplitude",
+    "distributed",
+    "circuits",
+    "deutsch_jozsa",
+    "gates",
+    "grover",
+    "phase_estimation",
+    "Statevector",
+    "basis_state",
+    "uniform_superposition",
+]

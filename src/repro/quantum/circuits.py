@@ -1,0 +1,93 @@
+"""A minimal circuit container plus QFT builders.
+
+Circuits are lists of (matrix, qubits) operations replayed onto a
+:class:`~repro.quantum.statevector.Statevector`.  They exist so higher-level
+algorithms (phase estimation, amplitude estimation) can be assembled,
+inverted, and inspected; there is no transpilation — the simulator applies
+arbitrary k-qubit unitaries directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from . import gates
+from .statevector import Statevector
+
+
+@dataclass
+class Circuit:
+    """An ordered list of unitary operations on named qubits."""
+
+    num_qubits: int
+    ops: List[Tuple[np.ndarray, Tuple[int, ...]]] = field(default_factory=list)
+
+    def add(self, matrix: np.ndarray, qubits: Sequence[int]) -> "Circuit":
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if not gates.is_unitary(matrix):
+            raise ValueError("operation is not unitary")
+        self.ops.append((matrix, tuple(qubits)))
+        return self
+
+    def h(self, q: int) -> "Circuit":
+        return self.add(gates.H, [q])
+
+    def x(self, q: int) -> "Circuit":
+        return self.add(gates.X, [q])
+
+    def z(self, q: int) -> "Circuit":
+        return self.add(gates.Z, [q])
+
+    def cnot(self, control: int, target: int) -> "Circuit":
+        return self.add(gates.CNOT, [control, target])
+
+    def controlled(
+        self, matrix: np.ndarray, controls: Sequence[int], targets: Sequence[int]
+    ) -> "Circuit":
+        controls = list(controls)
+        targets = list(targets)
+        block = 1 << len(targets)
+        full = np.eye(1 << (len(controls) + len(targets)), dtype=np.complex128)
+        full[-block:, -block:] = matrix
+        return self.add(full, controls + targets)
+
+    def inverse(self) -> "Circuit":
+        inv = Circuit(self.num_qubits)
+        for matrix, qubits in reversed(self.ops):
+            inv.add(matrix.conj().T, qubits)
+        return inv
+
+    def run(self, state: Statevector) -> Statevector:
+        if state.num_qubits != self.num_qubits:
+            raise ValueError("qubit counts differ")
+        for matrix, qubits in self.ops:
+            state.apply(matrix, qubits)
+        return state
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense unitary of the whole circuit (small circuits only)."""
+        dim = 1 << self.num_qubits
+        result = np.zeros((dim, dim), dtype=np.complex128)
+        for col in range(dim):
+            sv = Statevector(self.num_qubits)
+            sv.data[:] = 0
+            sv.data[col] = 1
+            self.run(sv)
+            result[:, col] = sv.data
+        return result
+
+
+def qft_matrix(num_qubits: int) -> np.ndarray:
+    """The quantum Fourier transform on ``num_qubits`` qubits."""
+    dim = 1 << num_qubits
+    omega = np.exp(2j * np.pi / dim)
+    j, k = np.meshgrid(np.arange(dim), np.arange(dim), indexing="ij")
+    return omega ** (j * k) / np.sqrt(dim)
+
+
+def inverse_qft_matrix(num_qubits: int) -> np.ndarray:
+    """The inverse QFT (conjugate transpose of the QFT)."""
+    return qft_matrix(num_qubits).conj().T

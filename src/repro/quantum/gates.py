@@ -1,0 +1,65 @@
+"""Standard gate matrices for the statevector simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SQRT2 = np.sqrt(2.0)
+
+I2 = np.eye(2, dtype=np.complex128)
+X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+H = np.array([[1, 1], [1, -1]], dtype=np.complex128) / _SQRT2
+S = np.array([[1, 0], [0, 1j]], dtype=np.complex128)
+T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=np.complex128)
+
+CNOT = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+    dtype=np.complex128,
+)
+CZ = np.diag([1, 1, 1, -1]).astype(np.complex128)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+    dtype=np.complex128,
+)
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about X by theta."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about Y by theta."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about Z by theta."""
+    return np.array(
+        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]],
+        dtype=np.complex128,
+    )
+
+
+def phase(theta: float) -> np.ndarray:
+    """Phase gate diag(1, e^{iθ})."""
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=np.complex128)
+
+
+def multi_controlled_z(num_qubits: int) -> np.ndarray:
+    """Z on |1...1>: diag(1, ..., 1, -1) on 2^num_qubits dimensions."""
+    d = np.ones(1 << num_qubits, dtype=np.complex128)
+    d[-1] = -1
+    return np.diag(d)
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-9) -> bool:
+    """Check U·U† = I within tolerance."""
+    matrix = np.asarray(matrix)
+    return bool(
+        np.allclose(matrix @ matrix.conj().T, np.eye(matrix.shape[0]), atol=atol)
+    )

@@ -1,0 +1,156 @@
+"""A dense statevector quantum simulator.
+
+qiskit is not available offline, so the repository carries its own small,
+exact simulator.  It is used to *validate* the amplitude laws that the
+Level-S stochastic emulation layer (``repro.queries``) relies on — e.g.
+that Grover's success probability after j iterations is sin²((2j+1)θ) —
+and to run the paper's exact algorithms (Deutsch–Jozsa, phase estimation,
+amplitude estimation) end-to-end on small instances.
+
+Conventions: qubit 0 is the most significant bit of a basis-state index,
+so ``|q0 q1 ... q_{n-1}>`` has index ``q0·2^{n-1} + ... + q_{n-1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+_ATOL = 1e-9
+
+
+class Statevector:
+    """An n-qubit pure state with in-place gate application."""
+
+    def __init__(self, num_qubits: int, state: Optional[np.ndarray] = None):
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        self.num_qubits = num_qubits
+        self.dim = 1 << num_qubits
+        if state is None:
+            self.data = np.zeros(self.dim, dtype=np.complex128)
+            self.data[0] = 1.0
+        else:
+            state = np.asarray(state, dtype=np.complex128)
+            if state.shape != (self.dim,):
+                raise ValueError(
+                    f"state must have shape ({self.dim},), got {state.shape}"
+                )
+            norm = np.linalg.norm(state)
+            if abs(norm - 1.0) > 1e-6:
+                raise ValueError(f"state is not normalized (|ψ| = {norm})")
+            self.data = state.copy()
+
+    # ------------------------------------------------------------------
+    # gate application
+    # ------------------------------------------------------------------
+
+    def apply(self, matrix: np.ndarray, qubits: Sequence[int]) -> "Statevector":
+        """Apply a k-qubit unitary to the given qubit indices (in order)."""
+        qubits = list(qubits)
+        k = len(qubits)
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.shape != (1 << k, 1 << k):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match {k} qubits"
+            )
+        if len(set(qubits)) != k:
+            raise ValueError(f"duplicate qubit indices in {qubits}")
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(f"qubit index {q} out of range")
+        tensor = self.data.reshape([2] * self.num_qubits)
+        tensor = np.moveaxis(tensor, qubits, range(k))
+        shaped = tensor.reshape(1 << k, -1)
+        shaped = matrix @ shaped
+        tensor = shaped.reshape([2] * self.num_qubits)
+        tensor = np.moveaxis(tensor, range(k), qubits)
+        self.data = np.ascontiguousarray(tensor.reshape(self.dim))
+        return self
+
+    def apply_controlled(
+        self,
+        matrix: np.ndarray,
+        controls: Sequence[int],
+        targets: Sequence[int],
+    ) -> "Statevector":
+        """Apply ``matrix`` to ``targets`` conditioned on all controls = 1."""
+        controls = list(controls)
+        targets = list(targets)
+        k = len(controls)
+        t = len(targets)
+        full = np.eye(1 << (k + t), dtype=np.complex128)
+        block = 1 << t
+        full[-block:, -block:] = matrix
+        return self.apply(full, controls + targets)
+
+    def apply_diagonal(self, phases: np.ndarray) -> "Statevector":
+        """Multiply amplitudes elementwise (a diagonal unitary)."""
+        phases = np.asarray(phases, dtype=np.complex128)
+        if phases.shape != (self.dim,):
+            raise ValueError("diagonal must cover the full state")
+        if not np.allclose(np.abs(phases), 1.0, atol=1e-8):
+            raise ValueError("diagonal entries must have unit modulus")
+        self.data = self.data * phases
+        return self
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.data) ** 2
+
+    def probability_of(self, basis_state: int) -> float:
+        return float(abs(self.data[basis_state]) ** 2)
+
+    def marginal_probabilities(self, qubits: Sequence[int]) -> np.ndarray:
+        """Outcome distribution of measuring the given qubits."""
+        qubits = list(qubits)
+        tensor = self.probabilities().reshape([2] * self.num_qubits)
+        keep = qubits
+        drop = [q for q in range(self.num_qubits) if q not in keep]
+        marg = tensor.transpose(keep + drop).reshape(
+            1 << len(keep), -1
+        ).sum(axis=1)
+        return marg
+
+    def sample(self, rng: np.random.Generator, shots: int = 1) -> np.ndarray:
+        """Sample basis-state indices from the full distribution."""
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        return rng.choice(self.dim, size=shots, p=probs)
+
+    def measure(self, rng: np.random.Generator) -> int:
+        return int(self.sample(rng, 1)[0])
+
+    def inner(self, other: "Statevector") -> complex:
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("qubit counts differ")
+        return complex(np.vdot(self.data, other.data))
+
+    def fidelity(self, other: "Statevector") -> float:
+        return float(abs(self.inner(other)) ** 2)
+
+    def copy(self) -> "Statevector":
+        return Statevector(self.num_qubits, self.data)
+
+    def is_normalized(self) -> bool:
+        return bool(abs(np.linalg.norm(self.data) - 1.0) < 1e-6)
+
+
+def basis_state(num_qubits: int, index: int) -> Statevector:
+    """|index> on the given number of qubits."""
+    sv = Statevector(num_qubits)
+    if index:
+        sv.data[0] = 0.0
+        sv.data[index] = 1.0
+    return sv
+
+
+def uniform_superposition(num_qubits: int) -> Statevector:
+    """H^{⊗n}|0...0> without applying gates one by one."""
+    sv = Statevector(num_qubits)
+    sv.data[:] = 1.0 / np.sqrt(sv.dim)
+    return sv

@@ -1,0 +1,34 @@
+"""Level-S parallel-query quantum algorithms (paper Section 2).
+
+Each module implements one lemma as a stochastic process whose outcome
+distribution follows the exact amplitude laws validated in
+``tests/quantum``, with every oracle access metered by a
+:class:`~repro.queries.ledger.QueryLedger` so the (b, p) bounds are
+measurable.
+"""
+
+from . import (
+    deutsch_jozsa,
+    element_distinctness,
+    grover,
+    johnson,
+    mean_estimation,
+    minimum,
+)
+from .ledger import BatchRecord, ParallelismViolation, QueryLedger
+from .oracle import BatchOracle, MaskedOracle, StringOracle
+
+__all__ = [
+    "deutsch_jozsa",
+    "johnson",
+    "element_distinctness",
+    "grover",
+    "mean_estimation",
+    "minimum",
+    "BatchRecord",
+    "ParallelismViolation",
+    "QueryLedger",
+    "BatchOracle",
+    "MaskedOracle",
+    "StringOracle",
+]

@@ -1,0 +1,188 @@
+"""Lemma 5: parallel-query element distinctness (Ambainis walk, rebalanced).
+
+The paper reproves [JMW16]'s optimal (O(⌈(k/p)^{2/3}⌉), p) bound by taking
+p classical random-walk steps on the Johnson graph J(k, z) per quantum
+step, with the subset size rebalanced to z = k^{2/3} p^{1/3}:
+
+    cost = S + (1/√ε)(C + U/√δ)
+         = z/p  +  (k/z)·√(z/p)·1      (ε = z²/k², δ = p/z)
+         = O((k/p)^{2/3}).
+
+Level-S fidelity: the walk is *actually run* — a real z-subset is
+maintained, setup queries it in ⌈z/p⌉ metered batches, and each of the
+⌈√(1/ε)⌉·⌈√(1/δ)⌉ update steps replaces p elements with p freshly queried
+ones, checking the register for collisions for free (C = 0 queries, as in
+the paper).  If the classical trajectory happens to hit a collision it is
+returned directly; otherwise the quantum walk's success guarantee is
+emulated at the end of the budget: with probability ``success_probability``
+(≥ 2/3, as the lemma states) the collision the amplified walk would have
+measured is produced, then *re-verified through metered queries* before
+being reported.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .oracle import BatchOracle
+
+#: Emulated success probability of the amplified quantum walk; the lemma
+#: guarantees ≥ 2/3 and a real implementation can boost it, so we model a
+#: modestly amplified walk.
+DEFAULT_SUCCESS_PROBABILITY = 0.80
+
+
+@dataclass
+class CollisionOutcome:
+    pair: Optional[Tuple[int, int]]
+    value: object
+    batches_used: int
+    walk_steps: int
+    found_classically: bool
+
+    @property
+    def found(self) -> bool:
+        return self.pair is not None
+
+
+def walk_parameters(k: int, p: int) -> Tuple[int, int, int]:
+    """(z, setup_batches, update_steps) per the Lemma 5 balance."""
+    z = max(p + 1, min(k // 2, math.ceil(k ** (2 / 3) * p ** (1 / 3))))
+    setup_batches = math.ceil(z / p)
+    epsilon = (z / k) ** 2
+    delta = p / z
+    update_steps = math.ceil(math.sqrt(1.0 / epsilon)) * math.ceil(
+        math.sqrt(1.0 / delta)
+    )
+    return z, setup_batches, update_steps
+
+
+def expected_batches(k: int, p: int) -> float:
+    """The Lemma 5 bound O(⌈(k/p)^{2/3}⌉), without the hidden constant."""
+    return max(1.0, (k / p) ** (2 / 3))
+
+
+def _collision_in(indices: Sequence[int], values: Sequence) -> Optional[Tuple[int, int]]:
+    seen: Dict[object, int] = {}
+    for i, v in zip(indices, values):
+        if v in seen and seen[v] != i:
+            return (min(seen[v], i), max(seen[v], i))
+        seen[v] = i
+    return None
+
+
+def _true_collision(
+    oracle: BatchOracle, rng: np.random.Generator
+) -> Optional[Tuple[int, int]]:
+    """Physics peek: a uniformly random colliding pair, if any exists."""
+    positions: Dict[object, List[int]] = {}
+    for i, v in enumerate(oracle.peek_all()):
+        positions.setdefault(v, []).append(i)
+    pairs = []
+    for idxs in positions.values():
+        if len(idxs) > 1:
+            pairs.extend(
+                (idxs[a], idxs[b])
+                for a in range(len(idxs))
+                for b in range(a + 1, len(idxs))
+            )
+    if not pairs:
+        return None
+    return pairs[int(rng.integers(0, len(pairs)))]
+
+
+def find_collision(
+    oracle: BatchOracle,
+    rng: np.random.Generator,
+    success_probability: float = DEFAULT_SUCCESS_PROBABILITY,
+) -> CollisionOutcome:
+    """Find a pair i ≠ j with x_i = x_j (Lemma 5), or report none found.
+
+    A (O(⌈(k/p)^{2/3}⌉), p)-parallel-query algorithm succeeding with
+    probability ≥ 2/3 whenever a collision exists.
+    """
+    k = oracle.k
+    p = oracle.ledger.parallelism
+    start = oracle.ledger.batches
+
+    if p >= k:
+        values = oracle.query_batch(range(k), label="ed-full")
+        pair = _collision_in(range(k), values)
+        return CollisionOutcome(
+            pair,
+            values[pair[0]] if pair else None,
+            oracle.ledger.batches - start,
+            0,
+            True,
+        )
+
+    if p >= (k + 1) // 2:
+        # Two parallel queries read the whole input: deterministic.  (The
+        # paper handles large p with an ε = 1/64 subset query repeated a
+        # constant number of times; a full read is within the same O(1)
+        # batch budget and has one-sided zero error, so we use it for all
+        # p ≥ k/2 and let the z-clamped walk below cover k/8 ≤ p < k/2 —
+        # its z = p+1 setup is ⌈z/p⌉ = 2 batches and its step count is
+        # O(1) there, matching the lemma's constant-regime claim.)
+        half = (k + 1) // 2
+        values_lo = oracle.query_batch(range(half), label="ed-full")
+        values_hi = oracle.query_batch(range(half, k), label="ed-full")
+        values = list(values_lo) + list(values_hi)
+        pair = _collision_in(range(k), values)
+        return CollisionOutcome(
+            pair,
+            values[pair[0]] if pair else None,
+            oracle.ledger.batches - start,
+            0,
+            True,
+        )
+
+    z, setup_batches, update_steps = walk_parameters(k, p)
+
+    # Setup S: query a random z-subset in ⌈z/p⌉ batches.
+    subset = list(rng.choice(k, size=z, replace=False))
+    register: Dict[int, object] = {}
+    for chunk_start in range(0, z, p):
+        chunk = subset[chunk_start : chunk_start + p]
+        values = oracle.query_batch(chunk, label="ed-setup")
+        register.update(zip(chunk, values))
+
+    pair = _collision_in(list(register), list(register.values()))
+    steps = 0
+    while pair is None and steps < update_steps:
+        steps += 1
+        # Update U: p replacements = one parallel query (paper, Lemma 5).
+        inside = list(register)
+        outside = [i for i in range(k) if i not in register]
+        leave = rng.choice(len(inside), size=min(p, len(outside)), replace=False)
+        enter = rng.choice(len(outside), size=min(p, len(outside)), replace=False)
+        enter_ids = [outside[i] for i in enter]
+        values = oracle.query_batch(enter_ids, label="ed-update")
+        for slot, new_id, value in zip(leave, enter_ids, values):
+            register.pop(inside[slot])
+            register[new_id] = value
+        # Check C: free, the register values are held classically.
+        pair = _collision_in(list(register), list(register.values()))
+
+    if pair is not None:
+        return CollisionOutcome(
+            pair, register[pair[0]], oracle.ledger.batches - start, steps, True
+        )
+
+    # The classical trajectory exhausted the quantum budget without luck;
+    # emulate the amplified walk's measurement outcome.
+    truth_pair = _true_collision(oracle, rng)
+    if truth_pair is not None and rng.random() < success_probability:
+        i, j = truth_pair
+        values = oracle.query_batch([i, j], label="ed-verify")
+        if values[0] == values[1]:
+            return CollisionOutcome(
+                (i, j), values[0], oracle.ledger.batches - start, steps, False
+            )
+    return CollisionOutcome(
+        None, None, oracle.ledger.batches - start, steps, False
+    )

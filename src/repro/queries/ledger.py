@@ -1,0 +1,70 @@
+"""Query accounting for (b, p)-parallel-query algorithms (Definition 1).
+
+A :class:`QueryLedger` meters every use of the input oracle.  One *batch*
+is one application of O^{⊗p}: up to ``p`` simultaneous queries.  The
+ledger records each batch so benchmarks can verify the paper's (b, p)
+bounds — b is ``ledger.batches`` — and so the CONGEST framework can charge
+network rounds per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+class ParallelismViolation(ValueError):
+    """An algorithm put more than p queries in one batch."""
+
+    def __init__(self, size: int, parallelism: int):
+        self.size = size
+        self.parallelism = parallelism
+        super().__init__(
+            f"batch of {size} queries exceeds parallelism p = {parallelism}"
+        )
+
+
+@dataclass
+class BatchRecord:
+    """One recorded oracle batch."""
+
+    size: int
+    label: str = ""
+
+
+class QueryLedger:
+    """Meters batches of parallel queries against a parallelism cap p."""
+
+    def __init__(self, parallelism: int):
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        self.parallelism = parallelism
+        self.records: List[BatchRecord] = []
+
+    def record(self, size: int, label: str = "") -> None:
+        if size < 1:
+            raise ValueError("a batch must contain at least one query")
+        if size > self.parallelism:
+            raise ParallelismViolation(size, self.parallelism)
+        self.records.append(BatchRecord(size=size, label=label))
+
+    @property
+    def batches(self) -> int:
+        """b — the number of O^{⊗p} applications so far."""
+        return len(self.records)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(r.size for r in self.records)
+
+    def batches_labeled(self, label: str) -> int:
+        return sum(1 for r in self.records if r.label == label)
+
+    def reset(self) -> None:
+        self.records.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"QueryLedger(p={self.parallelism}, b={self.batches}, "
+            f"queries={self.total_queries})"
+        )

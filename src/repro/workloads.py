@@ -1,0 +1,141 @@
+"""Workload generators for the paper's problems.
+
+Every experiment and example needs the same few input families: random
+calendars, planted-collision vectors spread over nodes, DJ promise inputs
+with a prescribed aggregate, per-vertex cycle instances.  This module is
+their single public home; all generators take an explicit seed or
+``numpy.random.Generator`` and document the distribution they sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .congest.network import Network
+
+
+def random_calendars(
+    network: Network,
+    slots: int,
+    rng: np.random.Generator,
+    density: float = 0.5,
+) -> Dict[int, List[int]]:
+    """I.i.d. Bernoulli(density) availability bits per node and slot."""
+    if not 0 <= density <= 1:
+        raise ValueError("density must lie in [0, 1]")
+    return {
+        v: [int(b) for b in rng.random(slots) < density]
+        for v in network.nodes()
+    }
+
+
+def weighted_preferences(
+    network: Network,
+    slots: int,
+    max_weight: int,
+    rng: np.random.Generator,
+) -> Dict[int, List[int]]:
+    """Uniform integer preferences in [0, max_weight]."""
+    return {
+        v: [int(w) for w in rng.integers(0, max_weight + 1, size=slots)]
+        for v in network.nodes()
+    }
+
+
+@dataclass
+class PlantedEDInstance:
+    """A distributed element-distinctness instance with ground truth."""
+
+    vectors: Dict[int, List[int]]
+    aggregated: List[int]
+    collision: Optional[Tuple[int, int]]
+    max_value: int
+
+
+def planted_ed_vectors(
+    network: Network,
+    length: int,
+    rng: np.random.Generator,
+    max_value: int = 10**6,
+    collide: bool = True,
+) -> PlantedEDInstance:
+    """A global vector of distinct values, optionally with one planted
+    collision, each coordinate owned by a uniformly random node."""
+    base = [int(v) for v in rng.choice(max_value - 1, size=length, replace=False)]
+    collision = None
+    if collide:
+        i, j = (int(x) for x in rng.choice(length, size=2, replace=False))
+        base[j] = base[i]
+        collision = (min(i, j), max(i, j))
+    vectors = {v: [0] * length for v in network.nodes()}
+    for idx, value in enumerate(base):
+        vectors[int(rng.integers(0, network.n))][idx] = value
+    return PlantedEDInstance(
+        vectors=vectors, aggregated=base, collision=collision,
+        max_value=max_value,
+    )
+
+
+def node_values_with_duplicate(
+    network: Network,
+    rng: np.random.Generator,
+    max_value: int = 10**6,
+    duplicate: bool = True,
+) -> Tuple[Dict[int, int], Optional[Tuple[int, int]]]:
+    """One value per node (Corollary 14's input), optionally two equal."""
+    raw = rng.choice(max_value - 1, size=network.n, replace=False)
+    values = {v: int(raw[v]) for v in network.nodes()}
+    pair = None
+    if duplicate and network.n >= 2:
+        a, b = (int(x) for x in rng.choice(network.n, size=2, replace=False))
+        values[b] = values[a]
+        pair = (min(a, b), max(a, b))
+    return values, pair
+
+
+def dj_promise_inputs(
+    network: Network,
+    length: int,
+    rng: np.random.Generator,
+    balanced: bool,
+) -> Dict[int, List[int]]:
+    """Random per-node strings whose XOR is exactly constant-0 or balanced.
+
+    All nodes draw uniform strings; node 0 is repaired so the aggregate
+    matches the promise — the marginal of every other node stays uniform.
+    """
+    if length % 2:
+        raise ValueError("the DJ promise needs an even length")
+    inputs = {
+        v: [int(b) for b in rng.integers(0, 2, size=length)]
+        for v in network.nodes()
+    }
+    xor = [0] * length
+    for vec in inputs.values():
+        xor = [a ^ b for a, b in zip(xor, vec)]
+    if balanced:
+        positions = rng.choice(length, size=length // 2, replace=False)
+        target = [0] * length
+        for pos in positions:
+            target[int(pos)] = 1
+    else:
+        target = [0] * length
+    inputs[0] = [a ^ b ^ c for a, b, c in zip(inputs[0], xor, target)]
+    return inputs
+
+
+def disjointness_pair(
+    length: int,
+    rng: np.random.Generator,
+    intersecting: Optional[bool] = None,
+    density: float = 0.3,
+):
+    """Re-export of the disjointness instance sampler (Lemmas 11/13/15)."""
+    from .lowerbounds.disjointness import random_instance
+
+    return random_instance(
+        length, rng, force_intersecting=intersecting, density=density
+    )

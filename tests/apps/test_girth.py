@@ -1,0 +1,71 @@
+"""Tests for Corollary 26: girth computation."""
+
+import pytest
+
+from repro.apps.girth import compute_girth, quantum_girth_bound, verify_girth
+from repro.congest import topologies
+
+
+class TestCorrectness:
+    def test_triangle_shortcut(self):
+        net = topologies.complete(5)
+        result = compute_girth(net, seed=1)
+        assert result.girth == 3
+        assert result.iterations == 1
+
+    def test_petersen_girth_five(self):
+        hits = 0
+        for seed in range(8):
+            result = compute_girth(topologies.petersen(), seed=seed)
+            hits += result.girth == 5
+        assert hits >= 6
+
+    @pytest.mark.parametrize("g", [4, 5, 6, 7, 9])
+    def test_known_girth_families(self, g):
+        net = topologies.known_girth(g, copies=2, tail=3)
+        hits = 0
+        for seed in range(5):
+            result = compute_girth(net, seed=seed)
+            hits += result.girth == g
+        assert hits >= 3
+
+    def test_acyclic_reports_none(self):
+        net = topologies.balanced_tree(3, 3)
+        result = compute_girth(net, seed=2, max_k=12)
+        assert result.is_acyclic
+
+    def test_one_sided_soundness(self):
+        """verify_girth: reported girth never undershoots the truth."""
+        for seed in range(5):
+            net = topologies.planted_cycle(35, 6, seed=seed)
+            result = compute_girth(net, seed=seed)
+            assert verify_girth(net, result)
+
+    def test_geometric_schedule(self):
+        net = topologies.known_girth(9, copies=1, tail=2)
+        result = compute_girth(net, mu=1.0, seed=3)
+        # k schedule 4, 8, 16...: girth 9 found in the k = 16 pass.
+        assert result.ks_tried[:2] == [4, 8]
+
+    def test_mu_validation(self, petersen):
+        with pytest.raises(ValueError):
+            compute_girth(petersen, mu=0.0)
+        with pytest.raises(ValueError):
+            compute_girth(petersen, mu=1.5)
+
+
+class TestRounds:
+    def test_smaller_mu_costs_more(self):
+        net = topologies.known_girth(6, copies=2)
+        coarse = compute_girth(net, mu=1.0, seed=4)
+        fine = compute_girth(net, mu=0.25, seed=4)
+        assert fine.rounds >= coarse.rounds
+
+    def test_bound_formula_sublinear(self):
+        assert quantum_girth_bound(10**6, 4) < 10**3 * 60
+
+    def test_detail_breakdown(self):
+        net = topologies.petersen()
+        result = compute_girth(net, seed=5)
+        assert "triangle-check" in result.detail
+        assert result.rounds >= result.detail["triangle-check"]

@@ -1,0 +1,117 @@
+"""Tests for Lemma 10 meeting scheduling and its Lemma 11 separation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.meeting import (
+    classical_round_lower_bound,
+    quantum_round_bound,
+    schedule_meeting,
+)
+from repro.baselines.streaming import classical_meeting
+from repro.congest import topologies
+
+
+def random_calendars(net, k, rng, density=0.4):
+    return {
+        v: [int(rng.random() < density) for _ in range(k)]
+        for v in net.nodes()
+    }
+
+
+class TestCorrectness:
+    def test_finds_best_slot_reliably(self):
+        net = topologies.grid(3, 4)
+        hits = 0
+        for seed in range(15):
+            rng = np.random.default_rng(seed)
+            cal = random_calendars(net, 20, rng)
+            result = schedule_meeting(net, cal, seed=seed)
+            hits += result.correct_against(cal)
+        assert hits >= 12
+
+    def test_unique_best_slot_found(self, grid45, rng):
+        cal = {v: [0] * 10 for v in grid45.nodes()}
+        for v in grid45.nodes():
+            cal[v][7] = 1  # slot 7: everyone available
+            cal[v][2] = int(v < 3)
+        result = schedule_meeting(grid45, cal, seed=1)
+        assert result.best_slot == 7
+        assert result.availability == grid45.n
+
+    def test_availability_value_consistent(self, grid45, rng):
+        cal = random_calendars(grid45, 12, rng)
+        result = schedule_meeting(grid45, cal, seed=2)
+        totals = [sum(cal[v][i] for v in grid45.nodes()) for i in range(12)]
+        assert result.availability == totals[result.best_slot]
+
+    def test_rejects_missing_calendar(self, grid45):
+        cal = {v: [0, 1] for v in range(grid45.n - 1)}
+        with pytest.raises(ValueError):
+            schedule_meeting(grid45, cal)
+
+    def test_rejects_non_binary(self, grid45):
+        cal = {v: [0, 2] for v in grid45.nodes()}
+        with pytest.raises(ValueError):
+            schedule_meeting(grid45, cal)
+
+    def test_engine_mode_agrees(self, rng):
+        net = topologies.grid(3, 3)
+        cal = random_calendars(net, 8, rng)
+        f = schedule_meeting(net, cal, mode="formula", seed=3)
+        e = schedule_meeting(net, cal, mode="engine", seed=3)
+        assert f.best_slot == e.best_slot
+
+
+class TestSeparation:
+    def test_quantum_beats_classical_for_large_k(self):
+        """Rounds: quantum Õ(√(kD)) < classical Θ(k/log n) at large k."""
+        net = topologies.path_with_endpoints(8)
+        rng = np.random.default_rng(4)
+        k = 4096
+        cal = random_calendars(net, k, rng)
+        quantum = schedule_meeting(net, cal, seed=4)
+        _, _, classical_rounds = classical_meeting(net, cal, seed=4)
+        assert quantum.rounds < classical_rounds
+
+    def test_classical_wins_for_tiny_k(self):
+        net = topologies.path_with_endpoints(8)
+        rng = np.random.default_rng(5)
+        cal = random_calendars(net, 4, rng)
+        quantum = schedule_meeting(net, cal, seed=5)
+        _, _, classical_rounds = classical_meeting(net, cal, seed=5)
+        assert classical_rounds <= quantum.rounds
+
+    def test_classical_baseline_exact(self, grid45, rng):
+        cal = random_calendars(grid45, 10, rng)
+        slot, avail, _ = classical_meeting(grid45, cal, seed=6)
+        totals = [sum(cal[v][i] for v in grid45.nodes()) for i in range(10)]
+        assert avail == max(totals)
+        assert totals[slot] == avail
+
+    def test_bound_formulas_cross(self):
+        """The theory curves themselves cross as k grows at fixed D."""
+        n, d = 1024, 8
+        small_k, large_k = 64, 2**16
+        assert quantum_round_bound(small_k, d, n) >= 0
+        assert quantum_round_bound(large_k, d, n) < classical_round_lower_bound(
+            large_k, d, n
+        )
+
+
+class TestRoundScaling:
+    def test_sublinear_in_k(self):
+        """Measured rounds grow like √k: 16× the slots, ≲ 6× the rounds."""
+        net = topologies.path_with_endpoints(6)
+        rng = np.random.default_rng(7)
+
+        def rounds_at(k, trials=5):
+            total = 0
+            for seed in range(trials):
+                cal = random_calendars(net, k, np.random.default_rng(seed))
+                total += schedule_meeting(net, cal, seed=seed).rounds
+            return total / trials
+
+        small = rounds_at(256)
+        large = rounds_at(4096)
+        assert large / small < 8.0  # √16 = 4 ideal, generous envelope

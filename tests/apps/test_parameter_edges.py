@@ -1,0 +1,126 @@
+"""Cross-application parameter edge cases.
+
+Covers the regimes the paper treats specially: k < D ("the complexity of
+k < D is Θ(D)"), p overrides away from the default p = D, tiny networks,
+and degenerate promise/threshold inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.cycles import detect_cycle
+from repro.apps.eccentricity import compute_diameter, compute_radius
+from repro.apps.element_distinctness import distinctness_distributed_vector
+from repro.apps.meeting import schedule_meeting
+from repro.congest import topologies
+
+
+class TestSmallKRegime:
+    """k < D: the trivial streaming regime, still correct here."""
+
+    def test_meeting_with_k_below_diameter(self):
+        net = topologies.path_with_endpoints(12)  # D = 12
+        rng = np.random.default_rng(0)
+        cal = {v: [int(rng.random() < 0.5) for _ in range(4)] for v in net.nodes()}
+        result = schedule_meeting(net, cal, seed=0)
+        totals = [sum(cal[v][i] for v in net.nodes()) for i in range(4)]
+        assert result.availability == max(totals)
+
+    def test_ed_with_k_below_diameter(self):
+        net = topologies.path_with_endpoints(10)
+        vectors = {v: [0, 0, 0] for v in net.nodes()}
+        vectors[0] = [5, 9, 5]
+        result = distinctness_distributed_vector(net, vectors, 10, seed=1)
+        assert result.pair == (0, 2)
+
+    def test_meeting_k_equals_one(self):
+        net = topologies.grid(3, 3)
+        cal = {v: [1] for v in net.nodes()}
+        result = schedule_meeting(net, cal, seed=2)
+        assert result.best_slot == 0
+        assert result.availability == net.n
+
+
+class TestParallelismOverrides:
+    @pytest.mark.parametrize("p", [1, 2, 16])
+    def test_meeting_any_parallelism_correct(self, p):
+        net = topologies.grid(3, 3)
+        rng = np.random.default_rng(3)
+        cal = {v: [int(rng.random() < 0.5) for _ in range(20)] for v in net.nodes()}
+        hits = 0
+        for seed in range(6):
+            result = schedule_meeting(net, cal, parallelism=p, seed=seed)
+            hits += result.correct_against(cal)
+        assert hits >= 4
+
+    def test_larger_p_fewer_batches(self):
+        net = topologies.path_with_endpoints(4)
+        rng = np.random.default_rng(4)
+        cal = {v: [int(rng.random() < 0.5) for _ in range(256)] for v in net.nodes()}
+
+        def avg_batches(p):
+            return sum(
+                schedule_meeting(net, cal, parallelism=p, seed=s).batches
+                for s in range(5)
+            ) / 5
+
+        assert avg_batches(64) < avg_batches(2)
+
+    def test_diameter_with_custom_parallelism(self):
+        net = topologies.grid(3, 4)
+        result = compute_diameter(net, parallelism=2, seed=5)
+        assert result.value in set(net.eccentricities.values())
+
+
+class TestTinyNetworks:
+    def test_two_node_network_meeting(self):
+        net = topologies.path(2)
+        cal = {0: [1, 0, 1], 1: [1, 1, 0]}
+        result = schedule_meeting(net, cal, seed=6)
+        assert result.best_slot == 0
+        assert result.availability == 2
+
+    def test_two_node_diameter(self):
+        net = topologies.path(2)
+        result = compute_diameter(net, seed=7)
+        assert result.value == 1
+
+    def test_two_node_radius(self):
+        net = topologies.path(2)
+        result = compute_radius(net, seed=8)
+        assert result.value == 1
+
+    def test_triangle_network_cycle_detection(self):
+        net = topologies.cycle(3)
+        result = detect_cycle(net, 3, seed=9)
+        # k_eff clamps to 2D+1 = 3; the triangle must be found.
+        assert result.length == 3
+
+
+class TestDegenerateInputs:
+    def test_meeting_nobody_available(self):
+        net = topologies.grid(3, 3)
+        cal = {v: [0] * 8 for v in net.nodes()}
+        result = schedule_meeting(net, cal, seed=10)
+        assert result.availability == 0
+
+    def test_meeting_everyone_always_available(self):
+        net = topologies.grid(3, 3)
+        cal = {v: [1] * 8 for v in net.nodes()}
+        result = schedule_meeting(net, cal, seed=11)
+        assert result.availability == net.n
+
+    def test_ed_all_same_value(self):
+        """Every index collides with every other: any pair is valid."""
+        net = topologies.path(4)
+        vectors = {v: [0] * 10 for v in net.nodes()}
+        vectors[0] = [7] * 10
+        result = distinctness_distributed_vector(net, vectors, 10, seed=12)
+        assert result.pair is not None
+        i, j = result.pair
+        assert i != j
+
+    def test_cycle_detection_on_single_edge(self):
+        net = topologies.path(2)
+        result = detect_cycle(net, 4, seed=13)
+        assert result.length is None

@@ -1,0 +1,88 @@
+"""Tests for the weighted meeting-scheduling generalization."""
+
+import numpy as np
+import pytest
+
+from repro.apps.meeting import schedule_meeting, schedule_weighted_meeting
+from repro.congest import topologies
+
+
+class TestWeightedMeeting:
+    def test_finds_heaviest_slot(self):
+        net = topologies.grid(3, 3)
+        k, w = 12, 10
+        prefs = {v: [1] * k for v in net.nodes()}
+        for v in net.nodes():
+            prefs[v][4] = 10  # everyone loves slot 4
+        hits = 0
+        for seed in range(8):
+            result = schedule_weighted_meeting(net, prefs, max_weight=w, seed=seed)
+            hits += result.best_slot == 4
+        assert hits >= 6
+
+    def test_total_weight_reported(self, grid45, rng):
+        k, w = 10, 5
+        prefs = {
+            v: [int(rng.integers(0, w + 1)) for _ in range(k)]
+            for v in grid45.nodes()
+        }
+        result = schedule_weighted_meeting(grid45, prefs, max_weight=w, seed=1)
+        totals = [sum(prefs[v][i] for v in grid45.nodes()) for i in range(k)]
+        assert result.availability == totals[result.best_slot]
+
+    def test_rejects_out_of_range_weight(self, grid45):
+        prefs = {v: [0, 6] for v in grid45.nodes()}
+        with pytest.raises(ValueError):
+            schedule_weighted_meeting(grid45, prefs, max_weight=5)
+
+    def test_rejects_missing_node(self, grid45):
+        prefs = {v: [1, 2] for v in range(grid45.n - 1)}
+        with pytest.raises(ValueError):
+            schedule_weighted_meeting(grid45, prefs, max_weight=5)
+
+    def test_binary_case_matches_plain_meeting(self):
+        """With weights in {0,1} the generalization reduces to Lemma 10."""
+        net = topologies.grid(3, 3)
+        rng = np.random.default_rng(2)
+        cal = {
+            v: [int(rng.random() < 0.5) for _ in range(16)]
+            for v in net.nodes()
+        }
+        plain = schedule_meeting(net, cal, seed=3)
+        weighted = schedule_weighted_meeting(net, cal, max_weight=1, seed=3)
+        totals = [sum(cal[v][i] for v in net.nodes()) for i in range(16)]
+        assert totals[plain.best_slot] == totals[weighted.best_slot]
+
+    def test_wider_domain_costs_more_rounds(self):
+        """The paper's 'extra q factor': max_weight 2^12 vs 1 at equal k."""
+        net = topologies.path_with_endpoints(6)
+        rng = np.random.default_rng(4)
+        k = 64
+        narrow = {
+            v: [int(rng.random() < 0.5) for _ in range(k)] for v in net.nodes()
+        }
+        wide = {
+            v: [int(rng.integers(0, 4097)) for _ in range(k)]
+            for v in net.nodes()
+        }
+        r_narrow = schedule_weighted_meeting(net, narrow, max_weight=1, seed=5)
+        r_wide = schedule_weighted_meeting(net, wide, max_weight=4096, seed=5)
+        assert r_wide.rounds > r_narrow.rounds
+
+
+class TestBoundsSummary:
+    def test_table_renders(self):
+        from repro.analysis.bounds import bounds_summary
+
+        table = bounds_summary(n=1024, k=4096, diameter=8)
+        text = table.render()
+        assert "meeting scheduling" in text
+        assert "Deutsch" in text
+
+    def test_dj_speedup_is_largest(self):
+        from repro.analysis.bounds import bounds_summary
+
+        table = bounds_summary(n=4096, k=2**20, diameter=8)
+        speedups = {row[0]: row[3] for row in table.rows}
+        dj = next(v for k_, v in speedups.items() if "Deutsch" in k_)
+        assert dj == max(speedups.values())

@@ -1,0 +1,113 @@
+"""Tests for pipelined upcast/downcast over a BFS tree."""
+
+import pytest
+
+from repro.congest import topologies
+from repro.congest.algorithms.aggregate import (
+    aggregate_single,
+    pipelined_downcast,
+    pipelined_upcast,
+)
+from repro.congest.algorithms.bfs import bfs_with_echo
+
+
+@pytest.fixture
+def net_and_tree(grid45):
+    return grid45, bfs_with_echo(grid45, 0)
+
+
+class TestUpcast:
+    def test_sum_aggregation(self, net_and_tree):
+        net, tree = net_and_tree
+        values = {v: [v, 1, 2 * v] for v in net.nodes()}
+        combined, _ = pipelined_upcast(
+            net, tree, values, combine=lambda a, b: a + b, domain=10**6
+        )
+        total = sum(range(net.n))
+        assert combined == (total, net.n, 2 * total)
+
+    def test_max_aggregation(self, net_and_tree):
+        net, tree = net_and_tree
+        values = {v: [v % 5] for v in net.nodes()}
+        combined, _ = pipelined_upcast(net, tree, values, combine=max, domain=8)
+        assert combined == (4,)
+
+    def test_min_aggregation(self, net_and_tree):
+        net, tree = net_and_tree
+        values = {v: [v + 3] for v in net.nodes()}
+        combined, _ = pipelined_upcast(net, tree, values, combine=min, domain=64)
+        assert combined == (3,)
+
+    def test_xor_aggregation(self, net_and_tree):
+        net, tree = net_and_tree
+        values = {v: [v & 1] for v in net.nodes()}
+        expected = 0
+        for v in net.nodes():
+            expected ^= v & 1
+        combined, _ = pipelined_upcast(
+            net, tree, values, combine=lambda a, b: a ^ b, domain=2
+        )
+        assert combined == (expected,)
+
+    def test_mismatched_lengths_rejected(self, net_and_tree):
+        net, tree = net_and_tree
+        values = {v: [0] for v in net.nodes()}
+        values[3] = [0, 0]
+        with pytest.raises(ValueError):
+            pipelined_upcast(net, tree, values, combine=max, domain=4)
+
+    def test_empty_vector(self, net_and_tree):
+        net, tree = net_and_tree
+        values = {v: [] for v in net.nodes()}
+        combined, rounds = pipelined_upcast(net, tree, values, combine=max, domain=4)
+        assert combined == ()
+        assert rounds == 0
+
+    def test_rounds_pipelined(self):
+        """Rounds ≈ depth + t, not depth × t."""
+        net = topologies.path(16)
+        tree = bfs_with_echo(net, 0)
+        t = 20
+        values = {v: [1] * t for v in net.nodes()}
+        _, rounds = pipelined_upcast(
+            net, tree, values, combine=lambda a, b: a + b, domain=10**6
+        )
+        depth = tree.eccentricity
+        assert rounds <= depth + t + 3
+        assert rounds < depth * t / 2
+
+    def test_single_value_helper(self, net_and_tree):
+        net, tree = net_and_tree
+        values = {v: 1 for v in net.nodes()}
+        total, _ = aggregate_single(
+            net, tree, values, combine=lambda a, b: a + b, domain=1000
+        )
+        assert total == net.n
+
+
+class TestDowncast:
+    def test_all_nodes_receive_vector(self, net_and_tree):
+        net, tree = net_and_tree
+        payload = [3, 1, 4, 1, 5]
+        received, _ = pipelined_downcast(net, tree, payload, domain=8)
+        assert all(received[v] == tuple(payload) for v in net.nodes())
+
+    def test_empty_vector(self, net_and_tree):
+        net, tree = net_and_tree
+        received, rounds = pipelined_downcast(net, tree, [], domain=2)
+        assert all(received[v] == () for v in net.nodes())
+        assert rounds == 0
+
+    def test_rounds_pipelined(self):
+        net = topologies.path(20)
+        tree = bfs_with_echo(net, 0)
+        t = 25
+        _, rounds = pipelined_downcast(net, tree, [1] * t, domain=4)
+        depth = tree.eccentricity
+        assert rounds <= depth + t + 3
+        assert rounds < depth * t / 2
+
+    def test_deep_root(self, grid45):
+        tree = bfs_with_echo(grid45, grid45.n - 1)
+        received, _ = pipelined_downcast(grid45, tree, [7, 7], domain=8)
+        assert received[0] == (7, 7)

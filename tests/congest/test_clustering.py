@@ -1,0 +1,75 @@
+"""Tests for the d-separated low-diameter clustering (Lemma 24 substitute)."""
+
+import pytest
+
+from repro.congest import topologies
+from repro.congest.algorithms.clustering import (
+    build_clustering,
+    verify_clustering,
+)
+
+
+@pytest.fixture(params=[2, 4, 8])
+def separation(request):
+    return request.param
+
+
+class TestGuarantees:
+    def test_guarantees_on_random_graph(self, separation):
+        net = topologies.erdos_renyi(60, 0.08, seed=1)
+        clustering = build_clustering(net, d=separation, seed=2)
+        verify_clustering(net, clustering)
+
+    def test_guarantees_on_grid(self, separation):
+        net = topologies.grid(7, 7)
+        clustering = build_clustering(net, d=separation, seed=3)
+        verify_clustering(net, clustering)
+
+    def test_guarantees_on_path(self):
+        net = topologies.path(50)
+        clustering = build_clustering(net, d=6, seed=4)
+        verify_clustering(net, clustering)
+
+    def test_every_node_covered(self):
+        net = topologies.erdos_renyi(40, 0.1, seed=5)
+        clustering = build_clustering(net, d=4, seed=6)
+        covered = set()
+        for cluster in clustering.clusters:
+            covered |= cluster
+        assert covered == set(net.nodes())
+
+    def test_cluster_of_consistent(self):
+        net = topologies.grid(5, 5)
+        clustering = build_clustering(net, d=4, seed=7)
+        for i, cluster in enumerate(clustering.clusters):
+            for v in cluster:
+                assert clustering.cluster_of[v] == i
+
+
+class TestParameters:
+    def test_rejects_d_below_two(self, grid45):
+        with pytest.raises(ValueError):
+            build_clustering(grid45, d=1)
+
+    def test_charged_rounds_scale_with_d(self, grid45):
+        small = build_clustering(grid45, d=2, seed=1).charged_rounds
+        large = build_clustering(grid45, d=8, seed=1).charged_rounds
+        assert large == 4 * small
+
+    def test_color_count_reported(self):
+        net = topologies.erdos_renyi(50, 0.08, seed=8)
+        clustering = build_clustering(net, d=4, seed=9)
+        assert clustering.num_colors >= 1
+        assert len(clustering.colors) == len(clustering.clusters)
+
+    def test_deterministic_under_seed(self):
+        net = topologies.grid(6, 6)
+        c1 = build_clustering(net, d=4, seed=11)
+        c2 = build_clustering(net, d=4, seed=11)
+        assert c1.clusters == c2.clusters
+        assert c1.colors == c2.colors
+
+    def test_single_cluster_on_tiny_graph(self):
+        net = topologies.complete(4)
+        clustering = build_clustering(net, d=2, seed=12)
+        verify_clustering(net, clustering)

@@ -1,0 +1,204 @@
+"""Unit tests for the synchronous round engine and model-rule enforcement."""
+
+import pytest
+
+from repro.congest import topologies
+from repro.congest.encoding import Field
+from repro.congest.engine import Engine, run_program
+from repro.congest.errors import (
+    BandwidthExceeded,
+    DuplicateSend,
+    NotANeighbor,
+    RoundLimitExceeded,
+)
+from repro.congest.program import Context, IdleProgram, NodeProgram
+
+
+class EchoOnce(NodeProgram):
+    """Round 1: everyone sends its id to every neighbor, then halts."""
+
+    def __init__(self, node):
+        self.node = node
+
+    def on_start(self, ctx):
+        ctx.broadcast(Field(self.node, ctx.n))
+
+    def on_round(self, ctx, inbox):
+        ctx.halt(output=sorted(inbox.senders()))
+
+
+class TestBasicExecution:
+    def test_idle_programs_take_zero_rounds(self, path8):
+        result = run_program(path8, {v: IdleProgram() for v in path8.nodes()})
+        assert result.rounds == 0
+
+    def test_one_exchange_takes_one_round(self, path8):
+        result = run_program(path8, {v: EchoOnce(v) for v in path8.nodes()})
+        assert result.rounds == 1
+
+    def test_neighbors_received(self, path8):
+        result = run_program(path8, {v: EchoOnce(v) for v in path8.nodes()})
+        assert result.outputs[0] == [1]
+        assert result.outputs[3] == [2, 4]
+
+    def test_missing_program_rejected(self, path8):
+        with pytest.raises(ValueError):
+            Engine(path8, {0: IdleProgram()})
+
+    def test_outputs_default_none(self, path8):
+        class SilentHalt(NodeProgram):
+            def on_start(self, ctx):
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        result = run_program(path8, {v: SilentHalt() for v in path8.nodes()})
+        assert all(o is None for o in result.outputs.values())
+
+
+class TestModelEnforcement:
+    def test_oversized_message_rejected(self, path8):
+        class TooBig(NodeProgram):
+            def on_start(self, ctx):
+                ctx.send(ctx.neighbors[0], "x" * 100)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(BandwidthExceeded):
+            run_program(path8, {v: TooBig() for v in path8.nodes()})
+
+    def test_non_neighbor_send_rejected(self, path8):
+        class FarSend(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(7, Field(1, 2))
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(NotANeighbor):
+            run_program(path8, {v: FarSend() for v in path8.nodes()})
+
+    def test_duplicate_send_rejected(self, path8):
+        class DoubleSend(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(1, Field(0, 2))
+                    ctx.send(1, Field(1, 2))
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(DuplicateSend):
+            run_program(path8, {v: DoubleSend() for v in path8.nodes()})
+
+    def test_round_limit(self, path8):
+        class Chatter(NodeProgram):
+            def on_start(self, ctx):
+                ctx.broadcast(Field(0, 2))
+
+            def on_round(self, ctx, inbox):
+                ctx.broadcast(Field(0, 2))
+
+        with pytest.raises(RoundLimitExceeded):
+            run_program(
+                path8, {v: Chatter() for v in path8.nodes()}, max_rounds=10
+            )
+
+
+class TestStats:
+    def test_message_and_bit_counters(self, path8):
+        result = run_program(path8, {v: EchoOnce(v) for v in path8.nodes()})
+        # A path on 8 nodes has 7 edges, 2 directed messages each.
+        assert result.stats.messages == 14
+        assert result.stats.bits == 14 * 3  # Field(id, 8) = 3 bits
+
+    def test_per_round_tracking(self, path8):
+        result = run_program(path8, {v: EchoOnce(v) for v in path8.nodes()})
+        assert result.stats.per_round_messages == [14]
+        assert result.stats.max_messages_in_round == 14
+
+
+class TestQuiescence:
+    def test_quiescence_stops_non_halting_programs(self, path8):
+        class OneShotNoHalt(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.broadcast(Field(1, 2))
+
+            def on_round(self, ctx, inbox):
+                ctx.output = len(inbox)
+
+        result = run_program(
+            path8,
+            {v: OneShotNoHalt() for v in path8.nodes()},
+            stop_on_quiescence=True,
+        )
+        assert result.rounds == 1
+        assert result.outputs[1] == 1
+
+    def test_quiescence_with_nothing_to_do(self, path8):
+        class Passive(NodeProgram):
+            def on_round(self, ctx, inbox):
+                pass
+
+        result = run_program(
+            path8,
+            {v: Passive() for v in path8.nodes()},
+            stop_on_quiescence=True,
+        )
+        assert result.rounds == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_node_rng(self, path8):
+        class RandomOutput(NodeProgram):
+            def on_start(self, ctx):
+                ctx.halt(output=int(ctx.rng.integers(0, 10**9)))
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        r1 = run_program(path8, {v: RandomOutput() for v in path8.nodes()}, seed=7)
+        r2 = run_program(path8, {v: RandomOutput() for v in path8.nodes()}, seed=7)
+        assert r1.outputs == r2.outputs
+
+    def test_nodes_have_independent_rngs(self, path8):
+        class RandomOutput(NodeProgram):
+            def on_start(self, ctx):
+                ctx.halt(output=int(ctx.rng.integers(0, 10**9)))
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        r = run_program(path8, {v: RandomOutput() for v in path8.nodes()}, seed=7)
+        assert len(set(r.outputs.values())) > 1
+
+
+class TestCommonOutput:
+    def test_agreeing_outputs(self, path8):
+        class Fixed(NodeProgram):
+            def on_start(self, ctx):
+                ctx.halt(output=42)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        assert run_program(
+            path8, {v: Fixed() for v in path8.nodes()}
+        ).common_output() == 42
+
+    def test_disagreeing_outputs_raise(self, path8):
+        class Own(NodeProgram):
+            def on_start(self, ctx):
+                ctx.halt(output=ctx.node)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(ValueError):
+            run_program(path8, {v: Own() for v in path8.nodes()}).common_output()

@@ -1,0 +1,142 @@
+"""Engine edge cases and failure injection."""
+
+import pytest
+
+from repro.congest import topologies
+from repro.congest.encoding import Field
+from repro.congest.engine import Engine, run_program
+from repro.congest.errors import BandwidthExceeded
+from repro.congest.network import Network
+from repro.congest.program import IdleProgram, NodeProgram, make_programs
+
+
+class TestHaltedNodes:
+    def test_messages_to_halted_nodes_are_dropped(self, path8):
+        class SendThenHalt(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.halt(output="early")
+
+            def on_round(self, ctx, inbox):
+                if ctx.node == 1 and ctx.round == 1:
+                    ctx.send(0, Field(1, 4))  # node 0 already halted
+                if ctx.round >= 2:
+                    ctx.halt(output="late")
+
+        result = run_program(path8, {v: SendThenHalt() for v in path8.nodes()})
+        assert result.outputs[0] == "early"
+        assert result.outputs[1] == "late"
+
+    def test_sends_in_halting_round_still_delivered(self, path8):
+        class LastWords(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(1, Field(3, 4))
+                    ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                if inbox:
+                    ctx.halt(output=inbox.values()[0])
+                elif ctx.round > 2:
+                    ctx.halt()
+
+        result = run_program(path8, {v: LastWords() for v in path8.nodes()})
+        assert result.outputs[1] == 3
+
+
+class TestFailureInjection:
+    def test_program_exception_propagates(self, path8):
+        class Crashes(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 3:
+                    raise RuntimeError("node 3 is broken")
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(RuntimeError, match="node 3"):
+            run_program(path8, {v: Crashes() for v in path8.nodes()})
+
+    def test_bfs_on_starved_bandwidth_raises_model_violation(self):
+        """Protocols must fail loudly, not silently truncate, when the
+        bandwidth cannot carry their messages."""
+        from repro.congest.algorithms.bfs import BFSEchoProgram
+
+        import networkx as nx
+
+        net = Network(nx.path_graph(6), bandwidth=2)  # too small for (tag, dist)
+        programs = {v: BFSEchoProgram(v, 0) for v in net.nodes()}
+        with pytest.raises(BandwidthExceeded):
+            run_program(net, programs)
+
+    def test_mid_protocol_violation_detected(self, path8):
+        class GoodThenGreedy(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(1, Field(0, 4))
+
+            def on_round(self, ctx, inbox):
+                if ctx.node == 1 and inbox:
+                    ctx.send(0, "x" * 50)  # way over budget
+                elif ctx.round > 3:
+                    ctx.halt()
+
+        with pytest.raises(BandwidthExceeded):
+            run_program(path8, {v: GoodThenGreedy() for v in path8.nodes()})
+
+
+class TestEngineLifecycle:
+    def test_run_after_completion_is_noop(self, path8):
+        engine = Engine(path8, {v: IdleProgram() for v in path8.nodes()})
+        first = engine.run()
+        second = engine.run()
+        assert first.rounds == 0
+        assert second.rounds == 0
+
+    def test_make_programs_covers_all_nodes(self, path8):
+        programs = make_programs(path8.n, lambda v: IdleProgram())
+        assert set(programs) == set(path8.nodes())
+        run_program(path8, programs)
+
+    def test_single_node_network_runs(self):
+        net = topologies.path(1)
+        result = run_program(net, {0: IdleProgram()})
+        assert result.rounds == 0
+        assert result.stats.messages == 0
+
+
+class TestContextHelpers:
+    def test_broadcast_reaches_all_neighbors(self, star10):
+        class Announcer(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.broadcast(Field(7, 8))
+                    ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                ctx.halt(output=inbox.values()[0] if inbox else None)
+
+        result = run_program(star10, {v: Announcer() for v in star10.nodes()})
+        assert all(result.outputs[v] == 7 for v in range(1, star10.n))
+
+    def test_inbox_helpers(self, path8):
+        class Inspector(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node in (0, 2):
+                    ctx.send(1, Field(ctx.node, 8))
+                ctx_is_mid = ctx.node == 1
+                if not ctx_is_mid:
+                    ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                assert len(inbox) == 2
+                assert bool(inbox)
+                assert inbox.from_node(0).value == 0
+                assert inbox.from_node(2).value == 2
+                assert inbox.from_node(5) is None
+                assert sorted(inbox.senders()) == [0, 2]
+                ctx.halt(output="checked")
+
+        result = run_program(path8, {v: Inspector() for v in path8.nodes()})
+        assert result.outputs[1] == "checked"

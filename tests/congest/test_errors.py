@@ -1,0 +1,47 @@
+"""Unit tests for the error hierarchy."""
+
+import pytest
+
+from repro.congest.errors import (
+    BandwidthExceeded,
+    CongestError,
+    DuplicateSend,
+    ModelViolation,
+    NotANeighbor,
+    RoundLimitExceeded,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_cls", [
+        BandwidthExceeded, NotANeighbor, DuplicateSend,
+    ])
+    def test_violations_are_model_violations(self, exc_cls):
+        assert issubclass(exc_cls, ModelViolation)
+        assert issubclass(exc_cls, CongestError)
+
+    def test_round_limit_is_not_a_model_violation(self):
+        assert issubclass(RoundLimitExceeded, CongestError)
+        assert not issubclass(RoundLimitExceeded, ModelViolation)
+
+
+class TestPayloads:
+    def test_bandwidth_exceeded_carries_context(self):
+        exc = BandwidthExceeded(3, 4, bits=50, bandwidth=32)
+        assert exc.src == 3 and exc.dst == 4
+        assert exc.bits == 50 and exc.bandwidth == 32
+        assert "50 bits" in str(exc)
+
+    def test_not_a_neighbor_message(self):
+        exc = NotANeighbor(1, 9)
+        assert "non-neighbor 9" in str(exc)
+
+    def test_duplicate_send_round(self):
+        exc = DuplicateSend(0, 2, round_no=7)
+        assert exc.round_no == 7
+        assert "round 7" in str(exc)
+
+    def test_round_limit_budget(self):
+        exc = RoundLimitExceeded(500)
+        assert exc.max_rounds == 500
+        assert "500" in str(exc)

@@ -1,0 +1,32 @@
+"""Tests for max-id leader election."""
+
+from repro.congest import topologies
+from repro.congest.algorithms.leader import elect_leader
+
+
+class TestLeaderElection:
+    def test_elects_max_id(self, small_network):
+        result = elect_leader(small_network, seed=1)
+        assert result.leader == small_network.n - 1
+
+    def test_rounds_bounded_by_diameter(self, small_network):
+        result = elect_leader(small_network, seed=1)
+        assert result.rounds <= small_network.diameter + 1
+
+    def test_rounds_track_eccentricity_of_winner(self):
+        # On a path, node n-1 sits at an end: its id must travel n-1 hops.
+        net = topologies.path(12)
+        result = elect_leader(net, seed=2)
+        assert result.rounds == net.eccentricities[net.n - 1] + 1
+
+    def test_single_node(self):
+        net = topologies.path(1)
+        result = elect_leader(net)
+        assert result.leader == 0
+        assert result.rounds == 0
+
+    def test_complete_graph_one_round(self):
+        net = topologies.complete(9)
+        result = elect_leader(net, seed=3)
+        assert result.leader == 8
+        assert result.rounds <= 2

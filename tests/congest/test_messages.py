@@ -1,0 +1,70 @@
+"""Unit tests for Message, Inbox, and TrafficStats."""
+
+import pytest
+
+from repro.congest.encoding import Field
+from repro.congest.messages import Inbox, Message, TrafficStats
+
+
+class TestMessage:
+    def test_make_computes_bits(self):
+        msg = Message.make(0, 1, Field(5, 16), round_sent=3)
+        assert msg.bits == 4
+        assert msg.round_sent == 3
+
+    def test_value_unwraps_fields(self):
+        msg = Message.make(0, 1, (Field(5, 16), Field(2, 4)), 1)
+        assert msg.value == (5, 2)
+
+    def test_frozen(self):
+        msg = Message.make(0, 1, Field(0, 2), 1)
+        with pytest.raises(AttributeError):
+            msg.src = 9
+
+
+class TestInbox:
+    @pytest.fixture
+    def inbox(self):
+        return Inbox([
+            Message.make(2, 0, Field(10, 16), 1),
+            Message.make(5, 0, Field(11, 16), 1),
+        ])
+
+    def test_len_and_truthiness(self, inbox):
+        assert len(inbox) == 2
+        assert bool(inbox)
+        assert not Inbox()
+
+    def test_iteration_order_preserved(self, inbox):
+        assert [m.src for m in inbox] == [2, 5]
+
+    def test_from_node(self, inbox):
+        assert inbox.from_node(2).value == 10
+        assert inbox.from_node(5).value == 11
+        assert inbox.from_node(9) is None
+
+    def test_senders_and_values(self, inbox):
+        assert inbox.senders() == [2, 5]
+        assert inbox.values() == [10, 11]
+
+    def test_empty_inbox_helpers(self):
+        empty = Inbox()
+        assert empty.senders() == []
+        assert empty.values() == []
+        assert empty.from_node(0) is None
+
+
+class TestTrafficStats:
+    def test_accumulates(self):
+        stats = TrafficStats()
+        stats.record_round(3, 30)
+        stats.record_round(5, 50)
+        assert stats.messages == 8
+        assert stats.bits == 80
+        assert stats.per_round_messages == [3, 5]
+        assert stats.max_messages_in_round == 5
+
+    def test_empty(self):
+        stats = TrafficStats()
+        assert stats.max_messages_in_round == 0
+        assert stats.messages == 0

@@ -1,0 +1,136 @@
+"""Tests for the topology generators."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.graphtruth import girth
+from repro.congest import topologies
+
+
+class TestBasicShapes:
+    def test_path(self):
+        net = topologies.path(5)
+        assert net.n == 5 and net.m == 4 and net.diameter == 4
+
+    def test_cycle(self):
+        net = topologies.cycle(8)
+        assert net.m == 8 and net.diameter == 4
+
+    def test_star(self):
+        net = topologies.star(9)
+        assert net.n == 9 and net.degree(0) == 8
+
+    def test_complete(self):
+        net = topologies.complete(6)
+        assert net.m == 15 and net.diameter == 1
+
+    def test_grid(self):
+        net = topologies.grid(3, 4)
+        assert net.n == 12 and net.diameter == 5
+
+    def test_balanced_tree(self):
+        net = topologies.balanced_tree(2, 3)
+        assert net.n == 15 and net.m == 14
+
+    def test_petersen(self):
+        net = topologies.petersen()
+        assert net.n == 10 and all(net.degree(v) == 3 for v in net.nodes())
+
+
+class TestRandomFamilies:
+    def test_random_regular_connected_and_regular(self):
+        net = topologies.random_regular(20, 3, seed=1)
+        assert all(net.degree(v) == 3 for v in net.nodes())
+        assert nx.is_connected(net.graph)
+
+    def test_erdos_renyi_connected(self):
+        net = topologies.erdos_renyi(40, 0.15, seed=2)
+        assert nx.is_connected(net.graph)
+        assert net.n == 40
+
+    def test_random_deterministic_under_seed(self):
+        a = topologies.erdos_renyi(30, 0.15, seed=3)
+        b = topologies.erdos_renyi(30, 0.15, seed=3)
+        assert set(a.graph.edges()) == set(b.graph.edges())
+
+
+class TestGadgets:
+    def test_two_stars_structure(self):
+        net = topologies.two_stars(4, 6)
+        assert net.n == 12
+        assert net.has_edge(0, 1)
+        assert net.degree(0) == 5  # 4 leaves + center B
+        assert net.degree(1) == 7
+
+    def test_path_with_endpoints(self):
+        net = topologies.path_with_endpoints(9)
+        assert net.n == 10
+        assert net.distances_from(0)[9] == 9
+
+    def test_diameter_controlled(self):
+        net = topologies.diameter_controlled(60, 10, seed=4)
+        assert net.n == 60
+        assert 10 <= net.diameter <= 14
+
+    def test_diameter_controlled_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            topologies.diameter_controlled(5, 10)
+
+
+class TestCycleFamilies:
+    def test_planted_cycle_girth(self):
+        net = topologies.planted_cycle(40, 7, seed=5)
+        assert girth(net.graph) == 7
+        assert net.n == 40
+
+    def test_planted_cycle_bounds(self):
+        with pytest.raises(ValueError):
+            topologies.planted_cycle(10, 2)
+        with pytest.raises(ValueError):
+            topologies.planted_cycle(5, 6)
+
+    def test_known_girth_single(self):
+        net = topologies.known_girth(6)
+        assert girth(net.graph) == 6
+
+    def test_known_girth_copies_and_tail(self):
+        net = topologies.known_girth(5, copies=3, tail=4)
+        assert girth(net.graph) == 5
+        assert net.n == 15 + 4
+
+    def test_bipartite_incidence_girth_at_least_six(self):
+        net = topologies.bipartite_incidence(3)
+        g = girth(net.graph)
+        assert g is not None and g >= 6
+
+
+class TestExtendedFamilies:
+    def test_hypercube(self):
+        net = topologies.hypercube(4)
+        assert net.n == 16
+        assert net.diameter == 4
+        assert all(net.degree(v) == 4 for v in net.nodes())
+
+    def test_hypercube_validation(self):
+        with pytest.raises(ValueError):
+            topologies.hypercube(0)
+
+    def test_torus(self):
+        net = topologies.torus(4, 5)
+        assert net.n == 20
+        assert all(net.degree(v) == 4 for v in net.nodes())
+        assert net.diameter == 2 + 2
+
+    def test_torus_validation(self):
+        with pytest.raises(ValueError):
+            topologies.torus(2, 5)
+
+    def test_expander_low_diameter(self):
+        net = topologies.expander(64, seed=1)
+        assert net.n == 64
+        assert net.diameter <= 10  # ~log n for a random cubic graph
+        assert all(net.degree(v) == 3 for v in net.nodes())
+
+    def test_expander_validation(self):
+        with pytest.raises(ValueError):
+            topologies.expander(7)

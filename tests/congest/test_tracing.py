@@ -1,0 +1,132 @@
+"""Tests for execution tracing (and the pipelining it makes visible)."""
+
+import pytest
+
+from repro.congest import topologies
+from repro.congest.algorithms.bfs import BFSEchoProgram, bfs_with_echo
+from repro.congest.encoding import Field
+from repro.congest.program import Context, NodeProgram
+from repro.congest.tracing import run_traced
+from repro.core.state_transfer import RegisterStreamProgram
+
+
+class PingPong(NodeProgram):
+    """Node 0 volleys to node 1, which echoes; a 'last' flag ends the game."""
+
+    def __init__(self, node, volleys=3):
+        self.node = node
+        self.volleys = volleys
+        self.sent = 0
+
+    def _volley(self, ctx):
+        last = self.sent == self.volleys - 1
+        ctx.send(1, (Field(self.sent % 8, 8), last))
+        self.sent += 1
+
+    def on_start(self, ctx):
+        if ctx.node == 0:
+            self._volley(ctx)
+        elif ctx.node != 1:
+            ctx.halt()
+
+    def on_round(self, ctx, inbox):
+        msg = inbox.from_node(1 - ctx.node) if ctx.node in (0, 1) else None
+        if msg is None:
+            return
+        value, last = msg.value
+        if ctx.node == 1:
+            ctx.send(0, (Field(value, 8), last))
+            if last:
+                ctx.halt()
+        else:
+            if last:
+                ctx.halt()
+            else:
+                self._volley(ctx)
+
+
+class TestTraceBasics:
+    def test_events_recorded(self, path8):
+        programs = {v: PingPong(v) for v in path8.nodes()}
+        result, trace = run_traced(path8, programs, seed=1)
+        assert len(trace.events) > 0
+        assert trace.rounds_used() == result.rounds
+
+    def test_event_fields(self, path8):
+        programs = {v: PingPong(v) for v in path8.nodes()}
+        _, trace = run_traced(path8, programs, seed=1)
+        first = trace.events[0]
+        assert first.round_no == 1
+        assert first.src == 0 and first.dst == 1
+        assert first.bits == 4  # Field(·, 8) + the 'last' flag bit
+
+    def test_edge_filter(self, path8):
+        programs = {v: PingPong(v) for v in path8.nodes()}
+        _, trace = run_traced(path8, programs, seed=1)
+        forward = trace.events_on_edge(0, 1)
+        backward = trace.events_on_edge(1, 0)
+        assert len(forward) >= 1 and len(backward) >= 1
+        assert not trace.events_on_edge(3, 4)
+
+    def test_results_match_untraced_engine(self, grid45):
+        """Tracing must not change behaviour: BFS gives identical output."""
+        programs = {v: BFSEchoProgram(v, 0) for v in grid45.nodes()}
+        result, _ = run_traced(grid45, programs, seed=2)
+        reference = bfs_with_echo(grid45, 0, seed=2)
+        assert result.rounds == reference.rounds
+
+    def test_busiest_round_and_bits(self, path8):
+        programs = {v: PingPong(v) for v in path8.nodes()}
+        _, trace = run_traced(path8, programs, seed=1)
+        round_no, count = trace.busiest_round()
+        assert count == 1  # ping-pong: one message per round
+        assert trace.total_bits() == 4 * len(trace.events)
+
+
+class TestPipeliningVisible:
+    def test_register_stream_fills_pipe(self):
+        """Lemma 7 pipelining: consecutive edges busy in consecutive rounds."""
+        net = topologies.path(6)
+        tree = bfs_with_echo(net, 0)
+        children = tree.children()
+        q_bits = 200
+        chunk_bits = net.bandwidth - 8
+        import math
+
+        from repro.core.state_transfer import _chunk_register
+
+        bits = [1] * q_bits
+        chunks = _chunk_register(bits, chunk_bits)
+        programs = {
+            v: RegisterStreamProgram(
+                v, tree.parent.get(v), children.get(v, []),
+                chunks if v == 0 else None, len(chunks),
+                1 << chunk_bits, pipelined=True,
+            )
+            for v in net.nodes()
+        }
+        _, trace = run_traced(net, programs, seed=3)
+        # Edge (i, i+1) first carries a chunk in round i+1: the wavefront.
+        for i in range(5):
+            first = min(e.round_no for e in trace.events_on_edge(i, i + 1))
+            assert first == i + 1
+        # Interior edges stay busy nearly every round (the full pipe).
+        assert trace.edge_utilization(0, 1) > 0.6
+
+    def test_timeline_renders(self):
+        net = topologies.path(4)
+        tree = bfs_with_echo(net, 0)
+        programs = {v: BFSEchoProgram(v, 0) for v in net.nodes()}
+        _, trace = run_traced(net, programs, seed=4)
+        art = trace.render_timeline([(0, 1), (1, 2), (2, 3)])
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert "#" in art and "." in art
+
+    def test_empty_trace(self, path8):
+        from repro.congest.program import IdleProgram
+
+        _, trace = run_traced(path8, {v: IdleProgram() for v in path8.nodes()})
+        assert trace.rounds_used() == 0
+        assert trace.busiest_round() == (0, 0)
+        assert trace.edge_utilization(0, 1) == 0.0

@@ -1,0 +1,125 @@
+"""Tests for the success-probability boosting combinators."""
+
+import numpy as np
+import pytest
+
+from repro.core.boosting import (
+    boost_first_found,
+    boost_majority,
+    boost_maximum,
+    boost_median,
+    boost_minimum,
+    repetitions_for,
+)
+
+
+def flaky_protocol(success_rate, good_value, bad_value, cost=10):
+    """A 'protocol' that succeeds with the given rate per run."""
+
+    def run(seed):
+        rng = np.random.default_rng(seed)
+        value = good_value if rng.random() < success_rate else bad_value
+        return value, cost
+
+    return run
+
+
+class TestRepetitions:
+    def test_formula(self):
+        # (1/3)^r <= delta
+        assert repetitions_for(1 / 3) == 1
+        assert repetitions_for(1 / 9) == 2
+        assert repetitions_for(0.001) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            repetitions_for(0.0)
+        with pytest.raises(ValueError):
+            repetitions_for(0.5, base_failure=1.5)
+
+
+class TestBoostExtremes:
+    def test_minimum_keeps_best(self):
+        protocol = flaky_protocol(0.5, good_value=3, bad_value=17)
+        out = boost_minimum(protocol, delta=0.001, seed=0)
+        assert out.value == 3
+        assert out.rounds == 10 * out.repetitions
+
+    def test_maximum_keeps_best(self):
+        protocol = flaky_protocol(0.5, good_value=99, bad_value=1)
+        out = boost_maximum(protocol, delta=0.001, seed=0)
+        assert out.value == 99
+
+    def test_all_none_propagates(self):
+        out = boost_minimum(lambda s: (None, 5), delta=0.01, seed=0)
+        assert out.value is None
+        assert out.rounds == 5 * out.repetitions
+
+    def test_boosted_failure_probability_drops(self):
+        """Empirically: 2/3-per-run success becomes near-certain."""
+        failures = 0
+        for base_seed in range(0, 400, 8):
+            protocol = flaky_protocol(2 / 3, good_value=1, bad_value=None)
+            out = boost_first_found(protocol, delta=0.01, seed=base_seed)
+            failures += out.value is None
+        assert failures <= 2
+
+
+class TestFirstFound:
+    def test_stops_early(self):
+        protocol = flaky_protocol(1.0, good_value="hit", bad_value=None)
+        out = boost_first_found(protocol, delta=0.001, seed=0)
+        assert out.value == "hit"
+        assert out.repetitions == 1
+        assert out.rounds == 10
+
+    def test_pays_only_used_runs(self):
+        calls = []
+
+        def protocol(seed):
+            calls.append(seed)
+            return ("found" if len(calls) == 3 else None), 7
+
+        out = boost_first_found(protocol, delta=0.0001, seed=0)
+        assert out.value == "found"
+        assert out.rounds == 21
+        assert len(calls) == 3
+
+
+class TestMajorityMedian:
+    def test_majority_recovers_truth(self):
+        protocol = flaky_protocol(0.7, good_value=True, bad_value=False)
+        out = boost_majority(protocol, delta=0.05, seed=0)
+        assert out.value is True
+        assert out.repetitions % 2 == 1
+
+    def test_median_concentrates(self):
+        def protocol(seed):
+            rng = np.random.default_rng(seed)
+            return 5.0 + float(rng.normal(0, 0.5)), 3
+
+        out = boost_median(protocol, delta=0.05, seed=0)
+        assert abs(out.value - 5.0) < 0.5
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            boost_majority(lambda s: (1, 1), delta=1.5)
+        with pytest.raises(ValueError):
+            boost_median(lambda s: (1.0, 1), delta=0.0)
+
+
+class TestEndToEndBoosting:
+    def test_boosted_diameter_near_certain(self):
+        """Boost Lemma 21 diameter: min/max combiner over 2/3-runs."""
+        from repro.apps.eccentricity import compute_diameter
+        from repro.congest import topologies
+
+        net = topologies.grid(4, 4)
+
+        def protocol(seed):
+            res = compute_diameter(net, seed=seed)
+            return res.value, res.rounds
+
+        out = boost_maximum(protocol, delta=0.01, seed=0)
+        assert out.value == net.diameter
+        assert out.rounds > 0

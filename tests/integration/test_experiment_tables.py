@@ -1,0 +1,58 @@
+"""Structural checks over every experiment's output table.
+
+Complements the criteria checks: every experiment must produce a
+well-formed, renderable table with data rows — this is what
+EXPERIMENTS.md regeneration relies on.
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentTable
+from repro.experiments import ALL_EXPERIMENTS
+
+FAST = ["E1", "E4", "E5", "E6", "E14", "E15", "E16", "E17"]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        name: ALL_EXPERIMENTS[name].run(quick=True, seed=0) for name in FAST
+    }
+
+
+class TestTableStructure:
+    def test_all_have_tables(self, results):
+        for name, result in results.items():
+            assert isinstance(result.table, ExperimentTable), name
+
+    def test_tables_have_rows(self, results):
+        for name, result in results.items():
+            assert len(result.table.rows) >= 1, f"{name} produced no rows"
+
+    def test_tables_render_without_error(self, results):
+        for name, result in results.items():
+            text = result.table.render()
+            assert name in text.split("\n")[0]
+            assert len(text.splitlines()) >= 3
+
+    def test_row_arity_matches_columns(self, results):
+        for name, result in results.items():
+            width = len(result.table.columns)
+            for row in result.table.rows:
+                assert len(row) == width, name
+
+    def test_experiment_ids_match_registry(self, results):
+        for name, result in results.items():
+            assert result.table.experiment_id == name
+
+
+class TestSeedRobustness:
+    """Criteria must hold for more than the default seed (no seed-tuning)."""
+
+    @pytest.mark.parametrize("experiment", ["E1", "E5", "E15", "E17"])
+    @pytest.mark.parametrize("seed", [7, 2026])
+    def test_criteria_hold_across_seeds(self, experiment, seed):
+        from repro.experiments.runner import verify_experiment
+
+        verdict = verify_experiment(experiment, quick=True, seed=seed)
+        assert verdict.passed, f"{experiment}@seed={seed}: {verdict.detail}"

@@ -1,0 +1,190 @@
+"""Tests for the lower-bound gadgets and certificates (Section 4)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.apps.deutsch_jozsa import solve_distributed_dj
+from repro.apps.element_distinctness import (
+    distinctness_between_nodes,
+    distinctness_distributed_vector,
+)
+from repro.apps.meeting import schedule_meeting
+from repro.lowerbounds.disjointness import (
+    DisjointnessInstance,
+    classical_congest_lower_bound,
+    quantum_line_lower_bound,
+    random_instance,
+)
+from repro.lowerbounds.rank_certificate import (
+    certify_dj_lower_bound,
+    fooling_matrix_rank,
+    greedy_fooling_set,
+    xor_is_balanced,
+)
+from repro.lowerbounds.reductions import (
+    build_dj_gadget,
+    build_ed_nodes_gadget,
+    build_ed_vector_gadget,
+    build_meeting_gadget,
+)
+
+
+def boosted(fn, tries=6):
+    """Run a 2/3-success check several times; any success counts."""
+    return any(fn(seed) for seed in range(tries))
+
+
+class TestDisjointnessInstances:
+    def test_intersection_detection(self):
+        inst = DisjointnessInstance((1, 0, 1), (0, 0, 1))
+        assert inst.intersecting
+        assert inst.intersection() == [2]
+
+    def test_disjoint(self):
+        inst = DisjointnessInstance((1, 0), (0, 1))
+        assert not inst.intersecting
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DisjointnessInstance((1,), (1, 0))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            DisjointnessInstance((2, 0), (0, 1))
+
+    def test_random_conditioning(self, rng):
+        yes = random_instance(20, rng, force_intersecting=True)
+        no = random_instance(20, rng, force_intersecting=False)
+        assert yes.intersecting and not no.intersecting
+
+    def test_bound_formulas_monotone(self):
+        assert classical_congest_lower_bound(2000, 5, 100) > (
+            classical_congest_lower_bound(100, 5, 100)
+        )
+        assert quantum_line_lower_bound(400, 10) > quantum_line_lower_bound(100, 10)
+
+
+class TestMeetingReduction:
+    """Lemma 11: the gadget maps disjointness to meeting scheduling."""
+
+    @pytest.mark.parametrize("want", [True, False])
+    def test_reduction_sound(self, want, rng):
+        inst = random_instance(10, rng, force_intersecting=want)
+        gadget = build_meeting_gadget(inst, distance=5)
+
+        def attempt(seed):
+            res = schedule_meeting(gadget.network, gadget.calendars, seed=seed)
+            return gadget.interpret(res.availability)
+
+        assert boosted(attempt) == inst.intersecting
+
+    def test_gadget_shape(self, rng):
+        inst = random_instance(6, rng)
+        gadget = build_meeting_gadget(inst, distance=7)
+        assert gadget.network.n == 8
+        assert gadget.calendars[0] == list(inst.x)
+        assert gadget.calendars[7] == list(inst.y)
+        assert all(sum(gadget.calendars[v]) == 0 for v in range(1, 7))
+
+
+class TestEDVectorReduction:
+    """Lemma 13: collision in x^{(v_A)} + x^{(v_B)} iff sets intersect."""
+
+    @pytest.mark.parametrize("want", [True, False])
+    def test_reduction_sound(self, want, rng):
+        inst = random_instance(8, rng, force_intersecting=want)
+        gadget = build_ed_vector_gadget(inst, distance=4)
+
+        def attempt(seed):
+            res = distinctness_distributed_vector(
+                gadget.network, gadget.vectors, gadget.max_value, seed=seed
+            )
+            return gadget.interpret(res.pair)
+
+        assert boosted(attempt) == inst.intersecting
+
+    def test_encoding_collision_structure(self, rng):
+        """Direct check of the Lemma 13 case analysis."""
+        for seed in range(5):
+            inst = random_instance(6, np.random.default_rng(seed))
+            gadget = build_ed_vector_gadget(inst, distance=3)
+            total = [
+                sum(gadget.vectors[v][i] for v in gadget.network.nodes())
+                for i in range(2 * inst.k)
+            ]
+            has_collision = len(set(total)) < len(total)
+            assert has_collision == inst.intersecting
+
+
+class TestEDNodesReduction:
+    """Lemma 15: two joined stars, repeated node value iff intersecting."""
+
+    @pytest.mark.parametrize("want", [True, False])
+    def test_reduction_sound(self, want, rng):
+        inst = random_instance(8, rng, force_intersecting=want)
+        gadget = build_ed_nodes_gadget(inst)
+
+        def attempt(seed):
+            res = distinctness_between_nodes(
+                gadget.network, gadget.values, gadget.max_value, seed=seed
+            )
+            return gadget.interpret(res.pair)
+
+        assert boosted(attempt) == inst.intersecting
+
+    def test_value_multiset(self, rng):
+        inst = random_instance(8, rng, force_intersecting=True)
+        gadget = build_ed_nodes_gadget(inst)
+        values = list(gadget.values.values())
+        assert (len(values) != len(set(values))) == inst.intersecting
+
+
+class TestDJReduction:
+    """Theorem 18: two-party DJ embedded at path endpoints."""
+
+    def test_balanced_detected(self):
+        gadget = build_dj_gadget([1, 0, 1, 0], [0, 0, 0, 0], distance=4)
+        result = solve_distributed_dj(gadget.network, gadget.inputs, seed=1)
+        assert result.balanced == (not gadget.constant_truth)
+
+    def test_constant_detected(self):
+        gadget = build_dj_gadget([1, 1, 1, 1], [0, 0, 0, 0], distance=4)
+        result = solve_distributed_dj(gadget.network, gadget.inputs, seed=1)
+        assert result.constant and gadget.constant_truth
+
+    def test_cancelling_halves(self):
+        gadget = build_dj_gadget([1, 0, 1, 1], [1, 0, 1, 1], distance=3)
+        assert gadget.constant_truth
+
+    def test_promise_violation_rejected(self):
+        with pytest.raises(ValueError):
+            build_dj_gadget([1, 0, 0, 0], [0, 0, 0, 0], distance=3)
+
+
+class TestFoolingCertificate:
+    @pytest.mark.parametrize("k", [4, 8, 16, 32])
+    def test_certificate_verifies(self, k):
+        cert = certify_dj_lower_bound(k)
+        assert cert.verified
+        assert cert.set_size >= k  # Hadamard seeds guarantee ≥ k
+
+    def test_pairwise_balanced(self):
+        fooling = greedy_fooling_set(8)
+        for a, b in itertools.combinations(fooling, 2):
+            assert xor_is_balanced(a, b, 8)
+
+    def test_rank_equals_set_size(self):
+        for k in [4, 8]:
+            fooling = greedy_fooling_set(k)
+            assert fooling_matrix_rank(fooling, k) == len(fooling)
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_fooling_set(5)
+
+    def test_bound_grows_with_k(self):
+        b4 = certify_dj_lower_bound(4).bits_lower_bound
+        b32 = certify_dj_lower_bound(32).bits_lower_bound
+        assert b32 > b4

@@ -1,0 +1,142 @@
+"""Exact tests for Deutsch–Jozsa, phase estimation, amplitude techniques."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum import amplitude as amp
+from repro.quantum import deutsch_jozsa as dj
+from repro.quantum import phase_estimation as pe
+from repro.quantum.circuits import qft_matrix
+
+
+class TestDeutschJozsa:
+    def test_constant_zero(self):
+        out = dj.run([0] * 16)
+        assert out.constant
+        assert out.zero_amplitude_probability == pytest.approx(1.0)
+
+    def test_constant_one(self):
+        out = dj.run([1] * 8)
+        assert out.constant
+        assert out.zero_amplitude_probability == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("bits", [
+        [0, 1] * 8,
+        [1, 1, 0, 0] * 2,
+        [0, 1, 1, 0, 1, 0, 0, 1],
+    ])
+    def test_balanced_zero_amplitude_exactly_zero(self, bits):
+        out = dj.run(bits)
+        assert not out.constant
+        assert out.zero_amplitude_probability == pytest.approx(0.0, abs=1e-12)
+
+    def test_promise_violation_raises(self):
+        with pytest.raises(dj.PromiseViolation):
+            dj.run([1, 0, 0, 0])
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            dj.run([0, 1, 0])
+
+    def test_single_query(self):
+        assert dj.run([0] * 4).oracle_calls == 1
+
+    def test_classify_strings(self):
+        assert dj.classify([0, 0, 1, 1]) == "balanced"
+        assert dj.classify([1, 1, 1, 1]) == "constant"
+
+
+class TestPhaseEstimation:
+    def test_exact_phase_recovered(self, rng):
+        theta = 3 / 16
+        u = np.diag([np.exp(2j * np.pi * theta), 1.0])
+        est = pe.estimate_phase(u, np.array([1, 0]), 4, rng)
+        assert est.theta == pytest.approx(theta)
+
+    def test_inexact_phase_within_resolution(self, rng):
+        theta = 0.237
+        u = np.diag([np.exp(2j * np.pi * theta), 1.0])
+        errors = []
+        for seed in range(20):
+            est = pe.estimate_phase(
+                u, np.array([1, 0]), 6, np.random.default_rng(seed)
+            )
+            err = min(abs(est.theta - theta), 1 - abs(est.theta - theta))
+            errors.append(err)
+        assert sorted(errors)[10] <= 1 / 64  # median within one bin
+
+    def test_boosted_accuracy(self, rng):
+        theta = 0.41
+        u = np.diag([np.exp(2j * np.pi * theta), 1.0])
+        est = pe.estimate_phase_boosted(
+            u, np.array([1, 0]), epsilon=0.02, delta=0.05, rng=rng
+        )
+        err = min(abs(est.theta - theta), 1 - abs(est.theta - theta))
+        assert err <= 0.02
+
+    def test_unitary_application_count(self, rng):
+        u = np.eye(2, dtype=complex)
+        est = pe.estimate_phase(u, np.array([1, 0]), 5, rng)
+        assert est.unitary_applications == 2**5 - 1
+
+    def test_rejects_bad_dimension(self, rng):
+        with pytest.raises(ValueError):
+            pe.estimate_phase(np.eye(3, dtype=complex), np.ones(3) / math.sqrt(3), 3, rng)
+
+
+class TestAmplitudeAmplification:
+    @pytest.fixture
+    def prep_and_good(self):
+        q = 3
+        return qft_matrix(q), {1, 6}  # column 0 uniform, p = 2/8
+
+    def test_good_probability(self, prep_and_good):
+        a, good = prep_and_good
+        assert amp.good_probability(a, good) == pytest.approx(0.25)
+
+    def test_iterate_unitary(self, prep_and_good):
+        a, good = prep_and_good
+        q = amp.amplification_iterate(a, good)
+        assert np.allclose(q @ q.conj().T, np.eye(8), atol=1e-9)
+
+    @pytest.mark.parametrize("iterations", [0, 1, 2, 3])
+    def test_amplified_probability_law(self, prep_and_good, iterations):
+        a, good = prep_and_good
+        p = amp.good_probability(a, good)
+        q = amp.amplification_iterate(a, good)
+        vec = a[:, 0].copy()
+        for _ in range(iterations):
+            vec = q @ vec
+        measured = sum(abs(vec[i]) ** 2 for i in good)
+        assert measured == pytest.approx(
+            amp.theoretical_amplified_probability(p, iterations), abs=1e-10
+        )
+
+    def test_amplify_boosts_success(self, prep_and_good, rng):
+        a, good = prep_and_good
+        result = amp.amplify(a, good, rng)
+        assert result.success_probability > amp.good_probability(a, good)
+
+    def test_amplify_handles_p_zero(self, rng):
+        a = qft_matrix(2)
+        result = amp.amplify(a, set(), rng, iterations=2)
+        assert not result.good
+
+
+class TestAmplitudeEstimation:
+    def test_estimates_within_resolution(self):
+        a = qft_matrix(3)
+        good = {2, 5}
+        p = amp.good_probability(a, good)
+        errors = []
+        for seed in range(20):
+            est = amp.estimate_amplitude(a, good, 7, np.random.default_rng(seed))
+            errors.append(abs(est.p_estimate - p))
+        assert sorted(errors)[10] <= 0.02
+
+    def test_iterate_applications_counted(self, rng):
+        a = qft_matrix(2)
+        est = amp.estimate_amplitude(a, {1}, 5, rng)
+        assert est.iterate_applications == 2**5 - 1

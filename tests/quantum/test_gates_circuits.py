@@ -1,0 +1,102 @@
+"""Tests for gate matrices and the circuit container."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates
+from repro.quantum.circuits import Circuit, inverse_qft_matrix, qft_matrix
+from repro.quantum.statevector import Statevector
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize(
+        "gate",
+        [gates.I2, gates.X, gates.Y, gates.Z, gates.H, gates.S, gates.T,
+         gates.CNOT, gates.CZ, gates.SWAP],
+        ids=["I", "X", "Y", "Z", "H", "S", "T", "CNOT", "CZ", "SWAP"],
+    )
+    def test_all_unitary(self, gate):
+        assert gates.is_unitary(gate)
+
+    @pytest.mark.parametrize("theta", [0.0, 0.7, np.pi, 2.5])
+    def test_rotations_unitary(self, theta):
+        assert gates.is_unitary(gates.rx(theta))
+        assert gates.is_unitary(gates.ry(theta))
+        assert gates.is_unitary(gates.rz(theta))
+        assert gates.is_unitary(gates.phase(theta))
+
+    def test_pauli_relations(self):
+        assert np.allclose(gates.X @ gates.X, gates.I2)
+        assert np.allclose(gates.X @ gates.Y - gates.Y @ gates.X, 2j * gates.Z)
+
+    def test_hzh_equals_x(self):
+        assert np.allclose(gates.H @ gates.Z @ gates.H, gates.X)
+
+    def test_multi_controlled_z(self):
+        mcz = gates.multi_controlled_z(3)
+        assert gates.is_unitary(mcz)
+        diag = np.diag(mcz)
+        assert diag[-1] == -1
+        assert np.all(diag[:-1] == 1)
+
+    def test_is_unitary_rejects_non_unitary(self):
+        assert not gates.is_unitary(np.array([[1, 1], [0, 1]], dtype=complex))
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_unitary(self, n):
+        assert gates.is_unitary(qft_matrix(n))
+
+    def test_inverse_is_conjugate_transpose(self):
+        q = qft_matrix(3)
+        assert np.allclose(q @ inverse_qft_matrix(3), np.eye(8))
+
+    def test_qft_of_zero_is_uniform(self):
+        col = qft_matrix(3)[:, 0]
+        assert np.allclose(col, 1 / np.sqrt(8))
+
+    def test_qft_frequency_readout(self):
+        """QFT maps a pure frequency phase ramp back to a basis state."""
+        n, freq = 3, 5
+        dim = 1 << n
+        ramp = np.exp(2j * np.pi * freq * np.arange(dim) / dim) / np.sqrt(dim)
+        out = inverse_qft_matrix(n) @ ramp
+        assert np.argmax(np.abs(out)) == freq
+        assert abs(out[freq]) == pytest.approx(1.0)
+
+
+class TestCircuit:
+    def test_bell_pair(self, rng):
+        circ = Circuit(2).h(0).cnot(0, 1)
+        sv = circ.run(Statevector(2))
+        assert sv.probability_of(0) == pytest.approx(0.5)
+        assert sv.probability_of(3) == pytest.approx(0.5)
+
+    def test_inverse_undoes(self):
+        circ = Circuit(3).h(0).cnot(0, 1).h(2).z(1)
+        sv = Statevector(3)
+        circ.run(sv)
+        circ.inverse().run(sv)
+        assert sv.probability_of(0) == pytest.approx(1.0)
+
+    def test_rejects_non_unitary_ops(self):
+        with pytest.raises(ValueError):
+            Circuit(1).add(np.array([[1, 1], [0, 1]]), [0])
+
+    def test_to_matrix_matches_composition(self):
+        circ = Circuit(2).h(0).cnot(0, 1)
+        m = circ.to_matrix()
+        assert gates.is_unitary(m)
+        sv = circ.run(Statevector(2))
+        direct = m @ np.eye(4)[:, 0]
+        assert np.allclose(sv.data, direct)
+
+    def test_controlled_builder(self):
+        circ = Circuit(2).x(0).controlled(gates.X, [0], [1])
+        sv = circ.run(Statevector(2))
+        assert sv.probability_of(0b11) == pytest.approx(1.0)
+
+    def test_qubit_count_mismatch(self):
+        with pytest.raises(ValueError):
+            Circuit(2).run(Statevector(3))

@@ -1,0 +1,109 @@
+"""Exact Grover tests: the amplitude law the Level-S emulation relies on.
+
+The critical cross-validation of DESIGN.md §3: the statevector-simulated
+success probability must match sin²((2j+1)·asin(√(t/N))) exactly, because
+that closed form is what the stochastic emulation layer samples from.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum import grover
+from repro.quantum.statevector import uniform_superposition
+
+
+class TestAmplitudeLaw:
+    @pytest.mark.parametrize("num_qubits,marked", [
+        (3, {5}),
+        (4, {1, 2}),
+        (5, {0, 7, 21}),
+        (6, {63}),
+        (4, set(range(8))),  # t = N/2
+    ])
+    @pytest.mark.parametrize("iterations", [0, 1, 2, 4])
+    def test_exact_matches_closed_form(self, num_qubits, marked, iterations):
+        exact = grover.success_probability(num_qubits, marked, iterations)
+        theory = grover.theoretical_success_probability(
+            1 << num_qubits, len(marked), iterations
+        )
+        assert exact == pytest.approx(theory, abs=1e-10)
+
+    def test_no_marked_items_zero_probability(self):
+        assert grover.success_probability(4, set(), 3) == pytest.approx(0.0)
+
+    def test_optimal_iterations_near_one(self):
+        """At the optimal count the success probability is ≥ 1 − t/N."""
+        for num_qubits, t in [(6, 1), (7, 2), (8, 3)]:
+            n_items = 1 << num_qubits
+            marked = set(range(t))
+            j = grover.optimal_iterations(n_items, t)
+            p = grover.success_probability(num_qubits, marked, j)
+            assert p >= 1 - t / n_items - 0.05
+
+    def test_uniform_over_marked(self):
+        """Measurement collapses uniformly over the marked set."""
+        marked = {3, 9, 12}
+        state = grover.grover_state(4, marked, grover.optimal_iterations(16, 3))
+        probs = state.probabilities()
+        marked_probs = [probs[i] for i in marked]
+        assert max(marked_probs) == pytest.approx(min(marked_probs), rel=1e-9)
+
+    def test_overshooting_decreases_probability(self):
+        n_q, marked = 6, {5}
+        j_opt = grover.optimal_iterations(64, 1)
+        at_opt = grover.success_probability(n_q, marked, j_opt)
+        past = grover.success_probability(n_q, marked, 2 * j_opt + 1)
+        assert past < at_opt
+
+
+class TestDiffusion:
+    def test_diffusion_preserves_uniform(self):
+        sv = uniform_superposition(3)
+        grover.diffusion(sv)
+        assert np.allclose(np.abs(sv.data) ** 2, 1 / 8)
+
+    def test_oracle_flips_sign_only(self):
+        sv = uniform_superposition(3)
+        grover.oracle_phase_flip(sv, {2})
+        assert sv.data[2].real == pytest.approx(-1 / math.sqrt(8))
+        assert sv.data[0].real == pytest.approx(1 / math.sqrt(8))
+
+
+class TestSearch:
+    def test_search_finds_marked(self, rng):
+        run = grover.search(6, {42}, rng)
+        assert run.result == 42
+
+    def test_search_reports_iterations(self, rng):
+        run = grover.search(6, {1}, rng)
+        assert run.iterations_used == grover.optimal_iterations(64, 1)
+
+    def test_bbht_finds_unknown_t(self, rng):
+        hits = 0
+        for seed in range(10):
+            r = grover.bbht_search(6, {11, 50}, np.random.default_rng(seed))
+            hits += r.result in {11, 50}
+        assert hits >= 8
+
+    def test_bbht_empty_marked_terminates(self, rng):
+        run = grover.bbht_search(6, set(), rng)
+        assert run.result is None
+        assert run.oracle_calls <= 20 * 64
+
+    def test_bbht_expected_calls_scale(self):
+        """Average oracle calls ≈ O(√(N/t)): quadruple N, double calls."""
+        def avg_calls(num_qubits):
+            total = 0
+            for seed in range(30):
+                r = grover.bbht_search(
+                    num_qubits, {0}, np.random.default_rng(seed)
+                )
+                total += r.oracle_calls
+            return total / 30
+
+        small = avg_calls(4)
+        large = avg_calls(8)
+        ratio = large / small
+        assert 2.0 < ratio < 9.0  # ideal 4 (√16), generous envelope

@@ -1,0 +1,149 @@
+"""Unit tests for the dense statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates
+from repro.quantum.statevector import (
+    Statevector,
+    basis_state,
+    uniform_superposition,
+)
+
+
+class TestConstruction:
+    def test_starts_in_zero_state(self):
+        sv = Statevector(3)
+        assert sv.probability_of(0) == pytest.approx(1.0)
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(ValueError):
+            Statevector(0)
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            Statevector(1, np.array([1.0, 1.0]))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            Statevector(2, np.array([1.0, 0.0]))
+
+    def test_basis_state(self):
+        sv = basis_state(3, 5)
+        assert sv.probability_of(5) == pytest.approx(1.0)
+
+    def test_uniform_superposition(self):
+        sv = uniform_superposition(4)
+        assert np.allclose(sv.probabilities(), 1 / 16)
+
+
+class TestGateApplication:
+    def test_x_flips(self):
+        sv = Statevector(1).apply(gates.X, [0])
+        assert sv.probability_of(1) == pytest.approx(1.0)
+
+    def test_h_creates_superposition(self):
+        sv = Statevector(1).apply(gates.H, [0])
+        assert np.allclose(sv.probabilities(), [0.5, 0.5])
+
+    def test_hh_identity(self):
+        sv = Statevector(1).apply(gates.H, [0]).apply(gates.H, [0])
+        assert sv.probability_of(0) == pytest.approx(1.0)
+
+    def test_qubit_ordering_msb(self):
+        """Qubit 0 is the most significant bit."""
+        sv = Statevector(2).apply(gates.X, [0])
+        assert sv.probability_of(0b10) == pytest.approx(1.0)
+        sv = Statevector(2).apply(gates.X, [1])
+        assert sv.probability_of(0b01) == pytest.approx(1.0)
+
+    def test_cnot_entangles(self):
+        sv = Statevector(2).apply(gates.H, [0]).apply(gates.CNOT, [0, 1])
+        probs = sv.probabilities()
+        assert probs[0b00] == pytest.approx(0.5)
+        assert probs[0b11] == pytest.approx(0.5)
+        assert probs[0b01] == pytest.approx(0.0)
+
+    def test_two_qubit_gate_on_swapped_indices(self):
+        sv = Statevector(2).apply(gates.X, [1]).apply(gates.CNOT, [1, 0])
+        assert sv.probability_of(0b11) == pytest.approx(1.0)
+
+    def test_apply_controlled(self):
+        sv = Statevector(2).apply(gates.X, [0])
+        sv.apply_controlled(gates.X, [0], [1])
+        assert sv.probability_of(0b11) == pytest.approx(1.0)
+
+    def test_controlled_does_nothing_without_control(self):
+        sv = Statevector(2)
+        sv.apply_controlled(gates.X, [0], [1])
+        assert sv.probability_of(0b00) == pytest.approx(1.0)
+
+    def test_rejects_duplicate_qubits(self):
+        with pytest.raises(ValueError):
+            Statevector(2).apply(gates.CNOT, [0, 0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Statevector(2).apply(gates.X, [2])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Statevector(2).apply(gates.CNOT, [0])
+
+    def test_norm_preserved_by_random_circuit(self, rng):
+        sv = Statevector(4)
+        from scipy.stats import unitary_group
+
+        for _ in range(10):
+            u = unitary_group.rvs(4, random_state=rng)
+            q = sorted(rng.choice(4, size=2, replace=False))
+            sv.apply(u, [int(q[0]), int(q[1])])
+        assert sv.is_normalized()
+
+
+class TestDiagonal:
+    def test_phase_oracle(self):
+        sv = uniform_superposition(2)
+        sv.apply_diagonal(np.array([1, -1, 1, 1], dtype=complex))
+        assert np.allclose(sv.probabilities(), 0.25)
+        assert sv.data[1].real == pytest.approx(-0.5)
+
+    def test_rejects_non_unit_modulus(self):
+        sv = Statevector(1)
+        with pytest.raises(ValueError):
+            sv.apply_diagonal(np.array([2.0, 1.0], dtype=complex))
+
+
+class TestMeasurement:
+    def test_deterministic_measure(self, rng):
+        sv = basis_state(3, 6)
+        assert sv.measure(rng) == 6
+
+    def test_sampling_distribution(self, rng):
+        sv = Statevector(1).apply(gates.H, [0])
+        samples = sv.sample(rng, shots=2000)
+        ones = int(np.sum(samples))
+        assert 800 < ones < 1200
+
+    def test_marginal_probabilities(self):
+        sv = Statevector(2).apply(gates.H, [0]).apply(gates.CNOT, [0, 1])
+        marg = sv.marginal_probabilities([0])
+        assert np.allclose(marg, [0.5, 0.5])
+
+    def test_marginal_of_product_state(self):
+        sv = Statevector(2).apply(gates.X, [1])
+        marg = sv.marginal_probabilities([1])
+        assert np.allclose(marg, [0.0, 1.0])
+
+
+class TestInnerProduct:
+    def test_self_fidelity_one(self):
+        sv = uniform_superposition(3)
+        assert sv.fidelity(sv.copy()) == pytest.approx(1.0)
+
+    def test_orthogonal_states(self):
+        assert basis_state(2, 0).fidelity(basis_state(2, 3)) == pytest.approx(0.0)
+
+    def test_qubit_count_mismatch(self):
+        with pytest.raises(ValueError):
+            basis_state(2, 0).inner(basis_state(3, 0))

@@ -1,0 +1,104 @@
+"""Tests for the Johnson-graph spectral facts behind Lemma 5."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.queries.johnson import (
+    check_walk_parameters,
+    johnson_gap_closed_form,
+    johnson_vertices,
+    johnson_walk_matrix,
+    marked_fraction_one_pair,
+    power_walk_gap,
+    spectral_gap,
+)
+
+
+class TestConstruction:
+    def test_vertex_count(self):
+        assert len(johnson_vertices(6, 2)) == 15
+
+    def test_walk_is_stochastic(self):
+        walk = johnson_walk_matrix(6, 2)
+        assert np.allclose(walk.sum(axis=1), 1.0)
+
+    def test_walk_is_symmetric(self):
+        walk = johnson_walk_matrix(7, 3)
+        assert np.allclose(walk, walk.T)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            johnson_vertices(4, 0)
+        with pytest.raises(ValueError):
+            johnson_vertices(4, 5)
+
+
+class TestSpectralGap:
+    @pytest.mark.parametrize("k,z", [(6, 2), (8, 3), (9, 4), (10, 5)])
+    def test_gap_matches_closed_form(self, k, z):
+        walk = johnson_walk_matrix(k, z)
+        assert spectral_gap(walk) == pytest.approx(
+            johnson_gap_closed_form(k, z), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("k,z", [(8, 2), (8, 3), (8, 4), (10, 3)])
+    def test_gap_at_least_one_over_z(self, k, z):
+        """The Ω(1/z) bound Lemma 5 cites from [BH12], for z ≤ k/2."""
+        assert johnson_gap_closed_form(k, z) >= 1.0 / z
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5])
+    def test_power_gap_bound(self, p):
+        """Gap of the p-step walk ≥ 1 − (1 − δ)^p (Lemma 5's claim)."""
+        walk = johnson_walk_matrix(8, 3)
+        delta = spectral_gap(walk)
+        assert power_walk_gap(walk, p) >= 1 - (1 - delta) ** p - 1e-9
+
+    def test_power_gap_linear_regime(self):
+        """For p < 1/δ the power gap is ≥ pδ/2 (the Ω(pδ) claim)."""
+        walk = johnson_walk_matrix(10, 5)
+        delta = spectral_gap(walk)
+        p = 2
+        assert p * delta < 1
+        assert power_walk_gap(walk, p) >= p * delta / 2
+
+
+class TestMarkedFraction:
+    @pytest.mark.parametrize("k,z", [(6, 2), (8, 3), (10, 4)])
+    def test_exact_count_matches_closed_form(self, k, z):
+        mf = marked_fraction_one_pair(k, z)
+        assert mf.epsilon == pytest.approx(mf.closed_form)
+
+    def test_enumeration_agrees(self):
+        """Brute-force count over J(8,3) vertices containing the pair {0,1}."""
+        vertices = johnson_vertices(8, 3)
+        containing = sum(1 for v in vertices if 0 in v and 1 in v)
+        assert containing / len(vertices) == pytest.approx(
+            marked_fraction_one_pair(8, 3).epsilon
+        )
+
+    def test_epsilon_lower_bound(self):
+        """ε ≥ (z/k)²/2 for z ≥ 2 — Lemma 5's 'larger than z²/k²' claim."""
+        for k, z in [(8, 3), (10, 4), (12, 6)]:
+            mf = marked_fraction_one_pair(k, z)
+            assert mf.epsilon >= (z / k) ** 2 / 2
+
+
+class TestFullCheck:
+    @pytest.mark.parametrize("k,z,p", [(8, 3, 2), (10, 4, 3), (9, 3, 2)])
+    def test_consistency(self, k, z, p):
+        check = check_walk_parameters(k, z, p)
+        assert check.consistent
+
+    def test_lemma5_cost_formula_with_real_spectra(self):
+        """Recompute S + (1/√ε)(1/√δ) with the *exact* spectra and check
+        it stays within constants of the (k/p)^{2/3} bound."""
+        k, p = 10, 2
+        z = max(p + 1, round(k ** (2 / 3) * p ** (1 / 3)))
+        check = check_walk_parameters(k, z, p)
+        cost = math.ceil(z / p) + math.sqrt(1 / check.epsilon) * math.sqrt(
+            1 / (p * 1.0 / z)  # δ = p/z as the proof uses
+        )
+        bound = (k / p) ** (2 / 3)
+        assert cost <= 6 * bound

@@ -1,0 +1,90 @@
+"""Tests for query ledgers and oracle abstractions."""
+
+import pytest
+
+from repro.queries.ledger import ParallelismViolation, QueryLedger
+from repro.queries.oracle import MaskedOracle, StringOracle
+
+
+class TestLedger:
+    def test_counts_batches(self):
+        ledger = QueryLedger(4)
+        ledger.record(3)
+        ledger.record(4)
+        assert ledger.batches == 2
+        assert ledger.total_queries == 7
+
+    def test_parallelism_cap_enforced(self):
+        ledger = QueryLedger(4)
+        with pytest.raises(ParallelismViolation):
+            ledger.record(5)
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            QueryLedger(4).record(0)
+
+    def test_rejects_bad_parallelism(self):
+        with pytest.raises(ValueError):
+            QueryLedger(0)
+
+    def test_labels_tracked(self):
+        ledger = QueryLedger(4)
+        ledger.record(1, label="setup")
+        ledger.record(2, label="walk")
+        ledger.record(2, label="walk")
+        assert ledger.batches_labeled("walk") == 2
+        assert ledger.batches_labeled("setup") == 1
+
+    def test_reset(self):
+        ledger = QueryLedger(4)
+        ledger.record(2)
+        ledger.reset()
+        assert ledger.batches == 0
+
+
+class TestStringOracle:
+    def test_query_returns_values(self):
+        oracle = StringOracle([10, 20, 30], QueryLedger(2))
+        assert oracle.query_batch([2, 0]) == [30, 10]
+
+    def test_query_meters_ledger(self):
+        oracle = StringOracle([1, 2, 3, 4], QueryLedger(3))
+        oracle.query_batch([0, 1])
+        oracle.query_batch([2])
+        assert oracle.ledger.batches == 2
+        assert oracle.ledger.total_queries == 3
+
+    def test_out_of_range_rejected(self):
+        oracle = StringOracle([1, 2], QueryLedger(2))
+        with pytest.raises(IndexError):
+            oracle.query_batch([2])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            StringOracle([], QueryLedger(1))
+
+    def test_peek_is_free(self):
+        oracle = StringOracle([5, 6], QueryLedger(1))
+        assert list(oracle.peek_all()) == [5, 6]
+        assert oracle.ledger.batches == 0
+
+    def test_k(self):
+        assert StringOracle([0] * 7, QueryLedger(1)).k == 7
+
+
+class TestMaskedOracle:
+    def test_masked_indices_read_mask_value(self):
+        base = StringOracle([1, 1, 1], QueryLedger(3))
+        view = MaskedOracle(base, {1}, mask_value=0)
+        assert view.query_batch([0, 1, 2]) == [1, 0, 1]
+
+    def test_peek_masked(self):
+        base = StringOracle([1, 1], QueryLedger(2))
+        view = MaskedOracle(base, {0}, mask_value=9)
+        assert list(view.peek_all()) == [9, 1]
+
+    def test_queries_metered_on_base(self):
+        base = StringOracle([1, 2, 3], QueryLedger(2))
+        view = MaskedOracle(base, set(), mask_value=0)
+        view.query_batch([0])
+        assert base.ledger.batches == 1

@@ -1,0 +1,187 @@
+"""Statistical calibration of the Level-S emulation layer.
+
+The fidelity claim of DESIGN.md §3 is that the stochastic emulations
+sample from the *distributions* quantum mechanics dictates, not merely
+return correct answers.  These tests measure empirical distributions over
+many seeded runs and compare them with the exact laws.
+"""
+
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.quantum import grover as exact_grover
+from repro.queries.grover import find_one, marked_subset_fraction
+from repro.queries.ledger import QueryLedger
+from repro.queries.minimum import find_minimum
+from repro.queries.oracle import StringOracle
+
+TRIALS = 300
+
+
+class TestGroverOutcomeDistribution:
+    def test_found_index_uniform_over_marked(self):
+        """Grover's measurement is uniform over the marked set; the
+        emulation's reported indices must match (chi-square style)."""
+        k, p = 256, 16
+        marked = [10, 77, 130, 200]
+        values = [1 if i in marked else 0 for i in range(k)]
+        counts = Counter()
+        for seed in range(TRIALS):
+            oracle = StringOracle(values, QueryLedger(p))
+            out = find_one(oracle, lambda v: v == 1, np.random.default_rng(seed))
+            if out.found:
+                counts[out.index] += 1
+        total = sum(counts.values())
+        assert total >= 0.9 * TRIALS
+        for index in marked:
+            share = counts[index] / total
+            assert 0.15 <= share <= 0.35  # ideal 0.25
+
+    def test_success_rate_meets_guarantee(self):
+        """Per-invocation success ≥ 2/3 across t values (Lemma 2)."""
+        k, p = 512, 8
+        for t in [1, 3, 8]:
+            hits = 0
+            runs = 120
+            for seed in range(runs):
+                rng = np.random.default_rng(seed)
+                values = [0] * k
+                for i in rng.choice(k, size=t, replace=False):
+                    values[i] = 1
+                oracle = StringOracle(values, QueryLedger(p))
+                hits += find_one(oracle, lambda v: v == 1, rng).found
+            assert hits / runs >= 2 / 3, f"t={t}: {hits}/{runs}"
+
+    def test_batch_count_concentration(self):
+        """Mean batches within 3× the √(1/f) expectation (BBHT constant)."""
+        k, p, t = 1024, 16, 2
+        f = marked_subset_fraction(k, t, p)
+        expectation = math.sqrt(1 / f)
+        totals = []
+        for seed in range(150):
+            rng = np.random.default_rng(seed)
+            values = [0] * k
+            for i in rng.choice(k, size=t, replace=False):
+                values[i] = 1
+            oracle = StringOracle(values, QueryLedger(p))
+            out = find_one(oracle, lambda v: v == 1, rng)
+            totals.append(out.batches_used)
+        mean = sum(totals) / len(totals)
+        assert mean <= 4 * expectation + 3
+
+    def test_emulation_law_equals_statevector_law(self):
+        """The law the emulator samples from is the statevector's, exactly
+        (the keystone identity of the two-level design)."""
+        for q, marked in [(4, {3}), (5, {1, 9, 20})]:
+            for j in range(4):
+                assert exact_grover.success_probability(
+                    q, marked, j
+                ) == pytest.approx(
+                    exact_grover.theoretical_success_probability(
+                        1 << q, len(marked), j
+                    ),
+                    abs=1e-10,
+                )
+
+
+class TestMinimumDistribution:
+    def test_tied_minima_returned_roughly_uniformly(self):
+        k, p = 512, 16
+        minima = [50, 180, 333]
+        counts = Counter()
+        for seed in range(TRIALS):
+            rng = np.random.default_rng(seed)
+            values = list(rng.integers(100, 10**6, size=k))
+            for i in minima:
+                values[i] = 1
+            oracle = StringOracle(values, QueryLedger(p))
+            out = find_minimum(oracle, rng, multiplicity=3)
+            if out.value == 1:
+                counts[out.index] += 1
+        total = sum(counts.values())
+        assert total >= 0.8 * TRIALS
+        for index in minima:
+            share = counts[index] / total
+            assert 0.18 <= share <= 0.50  # ideal 1/3
+
+    def test_success_rate_meets_guarantee(self):
+        k, p = 1024, 16
+        hits = 0
+        runs = 120
+        for seed in range(runs):
+            rng = np.random.default_rng(seed)
+            values = list(rng.integers(0, 10**6, size=k))
+            oracle = StringOracle(values, QueryLedger(p))
+            out = find_minimum(oracle, rng)
+            hits += out.value == min(values)
+        assert hits / runs >= 2 / 3
+
+
+class TestMeanEstimationDistribution:
+    def test_error_distribution_within_epsilon_band(self):
+        from repro.queries.mean_estimation import estimate_mean
+
+        k, p, eps = 2000, 32, 0.15
+        errors = []
+        for seed in range(200):
+            rng = np.random.default_rng(seed)
+            values = list(rng.uniform(0, 10, size=k))
+            mu = sum(values) / k
+            oracle = StringOracle(values, QueryLedger(p))
+            est = estimate_mean(oracle, sigma=3.0, epsilon=eps, rng=rng)
+            errors.append(abs(est.estimate - mu))
+        hit_rate = sum(e <= eps for e in errors) / len(errors)
+        assert hit_rate >= 2 / 3
+        # Failures must be bounded blowups (≤ a few ε), not arbitrary junk.
+        assert max(errors) <= 4 * eps
+
+
+class TestElementDistinctnessCalibration:
+    def test_success_rate_meets_guarantee(self):
+        from repro.queries.element_distinctness import find_collision
+
+        k, p = 600, 8
+        hits = 0
+        runs = 100
+        for seed in range(runs):
+            rng = np.random.default_rng(seed)
+            values = list(rng.choice(10**9, size=k, replace=False))
+            i, j = rng.choice(k, size=2, replace=False)
+            values[j] = values[i]
+            oracle = StringOracle(values, QueryLedger(p))
+            out = find_collision(oracle, rng)
+            hits += out.found
+        assert hits / runs >= 2 / 3
+
+    def test_one_sided_error_never_violated(self):
+        """Across many distinct-input runs, not one false collision."""
+        from repro.queries.element_distinctness import find_collision
+
+        for seed in range(60):
+            rng = np.random.default_rng(seed)
+            values = list(range(seed, seed + 300))
+            oracle = StringOracle(values, QueryLedger(8))
+            out = find_collision(oracle, rng)
+            assert not out.found
+
+    def test_batch_usage_concentrates_near_budget(self):
+        from repro.queries.element_distinctness import (
+            expected_batches,
+            find_collision,
+        )
+
+        k, p = 1000, 8
+        totals = []
+        for seed in range(60):
+            rng = np.random.default_rng(seed)
+            values = list(rng.choice(10**9, size=k, replace=False))
+            values[10] = values[700]
+            oracle = StringOracle(values, QueryLedger(p))
+            totals.append(find_collision(oracle, rng).batches_used)
+        mean = sum(totals) / len(totals)
+        assert mean <= 6 * expected_batches(k, p)
+        # The walk budget is deterministic, so the spread is small.
+        assert max(totals) - min(totals) <= max(totals) * 0.8

@@ -1,0 +1,41 @@
+"""Tests for the python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E16" in out
+
+    def test_run_one_experiment(self, capsys):
+        assert main(["run", "E15"]) == 0
+        out = capsys.readouterr().out
+        assert "E15" in out
+
+    def test_run_lowercase_accepted(self, capsys):
+        assert main(["run", "e15"]) == 0
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "E99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+
+    def test_seed_flag(self, capsys):
+        assert main(["run", "E15", "--seed", "3"]) == 0
+
+
+class TestBoundsCommand:
+    def test_bounds_renders(self, capsys):
+        assert main(["bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "meeting scheduling" in out
+
+    def test_bounds_custom_parameters(self, capsys):
+        assert main(["bounds", "--n", "256", "--k", "1024",
+                     "--diameter", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "n=256" in out

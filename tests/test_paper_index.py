@@ -1,0 +1,50 @@
+"""Tests for the paper-to-code registry."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.paper import REGISTRY, verify_registry, where_is
+
+
+class TestRegistry:
+    def test_every_reference_resolves(self):
+        assert verify_registry() == []
+
+    def test_core_results_present(self):
+        for result in [
+            "Lemma 2", "Lemma 3", "Lemma 5", "Lemma 6", "Lemma 7",
+            "Theorem 8", "Corollary 9", "Lemma 10", "Lemma 12",
+            "Corollary 14", "Theorem 17", "Theorem 18", "Lemma 20",
+            "Lemma 21", "Lemma 22", "Lemma 23", "Lemma 24", "Lemma 25",
+            "Corollary 26", "Lemma 27", "Corollary 28", "Lemma 29",
+            "Corollary 30",
+        ]:
+            assert result in REGISTRY, f"{result} missing from the index"
+
+    def test_experiments_exist(self):
+        for entry in REGISTRY.values():
+            if entry.experiment is not None:
+                assert entry.experiment in ALL_EXPERIMENTS
+
+    def test_where_is_lookup(self):
+        entry = where_is("Theorem 8")
+        assert "repro.core.framework.run_framework" in entry.implementations
+
+    def test_unknown_result_raises(self):
+        with pytest.raises(KeyError):
+            where_is("Lemma 99")
+
+    def test_statements_non_empty(self):
+        assert all(entry.statement for entry in REGISTRY.values())
+
+    def test_every_experiment_covered_by_some_result(self):
+        covered = {
+            entry.experiment
+            for entry in REGISTRY.values()
+            if entry.experiment is not None
+        }
+        # E16/E17 come from remarks/subroutines also present in the index.
+        for experiment in ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+                           "E9", "E10", "E11", "E12", "E13", "E14", "E15",
+                           "E16"]:
+            assert experiment in covered

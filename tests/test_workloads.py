@@ -1,0 +1,118 @@
+"""Tests for the public workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps.deutsch_jozsa import aggregated_input, solve_distributed_dj
+from repro.apps.element_distinctness import distinctness_distributed_vector
+from repro.apps.meeting import schedule_meeting
+from repro.congest import topologies
+from repro.workloads import (
+    dj_promise_inputs,
+    disjointness_pair,
+    node_values_with_duplicate,
+    planted_ed_vectors,
+    random_calendars,
+    weighted_preferences,
+)
+
+
+class TestCalendars:
+    def test_shape_and_range(self, grid45, rng):
+        cal = random_calendars(grid45, 12, rng)
+        assert set(cal) == set(grid45.nodes())
+        assert all(len(v) == 12 for v in cal.values())
+        assert all(bit in (0, 1) for v in cal.values() for bit in v)
+
+    def test_density_respected(self, grid45, rng):
+        dense = random_calendars(grid45, 200, rng, density=0.9)
+        ones = sum(sum(v) for v in dense.values())
+        assert ones > 0.8 * grid45.n * 200
+
+    def test_density_validation(self, grid45, rng):
+        with pytest.raises(ValueError):
+            random_calendars(grid45, 4, rng, density=1.5)
+
+    def test_feeds_the_app(self, rng):
+        net = topologies.grid(3, 3)
+        cal = random_calendars(net, 16, rng)
+        result = schedule_meeting(net, cal, seed=1)
+        assert 0 <= result.best_slot < 16
+
+    def test_weighted_range(self, grid45, rng):
+        prefs = weighted_preferences(grid45, 8, max_weight=9, rng=rng)
+        assert all(0 <= w <= 9 for v in prefs.values() for w in v)
+
+
+class TestPlantedED:
+    def test_collision_planted_and_recorded(self, grid45, rng):
+        inst = planted_ed_vectors(grid45, 50, rng)
+        i, j = inst.collision
+        assert inst.aggregated[i] == inst.aggregated[j]
+        assert i != j
+
+    def test_no_collision_mode(self, grid45, rng):
+        inst = planted_ed_vectors(grid45, 50, rng, collide=False)
+        assert inst.collision is None
+        assert len(set(inst.aggregated)) == 50
+
+    def test_vectors_sum_to_aggregate(self, grid45, rng):
+        inst = planted_ed_vectors(grid45, 30, rng)
+        for idx in range(30):
+            total = sum(inst.vectors[v][idx] for v in grid45.nodes())
+            assert total == inst.aggregated[idx]
+
+    def test_feeds_the_app(self, rng):
+        net = topologies.path(5)
+        inst = planted_ed_vectors(net, 40, rng)
+        result = distinctness_distributed_vector(
+            net, inst.vectors, inst.max_value, seed=2
+        )
+        if result.pair is not None:
+            assert result.correct_against(inst.aggregated)
+
+    def test_node_values_duplicate(self, grid45, rng):
+        values, pair = node_values_with_duplicate(grid45, rng)
+        a, b = pair
+        assert values[a] == values[b]
+
+    def test_node_values_distinct(self, grid45, rng):
+        values, pair = node_values_with_duplicate(grid45, rng, duplicate=False)
+        assert pair is None
+        assert len(set(values.values())) == grid45.n
+
+
+class TestDJPromise:
+    @pytest.mark.parametrize("balanced", [True, False])
+    def test_promise_holds(self, grid45, rng, balanced):
+        inputs = dj_promise_inputs(grid45, 16, rng, balanced=balanced)
+        xor = aggregated_input(inputs)
+        total = sum(xor)
+        if balanced:
+            assert total == 8
+        else:
+            assert total == 0
+
+    def test_odd_length_rejected(self, grid45, rng):
+        with pytest.raises(ValueError):
+            dj_promise_inputs(grid45, 7, rng, balanced=True)
+
+    def test_feeds_the_app(self, rng):
+        net = topologies.grid(3, 3)
+        inputs = dj_promise_inputs(net, 32, rng, balanced=True)
+        assert solve_distributed_dj(net, inputs, seed=3).balanced
+
+    def test_random_balanced_positions_vary(self, grid45):
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(2)
+        a = aggregated_input(dj_promise_inputs(grid45, 32, rng_a, True))
+        b = aggregated_input(dj_promise_inputs(grid45, 32, rng_b, True))
+        assert a != b  # positions of the ones are randomized
+
+
+class TestDisjointnessExport:
+    def test_intersecting_control(self, rng):
+        inst = disjointness_pair(16, rng, intersecting=True)
+        assert inst.intersecting
+        inst = disjointness_pair(16, rng, intersecting=False)
+        assert not inst.intersecting
