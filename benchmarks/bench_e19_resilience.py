@@ -1,0 +1,15 @@
+"""E19 benchmark: resilience round overhead under Bernoulli loss."""
+
+from conftest import run_and_report
+
+from repro.experiments import e19_resilience
+
+
+def test_e19_resilience(benchmark):
+    result = run_and_report(benchmark, e19_resilience)
+    # Reproduction criteria: p=0 through the fault engine is exactly the
+    # plain engine, every protected algorithm keeps its faultless output
+    # at every loss rate, and protection is never free.
+    assert result.zero_loss_identical
+    assert result.all_correct
+    assert all(x >= 1.0 for x in result.overheads.values())

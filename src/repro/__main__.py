@@ -5,6 +5,8 @@ Usage::
     python -m repro list                 # list experiments
     python -m repro run E7 [--full]     # run one experiment, print its table
     python -m repro run all [--full]    # run everything
+    python -m repro faults --losses 0,0.05,0.1   # loss-rate sweep under
+                                         # the resilience layer
 """
 
 from __future__ import annotations
@@ -29,9 +31,30 @@ def main(argv=None) -> int:
     bounds_parser.add_argument("--epsilon", type=float, default=0.5)
     bounds_parser.add_argument("--girth", type=int, default=6)
     run_parser = sub.add_parser("run", help="run an experiment")
-    run_parser.add_argument("experiment", help="experiment id (E1..E18) or 'all'")
+    run_parser.add_argument("experiment", help="experiment id (E1..E19) or 'all'")
     run_parser.add_argument("--full", action="store_true", help="full sweep")
     run_parser.add_argument("--seed", type=int, default=0)
+    faults_parser = sub.add_parser(
+        "faults",
+        help="sweep a channel loss rate against the resilience-layer "
+        "round overhead on one algorithm",
+    )
+    faults_parser.add_argument(
+        "--losses", default="0,0.01,0.05,0.1",
+        help="comma-separated per-message loss probabilities",
+    )
+    faults_parser.add_argument(
+        "--algorithm", choices=["bfs", "convergecast", "leader"],
+        default="bfs",
+    )
+    faults_parser.add_argument(
+        "--model", choices=["bernoulli", "burst", "corrupt", "delay"],
+        default="bernoulli",
+        help="channel fault model driven by the loss/fault probability",
+    )
+    faults_parser.add_argument("--rows", type=int, default=4)
+    faults_parser.add_argument("--cols", type=int, default=4)
+    faults_parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -46,6 +69,19 @@ def main(argv=None) -> int:
         bounds_summary(
             n=args.n, k=args.k, diameter=args.diameter,
             epsilon=args.epsilon, girth=args.girth,
+        ).show()
+        return 0
+
+    if args.command == "faults":
+        from .faults.sweep import fault_sweep
+
+        fault_sweep(
+            losses=[float(p) for p in args.losses.split(",")],
+            algorithm=args.algorithm,
+            model=args.model,
+            rows=args.rows,
+            cols=args.cols,
+            seed=args.seed,
         ).show()
         return 0
 

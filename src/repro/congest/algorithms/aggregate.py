@@ -142,6 +142,38 @@ class DowncastProgram(NodeProgram):
         self._push(ctx)
 
 
+def build_upcast_programs(
+    network: Network,
+    tree: BFSResult,
+    values: Dict[int, Sequence[int]],
+    combine: Callable[[int, int], int],
+    domain: int,
+) -> Dict[int, UpcastProgram]:
+    """Instantiate one :class:`UpcastProgram` per node for a convergecast.
+
+    Factored out so the fault-resilient wrapper in
+    :mod:`repro.faults.resilience` can run the identical programs
+    through a lossy engine.
+    """
+    children = tree.children()
+    lengths = {len(v) for v in values.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"all nodes must hold equal-length vectors, got {lengths}")
+    length = lengths.pop()
+    return {
+        v: UpcastProgram(
+            v,
+            tree.parent.get(v),
+            children.get(v, []),
+            values[v],
+            combine,
+            domain,
+            length,
+        )
+        for v in network.nodes()
+    }
+
+
 def pipelined_upcast(
     network: Network,
     tree: BFSResult,
@@ -155,23 +187,7 @@ def pipelined_upcast(
     Returns:
         (combined vector at the root, measured rounds).
     """
-    children = tree.children()
-    lengths = {len(v) for v in values.values()}
-    if len(lengths) != 1:
-        raise ValueError(f"all nodes must hold equal-length vectors, got {lengths}")
-    length = lengths.pop()
-    programs = {
-        v: UpcastProgram(
-            v,
-            tree.parent.get(v),
-            children.get(v, []),
-            values[v],
-            combine,
-            domain,
-            length,
-        )
-        for v in network.nodes()
-    }
+    programs = build_upcast_programs(network, tree, values, combine, domain)
     result = run_program(network, programs, seed=seed)
     root_output = result.outputs[tree.root]
     return tuple(root_output), result.rounds

@@ -139,14 +139,13 @@ class BFSEchoProgram(NodeProgram):
         self._finish_if_done(ctx)
 
 
-def bfs_with_echo(
-    network: Network, root: int, seed: Optional[int] = None
-) -> BFSResult:
-    """Run BFS + echo from ``root``; return distances, parents, rounds, ecc."""
-    programs = {
-        v: BFSEchoProgram(v, root) for v in network.nodes()
-    }
-    result: RunResult = run_program(network, programs, seed=seed)
+def bfs_result_from_run(root: int, result: RunResult) -> BFSResult:
+    """Assemble a :class:`BFSResult` from a finished engine run.
+
+    Shared by the plain runner below and the fault-resilient wrapper in
+    :mod:`repro.faults.resilience`, which drives the same programs
+    through a lossy engine.
+    """
     dist: Dict[int, int] = {root: 0}
     parent: Dict[int, Optional[int]] = {root: None}
     ecc = 0
@@ -162,3 +161,14 @@ def bfs_with_echo(
         root=root, rounds=result.rounds, dist=dist, parent=parent,
         eccentricity=ecc,
     )
+
+
+def bfs_with_echo(
+    network: Network, root: int, seed: Optional[int] = None
+) -> BFSResult:
+    """Run BFS + echo from ``root``; return distances, parents, rounds, ecc."""
+    programs = {
+        v: BFSEchoProgram(v, root) for v in network.nodes()
+    }
+    result: RunResult = run_program(network, programs, seed=seed)
+    return bfs_result_from_run(root, result)

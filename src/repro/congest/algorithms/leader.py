@@ -45,6 +45,30 @@ class MaxIdFloodProgram(NodeProgram):
         ctx.output = self.best
 
 
+class BoundedMaxIdFloodProgram(MaxIdFloodProgram):
+    """Max-id flooding that halts itself after a fixed round horizon.
+
+    The plain :class:`MaxIdFloodProgram` relies on the engine's
+    quiescence detection, which is unsound on a lossy network (a dropped
+    message makes the network transiently silent mid-flood).  This
+    variant instead runs for ``horizon`` rounds — any upper bound on the
+    maximum eccentricity, e.g. ``n - 1`` — and then halts with the best
+    identifier seen, making it usable under the fault-resilient wrapper
+    in :mod:`repro.faults.resilience`.
+    """
+
+    def __init__(self, node: int, horizon: int):
+        super().__init__(node)
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        self.horizon = horizon
+
+    def on_round(self, ctx: Context, inbox: Inbox) -> None:
+        super().on_round(ctx, inbox)
+        if ctx.round >= self.horizon:
+            ctx.halt(output=self.best)
+
+
 def elect_leader(network: Network, seed: Optional[int] = None) -> LeaderResult:
     """Run max-id flooding; every node learns the leader's id."""
     programs = {v: MaxIdFloodProgram(v) for v in network.nodes()}

@@ -44,16 +44,23 @@ class RunResult:
     def common_output(self) -> Any:
         """The single output shared by all nodes that produced one.
 
+        Outputs are compared by equality (not hashing), so unhashable
+        outputs such as lists and dicts are supported.
+
         Raises:
             ValueError: if nodes disagree or none produced output.
         """
-        produced = {v: o for v, o in self.outputs.items() if o is not None}
+        produced = [o for o in self.outputs.values() if o is not None]
         if not produced:
             raise ValueError("no node produced an output")
-        values = set(produced.values())
-        if len(values) != 1:
-            raise ValueError(f"nodes disagree on output: {values}")
-        return values.pop()
+        first = produced[0]
+        distinct = [first]
+        for o in produced[1:]:
+            if not any(o == seen for seen in distinct):
+                distinct.append(o)
+        if len(distinct) != 1:
+            raise ValueError(f"nodes disagree on output: {distinct}")
+        return first
 
 
 class Engine:
@@ -120,17 +127,24 @@ class Engine:
 
         rounds = 0
         while True:
-            if not in_flight and (self._all_halted() or self.stop_on_quiescence):
+            if (
+                not in_flight
+                and not self._channel_pending()
+                and (self._all_halted() or self.stop_on_quiescence)
+            ):
                 break
             if rounds >= self.max_rounds:
                 raise RoundLimitExceeded(self.max_rounds)
             rounds += 1
+            self._begin_round(rounds)
 
+            delivered = self._transmit(in_flight, rounds)
             inboxes: Dict[int, List[Message]] = {}
-            for msg in in_flight:
+            for msg in delivered:
                 inboxes.setdefault(msg.dst, []).append(msg)
+                self._on_deliver(msg, rounds)
             stats.record_round(
-                len(in_flight), sum(m.bits for m in in_flight)
+                len(delivered), sum(m.bits for m in delivered)
             )
             in_flight = []
 
@@ -139,6 +153,10 @@ class Engine:
                 if ctx.halted:
                     # Messages to halted nodes are dropped; well-formed
                     # algorithms never rely on them.
+                    continue
+                if not self._node_active(v, rounds):
+                    # A crashed node neither executes nor receives; its
+                    # inbox for this round is lost.
                     continue
                 ctx.round = rounds
                 program.on_round(ctx, Inbox(inboxes.get(v)))
@@ -149,6 +167,39 @@ class Engine:
 
     def _all_halted(self) -> bool:
         return all(ctx.halted for ctx in self.contexts.values())
+
+    # ------------------------------------------------------------------
+    # fault-injection / observation seam
+    # ------------------------------------------------------------------
+    # The base implementations describe a perfect synchronous network:
+    # every message sent in round r is delivered at the start of round
+    # r+1 and every node executes every round.  Subclasses override these
+    # hooks to observe traffic (:class:`~repro.congest.tracing.
+    # TracingEngine`) or to inject channel and node faults
+    # (:class:`repro.faults.FaultyEngine`) without touching the round
+    # loop, so every existing NodeProgram runs unmodified under faults.
+
+    def _begin_round(self, round_no: int) -> None:
+        """Hook called at the top of every communication round."""
+
+    def _transmit(self, messages: List[Message], round_no: int) -> List[Message]:
+        """The channel: decide which in-flight messages arrive this round.
+
+        May drop, corrupt, or hold back messages; held messages must be
+        reported via :meth:`_channel_pending` until released.
+        """
+        return messages
+
+    def _channel_pending(self) -> bool:
+        """Whether the channel still holds undelivered (delayed) messages."""
+        return False
+
+    def _node_active(self, v: int, round_no: int) -> bool:
+        """Whether node ``v`` executes this round (``False`` = crashed)."""
+        return True
+
+    def _on_deliver(self, msg: Message, round_no: int) -> None:
+        """Observation hook invoked for every delivered message."""
 
 
 def run_program(

@@ -5,6 +5,11 @@ it to the simulator.  A :class:`TracingEngine` records every message as a
 :class:`TraceEvent` and can render a per-edge timeline — which is also the
 clearest way to *see* the paper's pipelining arguments (Lemma 7, Theorem 8):
 chunks marching down a path one round apart instead of in D-round waves.
+
+Events carry a ``kind`` so that fault injection (:mod:`repro.faults`) can
+record drops, corruptions, delays, crashes, and recoveries as first-class
+trace events next to ordinary deliveries; timelines mark them with
+distinct symbols so a lossy run's retransmissions are visible at a glance.
 """
 
 from __future__ import annotations
@@ -13,40 +18,85 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from .engine import Engine, RunResult
+from .messages import Message
 from .network import Network
 from .program import NodeProgram
+
+#: Event kinds recorded in traces.  ``DELIVER`` is an ordinary delivery;
+#: the rest are fault events emitted by :class:`repro.faults.FaultyEngine`.
+DELIVER = "deliver"
+DROP = "drop"
+CORRUPT = "corrupt"
+DELAY = "delay"
+CRASH = "crash"
+RECOVER = "recover"
+
+#: Timeline symbol per event kind, in decreasing display priority.
+_TIMELINE_SYMBOLS = ((DROP, "x"), (CORRUPT, "!"), (DELAY, "~"), (DELIVER, "#"))
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One delivered message."""
+    """One traced event: a delivered message or an injected fault.
+
+    ``kind`` is :data:`DELIVER` for ordinary deliveries.  Fault kinds use
+    the same (round, src, dst) coordinates; node-level events (``crash``,
+    ``recover``) set ``src == dst`` to the affected node.
+    """
 
     round_no: int
     src: int
     dst: int
     bits: int
     value: Any
+    kind: str = DELIVER
 
 
 @dataclass
 class Trace:
-    """All events of one run, with query helpers."""
+    """All events of one run, with query helpers.
+
+    The aggregate helpers (:meth:`busiest_round`, :meth:`total_bits`,
+    :meth:`edge_utilization`, …) count *deliveries* only; fault events are
+    reachable through :meth:`faults` and :meth:`events_of_kind`.
+    """
 
     events: List[TraceEvent] = field(default_factory=list)
 
+    def deliveries(self) -> List[TraceEvent]:
+        """The ordinary message-delivery events."""
+        return [e for e in self.events if e.kind == DELIVER]
+
+    def faults(self) -> List[TraceEvent]:
+        """Every non-delivery (fault) event."""
+        return [e for e in self.events if e.kind != DELIVER]
+
+    def events_of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events of one ``kind`` (e.g. ``"drop"``)."""
+        return [e for e in self.events if e.kind == kind]
+
     def rounds_used(self) -> int:
+        """Largest round number appearing in any event."""
         return max((e.round_no for e in self.events), default=0)
 
     def events_in_round(self, round_no: int) -> List[TraceEvent]:
-        return [e for e in self.events if e.round_no == round_no]
+        """Delivery events of one round."""
+        return [
+            e for e in self.events
+            if e.round_no == round_no and e.kind == DELIVER
+        ]
 
     def events_on_edge(self, src: int, dst: int) -> List[TraceEvent]:
-        return [e for e in self.events if e.src == src and e.dst == dst]
+        """Delivery events on one directed edge."""
+        return [
+            e for e in self.events
+            if e.src == src and e.dst == dst and e.kind == DELIVER
+        ]
 
     def busiest_round(self) -> Tuple[int, int]:
         """(round, message count) of the most congested round."""
         counts: Dict[int, int] = {}
-        for e in self.events:
+        for e in self.deliveries():
             counts[e.round_no] = counts.get(e.round_no, 0) + 1
         if not counts:
             return (0, 0)
@@ -61,12 +111,17 @@ class Trace:
         return len(self.events_on_edge(src, dst)) / total
 
     def total_bits(self) -> int:
-        return sum(e.bits for e in self.events)
+        """Total delivered payload bits."""
+        return sum(e.bits for e in self.deliveries())
 
     def render_timeline(
         self, edges: List[Tuple[int, int]], max_rounds: Optional[int] = None
     ) -> str:
-        """ASCII timeline: one row per directed edge, '#' = message sent."""
+        """ASCII timeline: one row per directed edge.
+
+        ``#`` = delivered, ``x`` = dropped, ``!`` = corrupted,
+        ``~`` = delayed (held by the channel that round).
+        """
         horizon = min(self.rounds_used(), max_rounds or self.rounds_used())
         lines = []
         header = "edge      " + "".join(
@@ -74,71 +129,41 @@ class Trace:
         )
         lines.append(header)
         for src, dst in edges:
-            busy = {e.round_no for e in self.events_on_edge(src, dst)}
+            by_round: Dict[int, str] = {}
+            for kind, symbol in reversed(_TIMELINE_SYMBOLS):
+                for e in self.events:
+                    if e.src == src and e.dst == dst and e.kind == kind:
+                        by_round[e.round_no] = symbol
             row = "".join(
-                "#" if r in busy else "." for r in range(1, horizon + 1)
+                by_round.get(r, ".") for r in range(1, horizon + 1)
             )
             lines.append(f"{src:>3}->{dst:<3}  {row}")
         return "\n".join(lines)
 
 
 class TracingEngine(Engine):
-    """An :class:`Engine` that records every delivered message."""
+    """An :class:`Engine` that records every delivered message.
+
+    Implemented entirely through the engine's observation seam
+    (:meth:`Engine._on_deliver`), so the round loop itself stays in one
+    place; :class:`repro.faults.FaultyEngine` extends this class and adds
+    fault events to the same trace.
+    """
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.trace = Trace()
 
-    def run(self) -> RunResult:  # noqa: D102 - documented on Engine
-        # Wrap message draining by observing contexts after each round via
-        # the parent loop; simplest correct hook: replay parent run but
-        # intercept through the contexts' outboxes.  The parent implements
-        # the loop, so instead we shadow it here with tracing inlined.
-        from .messages import Inbox, Message, TrafficStats
-
-        stats = TrafficStats()
-        in_flight: List[Message] = []
-
-        for v, program in self.programs.items():
-            ctx = self.contexts[v]
-            program.on_start(ctx)
-            in_flight.extend(ctx._drain_outbox(0))
-
-        rounds = 0
-        while True:
-            if not in_flight and (self._all_halted() or self.stop_on_quiescence):
-                break
-            if rounds >= self.max_rounds:
-                from .errors import RoundLimitExceeded
-
-                raise RoundLimitExceeded(self.max_rounds)
-            rounds += 1
-
-            inboxes: Dict[int, List[Message]] = {}
-            for msg in in_flight:
-                inboxes.setdefault(msg.dst, []).append(msg)
-                self.trace.events.append(
-                    TraceEvent(
-                        round_no=rounds,
-                        src=msg.src,
-                        dst=msg.dst,
-                        bits=msg.bits,
-                        value=msg.value,
-                    )
-                )
-            stats.record_round(len(in_flight), sum(m.bits for m in in_flight))
-            in_flight = []
-
-            for v, program in self.programs.items():
-                ctx = self.contexts[v]
-                if ctx.halted:
-                    continue
-                ctx.round = rounds
-                program.on_round(ctx, Inbox(inboxes.get(v)))
-                in_flight.extend(ctx._drain_outbox(rounds))
-
-        outputs = {v: self.contexts[v].output for v in self.network.nodes()}
-        return RunResult(rounds=rounds, outputs=outputs, stats=stats)
+    def _on_deliver(self, msg: Message, round_no: int) -> None:
+        self.trace.events.append(
+            TraceEvent(
+                round_no=round_no,
+                src=msg.src,
+                dst=msg.dst,
+                bits=msg.bits,
+                value=msg.value,
+            )
+        )
 
 
 def run_traced(

@@ -26,6 +26,7 @@ from . import (
     e16_even_cycles,
     e17_triangles,
     e18_boosting,
+    e19_resilience,
 )
 
 ALL_EXPERIMENTS = {
@@ -47,6 +48,7 @@ ALL_EXPERIMENTS = {
     "E16": e16_even_cycles,
     "E17": e17_triangles,
     "E18": e18_boosting,
+    "E19": e19_resilience,
 }
 
 __all__ = ["ALL_EXPERIMENTS"] + [m.__name__.split(".")[-1] for m in ALL_EXPERIMENTS.values()]

@@ -66,6 +66,11 @@ CRITERIA: Dict[str, Callable] = {
     "E18": lambda r: (r.failure_rates_decrease and r.rounds_linear_in_reps,
                       f"failures decrease={r.failure_rates_decrease}, "
                       f"linear rounds={r.rounds_linear_in_reps}"),
+    "E19": lambda r: (r.zero_loss_identical and r.all_correct
+                      and all(x >= 1.0 for x in r.overheads.values()),
+                      f"p=0 identical={r.zero_loss_identical}, "
+                      f"outputs intact={r.all_correct}, overhead at max p "
+                      f"= {max(r.overheads.values()):.1f}x"),
 }
 
 

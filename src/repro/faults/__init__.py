@@ -1,0 +1,61 @@
+"""Fault injection & resilience for the CONGEST engine.
+
+The paper's round bounds assume a perfectly synchronous, lossless
+network.  This package lets every experiment ask what those assumptions
+hide: pluggable channel fault models (Bernoulli loss, Gilbert–Elliott
+bursts, in-domain bit corruption, bounded delay/reorder), deterministic
+crash-stop / crash-recovery node schedules, a fault-injecting engine
+built on the seam in :mod:`repro.congest.engine`, a reliable-link
+resilience layer that runs unmodified node programs correctly under
+faults, and a fidelity-decay + boosting model for quantum state
+transfer.  Experiment E19 sweeps loss rate against the measured round
+overhead.
+"""
+
+from .crash import CrashSchedule, CrashSpec, random_crash_schedule
+from .engine import FaultStats, FaultyEngine, run_with_faults
+from .fidelity import FidelityModel, ReamplifiedTransfer, reamplified_transfer
+from .models import (
+    BernoulliLoss,
+    BitCorruption,
+    BoundedDelay,
+    ChannelFaultModel,
+    CompositeFaults,
+    GilbertElliottLoss,
+    NoFaults,
+)
+from .resilience import (
+    HEADER_BITS,
+    ResilientProgram,
+    ResilientRunResult,
+    resilient_bfs,
+    resilient_convergecast,
+    resilient_leader,
+    run_resilient,
+)
+
+__all__ = [
+    "BernoulliLoss",
+    "BitCorruption",
+    "BoundedDelay",
+    "ChannelFaultModel",
+    "CompositeFaults",
+    "CrashSchedule",
+    "CrashSpec",
+    "FaultStats",
+    "FaultyEngine",
+    "FidelityModel",
+    "GilbertElliottLoss",
+    "HEADER_BITS",
+    "NoFaults",
+    "ReamplifiedTransfer",
+    "ResilientProgram",
+    "ResilientRunResult",
+    "random_crash_schedule",
+    "reamplified_transfer",
+    "resilient_bfs",
+    "resilient_convergecast",
+    "resilient_leader",
+    "run_resilient",
+    "run_with_faults",
+]

@@ -1,0 +1,140 @@
+"""Crash-stop and crash-recovery node faults with deterministic schedules.
+
+A :class:`CrashSchedule` pins down, before the run starts, exactly which
+nodes are down in which rounds — a crashed node neither executes its
+program nor receives messages (its in-flight inbox is lost), and a
+recovering node resumes with its program state intact (crash-*recovery*,
+i.e. a reboot with stable storage; the outage looks to the protocol like
+a long per-node message blackout).
+
+Schedules are plain data, so tests and experiments can write them by
+hand; :func:`random_crash_schedule` draws one deterministically from a
+seed for sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CrashSpec", "CrashSchedule", "random_crash_schedule"]
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One node outage.
+
+    Attributes:
+        node: the affected node id.
+        crash_round: first round (1-based) in which the node is down.
+        recover_round: first round in which the node is back up, or
+            ``None`` for crash-stop (down forever).
+    """
+
+    node: int
+    crash_round: int
+    recover_round: Optional[int] = None
+
+    def __post_init__(self):
+        if self.crash_round < 1:
+            raise ValueError(
+                f"crash_round must be >= 1, got {self.crash_round}"
+            )
+        if self.recover_round is not None and (
+            self.recover_round <= self.crash_round
+        ):
+            raise ValueError(
+                f"recover_round {self.recover_round} must come after "
+                f"crash_round {self.crash_round}"
+            )
+
+    def down_in(self, round_no: int) -> bool:
+        """Whether this outage covers ``round_no``."""
+        if round_no < self.crash_round:
+            return False
+        return self.recover_round is None or round_no < self.recover_round
+
+
+class CrashSchedule:
+    """A set of node outages, queried per (node, round) by the engine."""
+
+    def __init__(self, specs: Iterable[CrashSpec]):
+        self.specs: List[CrashSpec] = list(specs)
+        self._by_node: Dict[int, List[CrashSpec]] = {}
+        for spec in self.specs:
+            self._by_node.setdefault(spec.node, []).append(spec)
+
+    def is_down(self, node: int, round_no: int) -> bool:
+        """Whether ``node`` is crashed during ``round_no``."""
+        return any(
+            spec.down_in(round_no) for spec in self._by_node.get(node, [])
+        )
+
+    def is_forever_down(self, node: int, round_no: int) -> bool:
+        """Whether ``node`` has crash-stopped at or before ``round_no``."""
+        return any(
+            spec.recover_round is None and spec.crash_round <= round_no
+            for spec in self._by_node.get(node, [])
+        )
+
+    def transitions(self, round_no: int) -> List[Tuple[int, str]]:
+        """The ``(node, "crash"|"recover")`` events taking effect this round."""
+        events: List[Tuple[int, str]] = []
+        for spec in self.specs:
+            if spec.crash_round == round_no:
+                events.append((spec.node, "crash"))
+            if spec.recover_round == round_no:
+                events.append((spec.node, "recover"))
+        return events
+
+    def affected_nodes(self) -> List[int]:
+        """Sorted ids of every node with at least one outage."""
+        return sorted(self._by_node)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CrashSchedule({self.specs!r})"
+
+
+def random_crash_schedule(
+    n: int,
+    crash_fraction: float,
+    horizon: int,
+    seed: Optional[int] = None,
+    outage_rounds: Optional[int] = None,
+    protect: Sequence[int] = (),
+) -> CrashSchedule:
+    """Draw a deterministic schedule crashing a fraction of the nodes.
+
+    Args:
+        n: network size; candidate nodes are ``0..n-1``.
+        crash_fraction: fraction of (unprotected) nodes to crash.
+        horizon: crash rounds are drawn uniformly from ``[1, horizon]``.
+        seed: RNG seed; the same seed always yields the same schedule.
+        outage_rounds: if given, every crash recovers after this many
+            rounds (crash-recovery); otherwise crashes are crash-stop.
+        protect: nodes that must never crash (e.g. the BFS root or the
+            elected leader).
+    """
+    if not 0.0 <= crash_fraction <= 1.0:
+        raise ValueError(
+            f"crash_fraction must be in [0, 1], got {crash_fraction}"
+        )
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    rng = np.random.default_rng(seed)
+    candidates = [v for v in range(n) if v not in set(protect)]
+    count = int(round(crash_fraction * len(candidates)))
+    chosen = rng.choice(len(candidates), size=count, replace=False)
+    specs = []
+    for idx in sorted(int(i) for i in chosen):
+        crash_round = int(rng.integers(1, horizon + 1))
+        recover = (
+            crash_round + outage_rounds if outage_rounds is not None else None
+        )
+        specs.append(CrashSpec(candidates[idx], crash_round, recover))
+    return CrashSchedule(specs)

@@ -1,0 +1,218 @@
+"""The fault-injecting CONGEST engine.
+
+:class:`FaultyEngine` extends the tracing engine through the fault seam
+declared on :class:`repro.congest.engine.Engine`, so every existing
+:class:`~repro.congest.program.NodeProgram` runs unmodified under
+channel faults (drop / burst / corruption / delay) and node faults
+(crash-stop / crash-recovery).  All fault events land in the run's
+:class:`~repro.congest.tracing.Trace` as first-class events, so
+timelines show drops and retries next to ordinary deliveries.
+
+With the default :class:`~repro.faults.models.NoFaults` channel and no
+crash schedule, a run is byte-for-byte identical (rounds, outputs,
+traffic stats) to the plain engine — the zero-fault identity the tests
+pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..congest.engine import RunResult
+from ..congest.messages import Message
+from ..congest.network import Network
+from ..congest.program import NodeProgram
+from ..congest.tracing import (
+    CORRUPT,
+    CRASH,
+    DELAY,
+    DELIVER,
+    DROP,
+    RECOVER,
+    Trace,
+    TraceEvent,
+    TracingEngine,
+)
+from .crash import CrashSchedule
+from .models import ChannelFaultModel, NoFaults
+
+__all__ = ["FaultStats", "FaultyEngine", "run_with_faults"]
+
+
+@dataclass
+class FaultStats:
+    """Aggregate fault counters for one run."""
+
+    delivered: int = 0
+    dropped: int = 0
+    corrupted: int = 0
+    delayed: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    lost_to_down_nodes: int = 0
+    per_round_drops: List[int] = field(default_factory=list)
+
+    @property
+    def attempted(self) -> int:
+        """Messages handed to the channel (delivered + dropped + delayed)."""
+        return self.delivered + self.dropped + self.delayed
+
+    def loss_rate(self) -> float:
+        """Observed fraction of attempted messages that were dropped."""
+        if self.attempted == 0:
+            return 0.0
+        return self.dropped / self.attempted
+
+
+class FaultyEngine(TracingEngine):
+    """A tracing engine with channel and node faults injected at the seam.
+
+    Args:
+        network: the communication graph.
+        programs: one program per node, exactly as for the plain engine.
+        fault_model: channel fault model; defaults to
+            :class:`~repro.faults.models.NoFaults`.
+        crash_schedule: node outages; ``None`` means no node faults.
+        fault_seed: seed for the fault RNG stream, kept separate from the
+            engine's per-node program RNGs so turning faults on never
+            perturbs the algorithms' own coin flips.  Defaults to
+            ``seed``.
+        **kwargs: forwarded to :class:`~repro.congest.engine.Engine`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        programs: Dict[int, NodeProgram],
+        fault_model: Optional[ChannelFaultModel] = None,
+        crash_schedule: Optional[CrashSchedule] = None,
+        fault_seed: Optional[int] = None,
+        **kwargs,
+    ):
+        super().__init__(network, programs, **kwargs)
+        self.fault_model = fault_model or NoFaults()
+        self.crash_schedule = crash_schedule
+        if fault_seed is None:
+            fault_seed = kwargs.get("seed")
+        self.fault_model.bind(np.random.SeedSequence(fault_seed))
+        self.fault_stats = FaultStats()
+        self._current_round = 0
+
+    # -- seam overrides -------------------------------------------------
+
+    def _begin_round(self, round_no: int) -> None:
+        self._current_round = round_no
+        self.fault_model.on_round(round_no)
+        if self.crash_schedule is None:
+            return
+        for node, kind in self.crash_schedule.transitions(round_no):
+            if kind == "crash":
+                self.fault_stats.crashes += 1
+                event_kind = CRASH
+            else:
+                self.fault_stats.recoveries += 1
+                event_kind = RECOVER
+            self.trace.events.append(
+                TraceEvent(
+                    round_no=round_no, src=node, dst=node, bits=0,
+                    value=None, kind=event_kind,
+                )
+            )
+
+    def _transmit(
+        self, messages: List[Message], round_no: int
+    ) -> List[Message]:
+        delivered: List[Message] = list(self.fault_model.release(round_no))
+        drops_this_round = 0
+        for msg in messages:
+            verdict, replacement = self.fault_model.apply(msg, round_no)
+            if verdict == DELIVER:
+                delivered.append(msg)
+            elif verdict == CORRUPT:
+                self.fault_stats.corrupted += 1
+                self._record_fault(CORRUPT, msg, round_no)
+                delivered.append(replacement)
+            elif verdict == DROP:
+                self.fault_stats.dropped += 1
+                drops_this_round += 1
+                self._record_fault(DROP, msg, round_no)
+            elif verdict == DELAY:
+                self.fault_stats.delayed += 1
+                self._record_fault(DELAY, msg, round_no)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown fault verdict {verdict!r}")
+        self.fault_stats.per_round_drops.append(drops_this_round)
+        # Messages addressed to a currently-down node are lost in transit.
+        if self.crash_schedule is not None:
+            kept: List[Message] = []
+            for msg in delivered:
+                if self.crash_schedule.is_down(msg.dst, round_no):
+                    self.fault_stats.lost_to_down_nodes += 1
+                    self._record_fault(DROP, msg, round_no)
+                else:
+                    kept.append(msg)
+            delivered = kept
+        self.fault_stats.delivered += len(delivered)
+        return delivered
+
+    def _channel_pending(self) -> bool:
+        return self.fault_model.pending()
+
+    def _node_active(self, v: int, round_no: int) -> bool:
+        if self.crash_schedule is None:
+            return True
+        return not self.crash_schedule.is_down(v, round_no)
+
+    def _all_halted(self) -> bool:
+        # Crash-stopped nodes will never halt on their own; without this,
+        # a single crash-stop fault would hang every run at the round
+        # limit.  They count as (involuntarily) finished.
+        if self.crash_schedule is None:
+            return super()._all_halted()
+        return all(
+            ctx.halted
+            or self.crash_schedule.is_forever_down(v, self._current_round)
+            for v, ctx in self.contexts.items()
+        )
+
+    # -- helpers --------------------------------------------------------
+
+    def _record_fault(self, kind: str, msg: Message, round_no: int) -> None:
+        self.trace.events.append(
+            TraceEvent(
+                round_no=round_no,
+                src=msg.src,
+                dst=msg.dst,
+                bits=msg.bits,
+                value=msg.value,
+                kind=kind,
+            )
+        )
+
+
+def run_with_faults(
+    network: Network,
+    programs: Dict[int, NodeProgram],
+    fault_model: Optional[ChannelFaultModel] = None,
+    crash_schedule: Optional[CrashSchedule] = None,
+    seed: Optional[int] = None,
+    fault_seed: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    stop_on_quiescence: bool = False,
+) -> Tuple[RunResult, Trace, FaultStats]:
+    """Run programs under faults; return (result, trace, fault stats)."""
+    engine = FaultyEngine(
+        network,
+        programs,
+        fault_model=fault_model,
+        crash_schedule=crash_schedule,
+        fault_seed=fault_seed,
+        seed=seed,
+        max_rounds=max_rounds,
+        stop_on_quiescence=stop_on_quiescence,
+    )
+    result = engine.run()
+    return result, engine.trace, engine.fault_stats

@@ -1,0 +1,123 @@
+"""Fidelity decay for Lemma 7 state transfer, re-amplified by boosting.
+
+A lossy network degrades the paper's state-transfer primitive
+(:mod:`repro.core.state_transfer`): every chunk-hop of the streamed
+register is an opportunity for the carrier to be lost, and quantum
+registers cannot be retransmitted from a local copy (no cloning), so a
+single lost chunk scraps the whole attempt.  The end-to-end success
+probability of one transfer therefore decays geometrically in the number
+of chunk deliveries.
+
+The paper's own remedy is already in the codebase: the leader repeats
+the protocol and combines outcomes (:mod:`repro.core.boosting`).  This
+module closes the loop quantitatively — given a per-delivery loss
+probability it computes the transfer fidelity, asks
+:func:`repro.core.boosting.repetitions_for` how many repetitions restore
+a target confidence, and reports the total round bill, which is the
+"extra rounds to keep the output distribution intact" number E19 sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..congest.algorithms.bfs import BFSResult
+from ..congest.network import Network
+from ..core.boosting import repetitions_for
+from ..core.state_transfer import distribute_register
+
+__all__ = [
+    "FidelityModel",
+    "ReamplifiedTransfer",
+    "reamplified_transfer",
+]
+
+
+@dataclass(frozen=True)
+class FidelityModel:
+    """Per-delivery loss model for streamed quantum registers.
+
+    Attributes:
+        loss_p: probability that any single chunk delivery (one chunk
+            crossing one tree edge) is lost.
+    """
+
+    loss_p: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss_p < 1.0:
+            raise ValueError(
+                f"loss probability must be in [0, 1), got {self.loss_p}"
+            )
+
+    def deliveries(self, network: Network, num_chunks: int) -> int:
+        """Chunk deliveries in one full transfer: every non-root node
+        receives every chunk once over its parent edge."""
+        return num_chunks * max(network.n - 1, 0)
+
+    def transfer_fidelity(self, network: Network, num_chunks: int) -> float:
+        """Probability that one whole transfer survives undamaged."""
+        return (1.0 - self.loss_p) ** self.deliveries(network, num_chunks)
+
+
+@dataclass
+class ReamplifiedTransfer:
+    """Round bill for a state transfer re-amplified to target confidence."""
+
+    base_rounds: int
+    num_chunks: int
+    fidelity: float
+    repetitions: int
+    total_rounds: int
+    achieved_failure: float
+
+
+def reamplified_transfer(
+    network: Network,
+    tree: BFSResult,
+    register_value: int,
+    q_bits: int,
+    loss_p: float,
+    delta: float = 0.01,
+    pipelined: bool = True,
+    seed: Optional[int] = None,
+) -> ReamplifiedTransfer:
+    """Measure one Lemma 7 transfer, then price its lossy re-amplification.
+
+    Runs :func:`~repro.core.state_transfer.distribute_register` once on
+    the (faultless) engine for the measured per-attempt round count,
+    computes the attempt fidelity under ``loss_p`` per chunk delivery,
+    and uses the boosting machinery to size the repetition count that
+    brings the failure probability back under ``delta``.
+
+    Returns:
+        A :class:`ReamplifiedTransfer` with the per-attempt rounds, the
+        attempt fidelity, the repetitions the leader must schedule, and
+        the total (repetitions × per-attempt) round bill.
+    """
+    base = distribute_register(
+        network, tree, register_value, q_bits, pipelined=pipelined, seed=seed
+    )
+    model = FidelityModel(loss_p)
+    fidelity = model.transfer_fidelity(network, base.chunks)
+    if fidelity <= 0.0:
+        raise ValueError(
+            "transfer fidelity underflowed to zero; no repetition count "
+            "can re-amplify it"
+        )
+    if fidelity >= 1.0:
+        repetitions = 1
+        achieved = 0.0
+    else:
+        repetitions = repetitions_for(delta, base_failure=1.0 - fidelity)
+        achieved = math.exp(repetitions * math.log(1.0 - fidelity))
+    return ReamplifiedTransfer(
+        base_rounds=base.rounds,
+        num_chunks=base.chunks,
+        fidelity=fidelity,
+        repetitions=repetitions,
+        total_rounds=repetitions * base.rounds,
+        achieved_failure=achieved,
+    )

@@ -11,7 +11,7 @@ from repro.congest.errors import (
     NotANeighbor,
     RoundLimitExceeded,
 )
-from repro.congest.program import Context, IdleProgram, NodeProgram
+from repro.congest.program import IdleProgram, NodeProgram
 
 
 class EchoOnce(NodeProgram):
@@ -110,6 +110,64 @@ class TestModelEnforcement:
             )
 
 
+class NeverHalts(NodeProgram):
+    """Chatters forever; only the safety valve can stop it."""
+
+    def on_start(self, ctx):
+        ctx.broadcast(Field(0, 2))
+
+    def on_round(self, ctx, inbox):
+        ctx.broadcast(Field(0, 2))
+
+
+class TestRoundLimitValve:
+    def test_default_budget_is_floor_for_small_networks(self):
+        from repro.congest.engine import (
+            DEFAULT_MAX_ROUNDS_FLOOR,
+            DEFAULT_MAX_ROUNDS_PER_NODE,
+        )
+
+        net = topologies.path(4)
+        engine = Engine(net, {v: NeverHalts() for v in net.nodes()})
+        assert engine.max_rounds == max(
+            DEFAULT_MAX_ROUNDS_FLOOR, DEFAULT_MAX_ROUNDS_PER_NODE * net.n
+        )
+
+    def test_default_budget_scales_per_node(self):
+        from repro.congest.engine import (
+            DEFAULT_MAX_ROUNDS_FLOOR,
+            DEFAULT_MAX_ROUNDS_PER_NODE,
+        )
+
+        n = DEFAULT_MAX_ROUNDS_FLOOR // DEFAULT_MAX_ROUNDS_PER_NODE + 50
+        net = topologies.path(n)
+        engine = Engine(net, {v: NeverHalts() for v in net.nodes()})
+        assert engine.max_rounds == DEFAULT_MAX_ROUNDS_PER_NODE * n
+
+    def test_valve_stops_non_terminating_program_by_default(self):
+        # No explicit max_rounds: the default budget must still fire
+        # rather than hang the interpreter.
+        net = topologies.path(2)
+        with pytest.raises(RoundLimitExceeded):
+            run_program(net, {v: NeverHalts() for v in net.nodes()})
+
+    def test_explicit_limit_overrides_default(self, path8):
+        engine = Engine(
+            path8,
+            {v: NeverHalts() for v in path8.nodes()},
+            max_rounds=17,
+        )
+        with pytest.raises(RoundLimitExceeded) as excinfo:
+            engine.run()
+        assert "17" in str(excinfo.value)
+
+    def test_limit_error_names_the_budget(self):
+        net = topologies.path(2)
+        with pytest.raises(RoundLimitExceeded) as excinfo:
+            run_program(net, {v: NeverHalts() for v in net.nodes()})
+        assert "10000" in str(excinfo.value)
+
+
 class TestStats:
     def test_message_and_bit_counters(self, path8):
         result = run_program(path8, {v: EchoOnce(v) for v in path8.nodes()})
@@ -202,3 +260,57 @@ class TestCommonOutput:
 
         with pytest.raises(ValueError):
             run_program(path8, {v: Own() for v in path8.nodes()}).common_output()
+
+    def test_unhashable_outputs_agree(self, path8):
+        # Regression: common_output() used set() and raised TypeError on
+        # list/dict outputs; agreement is now checked by equality.
+        class FixedList(NodeProgram):
+            def on_start(self, ctx):
+                ctx.halt(output=[1, 2, {"d": 3}])
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        assert run_program(
+            path8, {v: FixedList() for v in path8.nodes()}
+        ).common_output() == [1, 2, {"d": 3}]
+
+    def test_unhashable_outputs_disagree(self, path8):
+        class OwnList(NodeProgram):
+            def on_start(self, ctx):
+                ctx.halt(output=[ctx.node])
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(ValueError, match="disagree"):
+            run_program(
+                path8, {v: OwnList() for v in path8.nodes()}
+            ).common_output()
+
+    def test_no_outputs_raise(self, path8):
+        class Silent(NodeProgram):
+            def on_start(self, ctx):
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(ValueError, match="no node"):
+            run_program(
+                path8, {v: Silent() for v in path8.nodes()}
+            ).common_output()
+
+    def test_partial_outputs_still_agree(self, path8):
+        # Nodes that produced no output are ignored by the agreement
+        # check, matching the hashable behavior.
+        class RootOnly(NodeProgram):
+            def on_start(self, ctx):
+                ctx.halt(output=[7] if ctx.node == 0 else None)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        assert run_program(
+            path8, {v: RootOnly() for v in path8.nodes()}
+        ).common_output() == [7]

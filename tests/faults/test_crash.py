@@ -1,0 +1,85 @@
+"""Unit tests for crash-stop / crash-recovery schedules."""
+
+import pytest
+
+from repro.faults.crash import CrashSchedule, CrashSpec, random_crash_schedule
+
+
+class TestCrashSpec:
+    def test_crash_stop_covers_everything_after(self):
+        spec = CrashSpec(3, crash_round=5)
+        assert not spec.down_in(4)
+        assert spec.down_in(5)
+        assert spec.down_in(10**6)
+
+    def test_crash_recovery_window(self):
+        spec = CrashSpec(3, crash_round=5, recover_round=8)
+        assert [spec.down_in(r) for r in range(4, 9)] == [
+            False, True, True, True, False,
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashSpec(0, crash_round=0)
+        with pytest.raises(ValueError):
+            CrashSpec(0, crash_round=5, recover_round=5)
+
+
+class TestCrashSchedule:
+    def test_is_down_and_forever_down(self):
+        sched = CrashSchedule([
+            CrashSpec(1, 3, 6),
+            CrashSpec(2, 4),
+        ])
+        assert sched.is_down(1, 3) and not sched.is_down(1, 6)
+        assert sched.is_down(2, 4)
+        assert not sched.is_forever_down(1, 100)
+        assert sched.is_forever_down(2, 4)
+        assert not sched.is_forever_down(2, 3)
+
+    def test_transitions(self):
+        sched = CrashSchedule([CrashSpec(1, 3, 6), CrashSpec(2, 3)])
+        assert sorted(sched.transitions(3)) == [(1, "crash"), (2, "crash")]
+        assert sched.transitions(6) == [(1, "recover")]
+        assert sched.transitions(5) == []
+
+    def test_affected_nodes_and_len(self):
+        sched = CrashSchedule([CrashSpec(4, 1), CrashSpec(2, 1, 3)])
+        assert sched.affected_nodes() == [2, 4]
+        assert len(sched) == 2
+
+    def test_repeated_outages_for_one_node(self):
+        sched = CrashSchedule([CrashSpec(0, 2, 4), CrashSpec(0, 7, 9)])
+        assert [sched.is_down(0, r) for r in range(1, 10)] == [
+            False, True, True, False, False, False, True, True, False,
+        ]
+
+
+class TestRandomSchedule:
+    def test_deterministic_for_a_seed(self):
+        a = random_crash_schedule(20, 0.3, horizon=10, seed=5)
+        b = random_crash_schedule(20, 0.3, horizon=10, seed=5)
+        assert a.specs == b.specs
+        assert len(a) == 6  # 30% of 20
+
+    def test_protect_is_honored(self):
+        sched = random_crash_schedule(
+            10, 1.0, horizon=5, seed=1, protect=(0, 3)
+        )
+        assert 0 not in sched.affected_nodes()
+        assert 3 not in sched.affected_nodes()
+        assert len(sched) == 8
+
+    def test_outage_rounds_makes_recoveries(self):
+        sched = random_crash_schedule(
+            10, 0.5, horizon=5, seed=2, outage_rounds=4
+        )
+        assert all(
+            spec.recover_round == spec.crash_round + 4 for spec in sched.specs
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_crash_schedule(10, 1.5, horizon=5)
+        with pytest.raises(ValueError):
+            random_crash_schedule(10, 0.5, horizon=0)

@@ -1,0 +1,75 @@
+"""Tests for the state-transfer fidelity decay + boosting re-amplification."""
+
+import pytest
+
+from repro.congest import topologies
+from repro.congest.algorithms.bfs import bfs_with_echo
+from repro.faults.fidelity import FidelityModel, reamplified_transfer
+
+
+class TestFidelityModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FidelityModel(-0.1)
+        with pytest.raises(ValueError):
+            FidelityModel(1.0)
+
+    def test_lossless_is_perfect(self, path8):
+        model = FidelityModel(0.0)
+        assert model.transfer_fidelity(path8, num_chunks=10) == 1.0
+
+    def test_fidelity_decays_with_loss_and_size(self, path8):
+        f1 = FidelityModel(0.01).transfer_fidelity(path8, 4)
+        f2 = FidelityModel(0.05).transfer_fidelity(path8, 4)
+        f3 = FidelityModel(0.05).transfer_fidelity(path8, 8)
+        assert 1.0 > f1 > f2 > f3 > 0.0
+
+    def test_delivery_count(self, path8):
+        model = FidelityModel(0.1)
+        # Every non-root node receives every chunk once: 7 * 4.
+        assert model.deliveries(path8, 4) == 28
+
+
+class TestReamplifiedTransfer:
+    def test_lossless_needs_one_attempt(self, petersen):
+        tree = bfs_with_echo(petersen, 0, seed=0)
+        out = reamplified_transfer(
+            petersen, tree, register_value=0xAB, q_bits=8, loss_p=0.0, seed=0
+        )
+        assert out.repetitions == 1
+        assert out.fidelity == 1.0
+        assert out.total_rounds == out.base_rounds
+
+    def test_repetitions_restore_confidence(self, petersen):
+        tree = bfs_with_echo(petersen, 0, seed=0)
+        out = reamplified_transfer(
+            petersen,
+            tree,
+            register_value=0x5A5A,
+            q_bits=32,
+            loss_p=0.02,
+            delta=0.01,
+            seed=0,
+        )
+        assert out.fidelity < 1.0
+        assert out.repetitions > 1
+        assert out.achieved_failure <= 0.01
+        assert out.total_rounds == out.repetitions * out.base_rounds
+
+    def test_repetitions_grow_with_loss(self, petersen):
+        tree = bfs_with_echo(petersen, 0, seed=0)
+        reps = [
+            reamplified_transfer(
+                petersen, tree, 0x11, q_bits=16, loss_p=p, seed=0
+            ).repetitions
+            for p in (0.0, 0.02, 0.05)
+        ]
+        assert reps[0] < reps[1] < reps[2]
+
+    def test_underflow_is_an_error(self):
+        net = topologies.grid(5, 5)
+        tree = bfs_with_echo(net, 0, seed=0)
+        with pytest.raises(ValueError):
+            reamplified_transfer(
+                net, tree, 0x11, q_bits=4096, loss_p=0.9, seed=0
+            )

@@ -1,0 +1,210 @@
+"""Unit tests for the pluggable channel fault models."""
+
+import numpy as np
+import pytest
+
+from repro.congest.encoding import Field
+from repro.congest.messages import Message
+from repro.congest.tracing import CORRUPT, DELAY, DELIVER, DROP
+from repro.faults.models import (
+    BernoulliLoss,
+    BitCorruption,
+    BoundedDelay,
+    CompositeFaults,
+    GilbertElliottLoss,
+    NoFaults,
+    _corrupt_payload,
+)
+
+
+def make_msg(payload, src=0, dst=1, round_sent=1):
+    return Message.make(src, dst, payload, round_sent)
+
+
+class TestValidation:
+    def test_bernoulli_p_out_of_range(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5)
+
+    def test_corruption_p_out_of_range(self):
+        with pytest.raises(ValueError):
+            BitCorruption(2.0)
+
+    def test_delay_parameters(self):
+        with pytest.raises(ValueError):
+            BoundedDelay(0.5, max_delay=0)
+        with pytest.raises(ValueError):
+            BoundedDelay(-0.5)
+
+    def test_gilbert_elliott_rates(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_enter_burst=1.2)
+
+    def test_composite_needs_models(self):
+        with pytest.raises(ValueError):
+            CompositeFaults([])
+
+
+class TestNoFaults:
+    def test_always_delivers(self):
+        model = NoFaults(seed=0)
+        msg = make_msg(Field(3, 8))
+        for r in range(1, 20):
+            verdict, out = model.apply(msg, r)
+            assert verdict == DELIVER
+            assert out is msg
+        assert not model.pending()
+        assert model.release(5) == []
+
+
+class TestBernoulliLoss:
+    def test_p_zero_never_drops(self):
+        model = BernoulliLoss(0.0, seed=1)
+        msg = make_msg(Field(1, 4))
+        assert all(
+            model.apply(msg, r)[0] == DELIVER for r in range(1, 200)
+        )
+
+    def test_p_one_always_drops(self):
+        model = BernoulliLoss(1.0, seed=1)
+        msg = make_msg(Field(1, 4))
+        assert all(model.apply(msg, r)[0] == DROP for r in range(1, 200))
+
+    def test_seeded_determinism(self):
+        msg = make_msg(Field(1, 4))
+        verdicts = []
+        for _ in range(2):
+            model = BernoulliLoss(0.3, seed=42)
+            verdicts.append(
+                [model.apply(msg, r)[0] for r in range(1, 300)]
+            )
+        assert verdicts[0] == verdicts[1]
+        assert DROP in verdicts[0] and DELIVER in verdicts[0]
+
+    def test_engine_bind_respects_own_seed(self):
+        a = BernoulliLoss(0.5, seed=9)
+        b = BernoulliLoss(0.5, seed=9)
+        a.bind(np.random.SeedSequence(111))
+        b.bind(np.random.SeedSequence(222))
+        msg = make_msg(Field(1, 4))
+        assert [a.apply(msg, r)[0] for r in range(50)] == [
+            b.apply(msg, r)[0] for r in range(50)
+        ]
+
+
+class TestGilbertElliott:
+    def test_burstiness_produces_runs_of_drops(self):
+        model = GilbertElliottLoss(
+            p_enter_burst=0.1, p_exit_burst=0.2, loss_bad=1.0, seed=3
+        )
+        msg = make_msg(Field(1, 4))
+        verdicts = [model.apply(msg, r)[0] for r in range(1, 2000)]
+        # With loss_bad=1 every bad-state round drops; bursts mean at
+        # least one run of >= 3 consecutive drops shows up.
+        longest = run = 0
+        for v in verdicts:
+            run = run + 1 if v == DROP else 0
+            longest = max(longest, run)
+        assert longest >= 3
+
+    def test_edges_have_independent_state(self):
+        model = GilbertElliottLoss(
+            p_enter_burst=0.5, p_exit_burst=0.1, loss_bad=1.0, seed=5
+        )
+        for r in range(1, 50):
+            model.apply(make_msg(Field(1, 4), src=0, dst=1), r)
+            model.apply(make_msg(Field(1, 4), src=2, dst=3), r)
+        assert (0, 1) in model._bad and (2, 3) in model._bad
+
+
+class TestBitCorruption:
+    def test_corruption_preserves_bit_charge(self):
+        model = BitCorruption(1.0, seed=0)
+        msg = make_msg((Field(3, 8), Field(250, 256), True))
+        verdict, out = model.apply(msg, 1)
+        assert verdict == CORRUPT
+        assert out.bits == msg.bits
+        assert out.src == msg.src and out.dst == msg.dst
+
+    def test_corrupted_fields_stay_in_domain(self):
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            field = Field(5, 11)
+            out = _corrupt_payload(field, rng)
+            assert 0 <= out.value < 11
+            assert out.value != 5
+            assert out.domain == 11
+
+    def test_trivial_domain_untouched(self):
+        rng = np.random.default_rng(7)
+        field = Field(0, 1)
+        assert _corrupt_payload(field, rng) is field
+
+    def test_bools_flip_and_structure_survives(self):
+        rng = np.random.default_rng(7)
+        payload = (Field(1, 4), [True, None], "tag")
+        out = _corrupt_payload(payload, rng)
+        assert isinstance(out, tuple) and len(out) == 3
+        assert out[1][0] is False
+        assert out[1][1] is None
+        assert out[2] == "tag"
+
+    def test_p_zero_is_identity(self):
+        model = BitCorruption(0.0, seed=0)
+        msg = make_msg(Field(3, 8))
+        verdict, out = model.apply(msg, 1)
+        assert verdict == DELIVER and out is msg
+
+
+class TestBoundedDelay:
+    def test_delay_holds_then_releases_within_bound(self):
+        model = BoundedDelay(1.0, max_delay=3, seed=0)
+        msg = make_msg(Field(1, 4))
+        verdict, out = model.apply(msg, 5)
+        assert verdict == DELAY and out is None
+        assert model.pending()
+        released = []
+        for r in range(6, 10):
+            released.extend(model.release(r))
+        assert released == [msg]
+        assert not model.pending()
+
+    def test_release_is_empty_without_delays(self):
+        model = BoundedDelay(0.0, seed=0)
+        msg = make_msg(Field(1, 4))
+        assert model.apply(msg, 1) == (DELIVER, msg)
+        assert model.release(2) == []
+
+
+class TestCompositeFaults:
+    def test_corrupt_then_drop_chains(self):
+        model = CompositeFaults(
+            [BitCorruption(1.0), BernoulliLoss(1.0)], seed=0
+        )
+        model.bind(np.random.SeedSequence(0))
+        verdict, out = model.apply(make_msg(Field(1, 4)), 1)
+        assert verdict == DROP and out is None
+
+    def test_corrupt_survives_chain_when_not_dropped(self):
+        model = CompositeFaults(
+            [BitCorruption(1.0), BernoulliLoss(0.0)], seed=0
+        )
+        model.bind(np.random.SeedSequence(0))
+        msg = make_msg(Field(1, 4))
+        verdict, out = model.apply(msg, 1)
+        assert verdict == CORRUPT
+        assert out.bits == msg.bits
+
+    def test_pending_aggregates_children(self):
+        delay = BoundedDelay(1.0, max_delay=2)
+        model = CompositeFaults([delay], seed=0)
+        model.bind(np.random.SeedSequence(0))
+        model.apply(make_msg(Field(1, 4)), 1)
+        assert model.pending()
+
+    def test_describe_mentions_every_model(self):
+        model = CompositeFaults([BernoulliLoss(0.1), BitCorruption(0.2)])
+        text = model.describe()
+        assert "bernoulli" in text and "corruption" in text
