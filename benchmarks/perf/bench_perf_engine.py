@@ -1,0 +1,20 @@
+"""Quick-mode smoke wrapper: engine scheduling benchmark.
+
+The workload asserts dense/active runs are identical before timing, so
+collecting it under pytest is a correctness check; see README.md here.
+"""
+
+from repro.perf import engine_flooding_workload
+from repro.perf.harness import SPEEDUP_TARGET
+
+
+def test_engine_flooding_quick():
+    wl = engine_flooding_workload(quick=True)
+    assert len(wl.sweep) >= 3
+    for entry in wl.sweep:
+        assert entry["rounds"] > 0
+        assert entry["active_s"] > 0 and entry["dense_s"] > 0
+    assert wl.best_speedup is not None
+    # Quick instances are small; the high-diameter topology should still
+    # clearly favor the active set (full mode clears SPEEDUP_TARGET).
+    assert wl.best_speedup > 1.0, (wl.best_speedup, SPEEDUP_TARGET)

@@ -1,0 +1,18 @@
+"""Quick-mode smoke wrapper: framework setup-cache benchmark.
+
+The workload asserts cold and warm runs return identical results and
+charges before timing; collecting it under pytest is a correctness check.
+"""
+
+from repro.perf import framework_repeat_workload
+
+
+def test_framework_repeat_quick():
+    wl = framework_repeat_workload(quick=True)
+    assert len(wl.sweep) >= 1
+    for entry in wl.sweep:
+        assert entry["total_rounds"] > 0
+        assert entry["warm_s"] > 0 and entry["cold_s"] > 0
+        # Warm runs skip setup entirely; they can never be slower by much.
+        assert entry["speedup"] > 0.8
+    assert wl.best_speedup is not None

@@ -1,0 +1,17 @@
+"""Quick-mode smoke wrapper: statevector gate kernel benchmark.
+
+The workload verifies every kernel against ``apply_generic`` to 1e-12
+before timing; collecting it under pytest is a correctness check.
+"""
+
+from repro.perf import gate_throughput_workload
+
+
+def test_gate_throughput_quick():
+    wl = gate_throughput_workload(quick=True)
+    kinds = {entry["workload"] for entry in wl.sweep}
+    assert kinds == {"mix_1q", "cnot_fanout"}
+    for entry in wl.sweep:
+        assert entry["fast_gates_per_s"] > 0
+        assert entry["generic_gates_per_s"] > 0
+    assert wl.best_speedup is not None and wl.best_speedup > 1.0

@@ -1,0 +1,46 @@
+"""Quick-mode smoke wrapper: report generation and comparison round-trip."""
+
+import json
+import subprocess
+import sys
+
+from repro.perf import build_report, run_all, write_report
+from repro.perf.compare import compare_reports
+from repro.perf.harness import SCHEMA
+
+
+def test_run_all_builds_schema(tmp_path):
+    report = run_all(quick=True, workloads=["framework"])
+    assert report["schema"] == SCHEMA
+    assert report["quick"] is True
+    assert set(report["workloads"]) == {"framework_repeat"}
+    summary = report["summary"]
+    assert "framework_repeat" in summary["best_speedups"]
+    out = tmp_path / "bench.json"
+    write_report(report, str(out))
+    assert json.loads(out.read_text())["schema"] == SCHEMA
+
+
+def test_compare_reports_lines_up_entries():
+    wl = run_all(quick=True, workloads=["gates"])
+    text = compare_reports(wl, wl)
+    assert "gate_throughput" in text
+    assert "->" in text  # per-entry deltas were matched and printed
+
+
+def test_cli_bench_quick(tmp_path):
+    out = tmp_path / "BENCH.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "bench", "--quick",
+         "--workload", "framework", "--out", str(out)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert out.exists()
+    assert "benchmark report" in proc.stdout
+
+
+def test_empty_report_is_valid():
+    report = build_report([], quick=True)
+    assert report["workloads"] == {}
+    assert report["summary"]["workloads_meeting_target"] == []

@@ -7,6 +7,8 @@ Usage::
     python -m repro run all [--full]    # run everything
     python -m repro faults --losses 0,0.05,0.1   # loss-rate sweep under
                                          # the resilience layer
+    python -m repro bench [--quick]      # hot-path micro-benchmarks,
+                                         # writes BENCH_PR2.json
 """
 
 from __future__ import annotations
@@ -55,6 +57,23 @@ def main(argv=None) -> int:
     faults_parser.add_argument("--rows", type=int, default=4)
     faults_parser.add_argument("--cols", type=int, default=4)
     faults_parser.add_argument("--seed", type=int, default=0)
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the hot-path micro-benchmarks and write a JSON report "
+        "(schema: benchmarks/perf/README.md)",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="small instances; a correctness smoke check, not a perf claim",
+    )
+    bench_parser.add_argument(
+        "--out", default="BENCH_PR2.json", help="report output path"
+    )
+    bench_parser.add_argument(
+        "--workload", action="append", dest="workloads", default=None,
+        metavar="NAME",
+        help="run only this workload (repeatable): engine, gates, framework",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -70,6 +89,17 @@ def main(argv=None) -> int:
             n=args.n, k=args.k, diameter=args.diameter,
             epsilon=args.epsilon, girth=args.girth,
         ).show()
+        return 0
+
+    if args.command == "bench":
+        from .perf import run_all, write_report
+        from .perf.harness import format_summary
+
+        start = time.time()
+        report = run_all(quick=args.quick, workloads=args.workloads)
+        write_report(report, args.out)
+        print(format_summary(report))
+        print(f"(wrote {args.out} in {time.time() - start:.1f}s)")
         return 0
 
     if args.command == "faults":

@@ -54,6 +54,10 @@ class NeighborhoodExchangeProgram(NodeProgram):
     first round as (degree, first-id) pairs).
     """
 
+    # Streams its adjacency list one id per round (carried by its own
+    # sends) and then waits on neighbors' lists; silent rounds are no-ops.
+    always_active = False
+
     def __init__(self, node: int):
         self.node = node
         self.sent = 0

@@ -34,6 +34,13 @@ from .bfs import BFSResult
 class UpcastProgram(NodeProgram):
     """Stream a t-vector up the tree, combining coordinatewise."""
 
+    # Leaves stream one coordinate per round (the engine's "sent last
+    # round" carry keeps them scheduled); interior nodes advance only on
+    # deliveries.  A silent round is a no-op — except for a childless
+    # root, which advances its cursor locally every round; that degenerate
+    # case opts back into always-on execution below.
+    always_active = False
+
     def __init__(
         self,
         node: int,
@@ -57,6 +64,8 @@ class UpcastProgram(NodeProgram):
         self.length = length
         self.received_count = [0] * length
         self.next_to_send = 0
+        if parent is None and not self.children:
+            self.always_active = True
 
     def _ready(self, index: int) -> bool:
         return self.received_count[index] == len(self.children)
@@ -95,6 +104,10 @@ class UpcastProgram(NodeProgram):
 class DowncastProgram(NodeProgram):
     """Stream a t-vector from the root down the tree, pipelined."""
 
+    # Same scheduling shape as UpcastProgram: the root streams (carried by
+    # its own sends), everyone else advances on deliveries only.
+    always_active = False
+
     def __init__(
         self,
         node: int,
@@ -113,6 +126,8 @@ class DowncastProgram(NodeProgram):
             list(values) if values is not None else [None] * length
         )
         self.next_to_send = 0
+        if parent is None and not self.children:
+            self.always_active = True
 
     def _push(self, ctx: Context) -> None:
         if self.next_to_send >= self.length:
@@ -253,6 +268,10 @@ class GatherProgram(NodeProgram):
     everything its subtree holds, so the root's incident edges are the
     bottleneck the Ω(k/log n) lower bounds talk about.
     """
+
+    # Streams its queue (carried by its own sends) and otherwise advances
+    # only on deliveries (done markers); a silent round is a no-op.
+    always_active = False
 
     def __init__(
         self,

@@ -63,6 +63,10 @@ class BFSResult:
 class BFSEchoProgram(NodeProgram):
     """Node program implementing BFS + echo from a designated root."""
 
+    # Purely message-driven: a silent round changes no state (tokens,
+    # nacks and echoes all arrive as messages), so the engine may skip it.
+    always_active = False
+
     def __init__(self, node: int, root: int):
         self.node = node
         self.root = root

@@ -29,6 +29,11 @@ class LeaderResult:
 
 class MaxIdFloodProgram(NodeProgram):
     """Flood the largest identifier seen; quiesces in ecc(argmax) rounds."""
+
+    # Forwards only improvements, which can only arrive as messages; a
+    # silent round is a no-op, so the engine may skip it.
+    always_active = False
+
     def __init__(self, node: int):
         self.node = node
         self.best = node
@@ -56,6 +61,10 @@ class BoundedMaxIdFloodProgram(MaxIdFloodProgram):
     identifier seen, making it usable under the fault-resilient wrapper
     in :mod:`repro.faults.resilience`.
     """
+
+    # Counts rounds to its horizon even when the network is silent, so it
+    # must execute every round.
+    always_active = True
 
     def __init__(self, node: int, horizon: int):
         super().__init__(node)

@@ -49,6 +49,12 @@ class MultiBFSResult:
 class MultiSourceBFSProgram(NodeProgram):
     """Node program for the prioritized multi-source flood."""
 
+    # Message-driven: token queues only fill on deliveries, and a node
+    # with queued tokens sent last round (one per neighbor per round), so
+    # the engine's "sent last round" carry keeps it scheduled until its
+    # queues drain.  A silent round is a no-op.
+    always_active = False
+
     def __init__(self, node: int, sources: Sequence[int]):
         self.node = node
         self.sources = list(sources)

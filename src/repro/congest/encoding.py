@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any
+from functools import lru_cache
+from typing import Any, Dict
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,7 @@ class Field:
         return bits_for_domain(self.domain)
 
 
+@lru_cache(maxsize=4096)
 def bits_for_domain(domain: int) -> int:
     """Bits required to encode one value from a domain of the given size."""
     if domain < 1:
@@ -67,12 +69,46 @@ def bits_for_int(value: int) -> int:
     return max(1, abs(value).bit_length()) + 1
 
 
+# Memo for theory-grade payloads.  Sizing is value-pure, so equal payloads
+# have equal sizes — but Python's cross-type equality (1 == True == 1.0)
+# would alias cache entries with *different* sizes, so only payloads built
+# from Field/str/None (whose equality never crosses types) are cached.
+_PAYLOAD_BITS_CACHE: Dict[Any, int] = {}
+_PAYLOAD_BITS_CACHE_MAX = 4096
+_CACHE_SAFE_TYPES = (Field, str, type(None))
+
+
+def _cacheable(payload: Any) -> bool:
+    if type(payload) is Field:
+        return True
+    if type(payload) is tuple:
+        return all(type(item) in _CACHE_SAFE_TYPES for item in payload)
+    return False
+
+
 def payload_bits(payload: Any) -> int:
     """Return the charged encoded size of a payload in bits.
+
+    Sizes of ``Field``-based payloads (the theory-grade accounting used by
+    all library algorithms) are memoized process-wide: repeated sends of
+    the same message shape hit a dict lookup instead of re-walking the
+    structure.
 
     Raises:
         TypeError: if the payload contains an unsupported type.
     """
+    if _cacheable(payload):
+        bits = _PAYLOAD_BITS_CACHE.get(payload)
+        if bits is None:
+            bits = _payload_bits_impl(payload)
+            if len(_PAYLOAD_BITS_CACHE) >= _PAYLOAD_BITS_CACHE_MAX:
+                _PAYLOAD_BITS_CACHE.clear()
+            _PAYLOAD_BITS_CACHE[payload] = bits
+        return bits
+    return _payload_bits_impl(payload)
+
+
+def _payload_bits_impl(payload: Any) -> int:
     if payload is None:
         return 1
     if isinstance(payload, Field):

@@ -10,10 +10,29 @@ Round accounting matches the convention used in the paper's proofs: local
 computation is free and unbounded; only communication rounds count.  The
 reported ``rounds`` is the index of the last round in which any message was
 in flight or any program executed.
+
+Two scheduling strategies produce *identical* results (rounds, outputs,
+traffic statistics — the determinism property tests pin this down):
+
+* ``"dense"`` — the textbook loop: every non-halted node executes every
+  round, even with an empty inbox.
+* ``"active"`` (default) — the hot-path loop: a node executes a round only
+  when it has deliveries, sent messages in its previous executed round
+  (it may be mid-stream), has a due :meth:`~repro.congest.program.Context.
+  request_wakeup`, or its program declares
+  :attr:`~repro.congest.program.NodeProgram.always_active`.  Programs whose
+  ``on_round`` is a pure no-op on silent rounds opt in by setting
+  ``always_active = False``; everything else keeps dense semantics
+  automatically.  On flooding/pipelining workloads where most nodes are
+  silent most rounds this removes the per-round O(n) scan entirely.
+
+Round accounting and CONGEST semantics are unchanged by the scheduler: a
+skipped node is exactly a node whose execution would have been a no-op.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -28,6 +47,12 @@ from .program import Context, NodeProgram
 #: or small-polynomial; anything past this many rounds is a bug.
 DEFAULT_MAX_ROUNDS_PER_NODE = 50
 DEFAULT_MAX_ROUNDS_FLOOR = 10_000
+
+#: Shared immutable inbox handed to nodes executing a silent round.
+_EMPTY_INBOX = Inbox()
+
+#: Recognized scheduling strategies.
+SCHEDULES = ("active", "dense")
 
 
 @dataclass
@@ -44,8 +69,9 @@ class RunResult:
     def common_output(self) -> Any:
         """The single output shared by all nodes that produced one.
 
-        Outputs are compared by equality (not hashing), so unhashable
-        outputs such as lists and dicts are supported.
+        Hashable outputs are compared via a hash set (O(m)); unhashable
+        outputs such as lists and dicts fall back to the equality scan,
+        so both remain supported.
 
         Raises:
             ValueError: if nodes disagree or none produced output.
@@ -54,10 +80,24 @@ class RunResult:
         if not produced:
             raise ValueError("no node produced an output")
         first = produced[0]
-        distinct = [first]
-        for o in produced[1:]:
-            if not any(o == seen for seen in distinct):
-                distinct.append(o)
+        try:
+            distinct_set = set(produced)
+            if len(distinct_set) == 1:
+                return first
+            # Report disagreements in first-seen order, as the equality
+            # scan always did.
+            seen = set()
+            distinct = []
+            for o in produced:
+                if o not in seen:
+                    seen.add(o)
+                    distinct.append(o)
+        except TypeError:
+            # Unhashable outputs: the original quadratic equality scan.
+            distinct = [first]
+            for o in produced[1:]:
+                if not any(o == seen_o for seen_o in distinct):
+                    distinct.append(o)
         if len(distinct) != 1:
             raise ValueError(f"nodes disagree on output: {distinct}")
         return first
@@ -74,6 +114,9 @@ class Engine:
             share randomness — the model has no shared coins).
         max_rounds: execution budget; exceeded budgets raise
             :class:`RoundLimitExceeded`.
+        schedule: ``"active"`` (default, skip provably idle nodes) or
+            ``"dense"`` (execute every node every round).  Results are
+            identical; only wall time differs.
     """
 
     def __init__(
@@ -83,12 +126,18 @@ class Engine:
         seed: Optional[int] = None,
         max_rounds: Optional[int] = None,
         stop_on_quiescence: bool = False,
+        schedule: str = "active",
     ):
         missing = set(network.nodes()) - set(programs)
         if missing:
             raise ValueError(f"no program supplied for nodes {sorted(missing)}")
+        if schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; expected one of {SCHEDULES}"
+            )
         self.network = network
         self.programs = programs
+        self.schedule = schedule
         if max_rounds is None:
             max_rounds = max(
                 DEFAULT_MAX_ROUNDS_FLOOR,
@@ -113,9 +162,39 @@ class Engine:
             )
             for v in network.nodes()
         }
+        #: Number of halted nodes, so :meth:`_all_halted` is O(1) instead
+        #: of an O(n) per-round scan.
+        self._halted_count = 0
+        #: Dense-loop execution order of each node; the active scheduler
+        #: sorts its candidate set by this so message ordering (and hence
+        #: results) match the dense loop exactly.
+        self._order: Dict[int, int] = {v: i for i, v in enumerate(programs)}
+        #: Insertion-ordered set of non-halted nodes whose programs demand
+        #: execution every round (``always_active``); pruned on halt.
+        self._always_on: Dict[int, None] = {
+            v: None
+            for v, p in programs.items()
+            if getattr(p, "always_active", True)
+        }
+        #: Reusable inbox buffer: node -> list of this round's deliveries.
+        #: Lists are cleared and reused round to round (dict churn was a
+        #: measurable cost at large n); an Inbox is only valid during the
+        #: round it was handed to ``on_round``.
+        self._inbox_buf: Dict[int, List[Message]] = {}
+        self._inbox_touched: List[int] = []
 
     def run(self) -> RunResult:
         """Execute until every node halts; return outputs and statistics."""
+        if self.schedule == "dense":
+            return self._run_dense()
+        return self._run_active()
+
+    # ------------------------------------------------------------------
+    # dense loop (reference semantics)
+    # ------------------------------------------------------------------
+
+    def _run_dense(self) -> RunResult:
+        """The reference loop: every non-halted node runs every round."""
         stats = TrafficStats()
         in_flight: List[Message] = []
 
@@ -123,6 +202,8 @@ class Engine:
         for v, program in self.programs.items():
             ctx = self.contexts[v]
             program.on_start(ctx)
+            if ctx.halted:
+                self._note_halt(v)
             in_flight.extend(ctx._drain_outbox(0))
 
         rounds = 0
@@ -160,13 +241,145 @@ class Engine:
                     continue
                 ctx.round = rounds
                 program.on_round(ctx, Inbox(inboxes.get(v)))
+                if ctx.halted:
+                    self._note_halt(v)
                 in_flight.extend(ctx._drain_outbox(rounds))
 
         outputs = {v: self.contexts[v].output for v in self.network.nodes()}
         return RunResult(rounds=rounds, outputs=outputs, stats=stats)
 
+    # ------------------------------------------------------------------
+    # active-set loop (hot path)
+    # ------------------------------------------------------------------
+
+    def _run_active(self) -> RunResult:
+        """The hot-path loop: execute only nodes that can make progress.
+
+        A node executes in round r iff at least one of:
+
+        * a message was delivered to it at the start of round r,
+        * it sent messages in the previous round it executed (streaming
+          programs keep pushing until their queues drain),
+        * it requested a wakeup for a round <= r,
+        * its program is ``always_active`` (the conservative default).
+
+        Nodes run in dense-loop order, so the in-flight message order —
+        and therefore every downstream observation — is bit-identical to
+        :meth:`_run_dense`.
+        """
+        stats = TrafficStats()
+        in_flight: List[Message] = []
+        contexts = self.contexts
+        programs = self.programs
+        order = self._order
+        always_on = self._always_on
+        inbox_buf = self._inbox_buf
+        touched = self._inbox_touched
+        #: nodes that sent last round ("pending sends" — may be mid-stream)
+        carry: set = set()
+        #: (due_round, node) min-heap of requested wakeups
+        wake_heap: List[tuple] = []
+
+        # Round 0: local initialization, no communication charged.
+        for v, program in programs.items():
+            ctx = contexts[v]
+            program.on_start(ctx)
+            if ctx.halted:
+                self._note_halt(v)
+            if ctx._outbox:
+                in_flight.extend(ctx._drain_outbox(0))
+                if not ctx.halted:
+                    carry.add(v)
+            wake = ctx._take_wakeup()
+            if wake is not None and not ctx.halted:
+                heapq.heappush(wake_heap, (max(wake, 1), v))
+
+        rounds = 0
+        while True:
+            if (
+                not in_flight
+                and not self._channel_pending()
+                and (self._all_halted() or self.stop_on_quiescence)
+            ):
+                break
+            if rounds >= self.max_rounds:
+                raise RoundLimitExceeded(self.max_rounds)
+            rounds += 1
+            self._begin_round(rounds)
+
+            # Reset the inbox buffer from the previous round (clear only
+            # the touched lists; the dict itself persists).
+            for v in touched:
+                inbox_buf[v].clear()
+            touched.clear()
+
+            delivered = self._transmit(in_flight, rounds)
+            bits = 0
+            for msg in delivered:
+                dst = msg.dst
+                lst = inbox_buf.get(dst)
+                if lst is None:
+                    lst = inbox_buf[dst] = []
+                if not lst:
+                    touched.append(dst)
+                lst.append(msg)
+                bits += msg.bits
+                self._on_deliver(msg, rounds)
+            stats.record_round(len(delivered), bits)
+            in_flight = []
+
+            # Build this round's execution set in dense-loop order.
+            due: List[int] = []
+            while wake_heap and wake_heap[0][0] <= rounds:
+                due.append(heapq.heappop(wake_heap)[1])
+            if carry or due or len(touched) > 0:
+                cand = set(touched)
+                cand.update(carry)
+                cand.update(due)
+                cand.update(always_on)
+                run_list: List[int] = sorted(cand, key=order.__getitem__)
+            else:
+                run_list = list(always_on)
+            carry = set()
+
+            for v in run_list:
+                ctx = contexts[v]
+                if ctx.halted:
+                    # Messages to halted nodes are dropped; well-formed
+                    # algorithms never rely on them.
+                    continue
+                if not self._node_active(v, rounds):
+                    # A crashed node neither executes nor receives; its
+                    # inbox for this round is lost.
+                    continue
+                ctx.round = rounds
+                msgs = inbox_buf.get(v)
+                program = programs[v]
+                program.on_round(ctx, Inbox._wrap(msgs) if msgs else _EMPTY_INBOX)
+                if ctx.halted:
+                    self._note_halt(v)
+                if ctx._outbox:
+                    in_flight.extend(ctx._drain_outbox(rounds))
+                    if not ctx.halted:
+                        carry.add(v)
+                wake = ctx._take_wakeup()
+                if wake is not None and not ctx.halted:
+                    heapq.heappush(wake_heap, (max(wake, rounds + 1), v))
+
+        outputs = {v: contexts[v].output for v in self.network.nodes()}
+        return RunResult(rounds=rounds, outputs=outputs, stats=stats)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_halt(self, v: int) -> None:
+        """Record that node ``v`` halted (keeps :meth:`_all_halted` O(1))."""
+        self._halted_count += 1
+        self._always_on.pop(v, None)
+
     def _all_halted(self) -> bool:
-        return all(ctx.halted for ctx in self.contexts.values())
+        return self._halted_count >= len(self.contexts)
 
     # ------------------------------------------------------------------
     # fault-injection / observation seam
@@ -208,6 +421,7 @@ def run_program(
     seed: Optional[int] = None,
     max_rounds: Optional[int] = None,
     stop_on_quiescence: bool = False,
+    schedule: str = "active",
 ) -> RunResult:
     """Convenience wrapper: build an engine and run it."""
     engine = Engine(
@@ -216,5 +430,6 @@ def run_program(
         seed=seed,
         max_rounds=max_rounds,
         stop_on_quiescence=stop_on_quiescence,
+        schedule=schedule,
     )
     return engine.run()

@@ -37,11 +37,37 @@ class Message:
 
 
 class Inbox:
-    """Messages delivered to one node at the start of a round."""
+    """Messages delivered to one node at the start of a round.
+
+    The per-sender index is built lazily (most programs only iterate), and
+    keeps *every* message per sender in arrival order: two messages from
+    the same ``src`` can legitimately arrive in one round when a delayed
+    message (``FaultyEngine`` delay faults) lands next to a fresh one.
+    """
 
     def __init__(self, messages: Optional[List[Message]] = None):
         self._messages: List[Message] = list(messages or [])
-        self._by_src: Dict[int, Message] = {m.src: m for m in self._messages}
+        self._by_src: Optional[Dict[int, List[Message]]] = None
+
+    @classmethod
+    def _wrap(cls, messages: List[Message]) -> "Inbox":
+        """Adopt ``messages`` without copying (engine hot path).
+
+        The caller retains ownership of the list and may reuse it after
+        the round ends; an Inbox is only valid within its round.
+        """
+        inbox = cls.__new__(cls)
+        inbox._messages = messages
+        inbox._by_src = None
+        return inbox
+
+    def _index(self) -> Dict[int, List[Message]]:
+        if self._by_src is None:
+            by_src: Dict[int, List[Message]] = {}
+            for m in self._messages:
+                by_src.setdefault(m.src, []).append(m)
+            self._by_src = by_src
+        return self._by_src
 
     def __iter__(self) -> Iterator[Message]:
         return iter(self._messages)
@@ -53,8 +79,13 @@ class Inbox:
         return bool(self._messages)
 
     def from_node(self, src: int) -> Optional[Message]:
-        """The message received from ``src`` this round, if any."""
-        return self._by_src.get(src)
+        """The *first* message received from ``src`` this round, if any."""
+        msgs = self._index().get(src)
+        return msgs[0] if msgs else None
+
+    def all_from_node(self, src: int) -> List[Message]:
+        """Every message received from ``src`` this round, in arrival order."""
+        return list(self._index().get(src, ()))
 
     def senders(self) -> List[int]:
         return [m.src for m in self._messages]

@@ -7,10 +7,18 @@ drives them through synchronous rounds:
 
 * ``on_start(ctx)`` runs once, before any communication.  Sends issued here
   are delivered in round 1.
-* ``on_round(ctx, inbox)`` runs every round on every non-halted node, even
-  when the inbox is empty.  Sends are delivered next round.
+* ``on_round(ctx, inbox)`` runs every round on every non-halted node whose
+  program is :attr:`~NodeProgram.always_active` (the default).  Programs
+  whose ``on_round`` is a pure no-op on silent rounds — no state change, no
+  sends, no RNG draws when the inbox is empty and the previous round sent
+  nothing — may set ``always_active = False``; the engine then skips them
+  on rounds where they provably cannot make progress (active-set
+  scheduling), with bit-identical results.  Sends are delivered next round.
 * ``ctx.halt(output)`` marks the node finished; the engine stops when all
   nodes have halted.
+* ``ctx.request_wakeup(round_no)`` guarantees execution at the given round
+  even without deliveries — the escape hatch for event-driven programs
+  with timeouts or round-counting phases.
 
 The context enforces the CONGEST rules at send time: one message per edge
 direction per round, neighbors only, and the network's bandwidth cap.
@@ -52,6 +60,7 @@ class Context:
         self.output: Any = None
         self._halted = False
         self._outbox: Dict[int, Any] = {}
+        self._wake_at: Optional[int] = None
 
     # ------------------------------------------------------------------
     # actions available to programs
@@ -79,6 +88,25 @@ class Context:
             self.output = output
         self._halted = True
 
+    def request_wakeup(self, round_no: Optional[int] = None) -> None:
+        """Ask the engine to execute this node at ``round_no`` regardless
+        of deliveries.
+
+        ``None`` (the default) means the next round.  Requests for earlier
+        rounds than one already pending win (the engine honors the minimum).
+        Under dense scheduling every node runs every round, so this is a
+        no-op; under active-set scheduling it is how an event-driven
+        (``always_active = False``) program implements timeouts and
+        round-counted phases.
+        """
+        target = self.round + 1 if round_no is None else round_no
+        if target <= self.round:
+            raise ValueError(
+                f"wakeup round {target} is not after current round {self.round}"
+            )
+        if self._wake_at is None or target < self._wake_at:
+            self._wake_at = target
+
     # ------------------------------------------------------------------
     # engine-side plumbing
     # ------------------------------------------------------------------
@@ -95,6 +123,12 @@ class Context:
         self._outbox = {}
         return msgs
 
+    def _take_wakeup(self) -> Optional[int]:
+        """Pop the pending wakeup request, if any (engine-side)."""
+        wake = self._wake_at
+        self._wake_at = None
+        return wake
+
 
 class NodeProgram:
     """Base class for CONGEST node programs.
@@ -103,6 +137,16 @@ class NodeProgram:
     :meth:`on_start`).  Instances may carry per-node private input set at
     construction time.
     """
+
+    #: Scheduling contract with the engine.  ``True`` (the conservative
+    #: default) means the node must execute every round, exactly like the
+    #: classical dense loop.  A program may declare ``False`` when running
+    #: it on a *silent* round — empty inbox, nothing sent the round before,
+    #: no pending :meth:`Context.request_wakeup` — is a pure no-op: no
+    #: state change, no sends, no halt, no RNG draws.  The engine then
+    #: skips such rounds entirely (active-set scheduling) with
+    #: bit-identical results.
+    always_active: bool = True
 
     def on_start(self, ctx: Context) -> None:
         """Local initialization before round 1.  May send and halt."""
@@ -114,6 +158,8 @@ class NodeProgram:
 
 class IdleProgram(NodeProgram):
     """A program that halts immediately; useful filler in tests."""
+
+    always_active = False
 
     def on_start(self, ctx: Context) -> None:
         ctx.halt()

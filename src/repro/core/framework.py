@@ -30,8 +30,8 @@ runs unchanged over the network.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+import weakref
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -304,6 +304,86 @@ class FrameworkRun:
         return self.query_ledger.batches
 
 
+@dataclass(frozen=True)
+class PreparedNetwork:
+    """The reusable setup phase of Theorem 8: leader + BFS tree.
+
+    Leader election and BFS-with-echo are deterministic given
+    ``(network, seed, leader)``, so repeated :func:`run_framework` calls on
+    the same topology redo identical work.  A :class:`PreparedNetwork`
+    carries the elected leader, the tree, and the round counts the setup
+    *would* cost, so a cached replay charges exactly what a fresh run
+    charges — cost accounting is unchanged, only wall-time is saved.
+    """
+
+    leader: int
+    election_rounds: Optional[int]  # None when the leader was designated
+    tree: BFSResult
+    seed: Optional[int]
+
+    def charge_setup(self, rounds: RoundLedger) -> None:
+        """Replay the setup charges exactly as a fresh run would."""
+        if self.election_rounds is not None:
+            rounds.charge("setup:leader-election", self.election_rounds)
+        rounds.charge("setup:bfs-tree", self.tree.rounds)
+
+
+# Keyed weakly by Network identity so dropping a topology frees its cache;
+# the inner dict maps (seed, designated leader) -> PreparedNetwork.
+_PREPARED: "weakref.WeakKeyDictionary[Network, Dict[Tuple, PreparedNetwork]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def prepare_network(
+    network: Network,
+    seed: Optional[int] = None,
+    leader: Optional[int] = None,
+) -> PreparedNetwork:
+    """Run (or fetch the cached) setup phase for a network.
+
+    The cache is per-``Network``-object and per ``(seed, leader)``: the
+    setup protocols are deterministic in those inputs, so the cached tree
+    is bit-identical to a recomputed one.  Mutating a network's graph
+    in place requires :func:`invalidate_prepared` first.
+    """
+    per_net = _PREPARED.get(network)
+    key = (seed, leader)
+    if per_net is not None and key in per_net:
+        return per_net[key]
+    if leader is None:
+        election = elect_leader(network, seed=seed)
+        prepared_leader = election.leader
+        election_rounds: Optional[int] = election.rounds
+    else:
+        prepared_leader = leader
+        election_rounds = None
+    tree = bfs_with_echo(network, prepared_leader, seed=seed)
+    prepared = PreparedNetwork(
+        leader=prepared_leader,
+        election_rounds=election_rounds,
+        tree=tree,
+        seed=seed,
+    )
+    if per_net is None:
+        per_net = {}
+        _PREPARED[network] = per_net
+    per_net[key] = prepared
+    return prepared
+
+
+def invalidate_prepared(network: Optional[Network] = None) -> None:
+    """Drop cached setup state — for one network, or all of them.
+
+    Call this after mutating a network's graph in place; otherwise cached
+    BFS trees would describe the old topology.
+    """
+    if network is None:
+        _PREPARED.clear()
+    else:
+        _PREPARED.pop(network, None)
+
+
 def run_framework(
     network: Network,
     algorithm: Callable[[CongestBatchOracle, np.random.Generator], object],
@@ -315,6 +395,8 @@ def run_framework(
     seed: Optional[int] = None,
     leader: Optional[int] = None,
     semigroup: Optional[Semigroup] = None,
+    prepared: Optional[PreparedNetwork] = None,
+    reuse_setup: bool = True,
 ) -> FrameworkRun:
     """Evaluate f(x) = F(⊕_v x^{(v)}) per Theorem 8 / Corollary 9.
 
@@ -330,6 +412,11 @@ def run_framework(
         seed: reproducibility seed for the algorithm and the engine.
         leader: optional pre-designated leader (skips election, as the
             paper allows "assume there is a designated leader").
+        prepared: an explicit :class:`PreparedNetwork` to reuse (its seed
+            and leader take precedence over ``seed``/``leader`` for setup).
+        reuse_setup: when True (default), setup is fetched from the
+            process-wide :func:`prepare_network` cache; the charged rounds
+            are identical either way.
 
     Returns:
         a :class:`FrameworkRun` with the algorithm result, per-phase round
@@ -339,12 +426,28 @@ def run_framework(
     cost_model = CostModel.for_network(network)
     rng = np.random.default_rng(seed)
 
-    if leader is None:
-        election = elect_leader(network, seed=seed)
-        leader = election.leader
-        rounds.charge("setup:leader-election", election.rounds)
-    tree = bfs_with_echo(network, leader, seed=seed)
-    rounds.charge("setup:bfs-tree", tree.rounds)
+    if prepared is None:
+        if reuse_setup:
+            prepared = prepare_network(network, seed=seed, leader=leader)
+        else:
+            if leader is None:
+                election = elect_leader(network, seed=seed)
+                prepared = PreparedNetwork(
+                    leader=election.leader,
+                    election_rounds=election.rounds,
+                    tree=bfs_with_echo(network, election.leader, seed=seed),
+                    seed=seed,
+                )
+            else:
+                prepared = PreparedNetwork(
+                    leader=leader,
+                    election_rounds=None,
+                    tree=bfs_with_echo(network, leader, seed=seed),
+                    seed=seed,
+                )
+    leader = prepared.leader
+    tree = prepared.tree
+    prepared.charge_setup(rounds)
 
     oracle = CongestBatchOracle(
         network=network,

@@ -53,6 +53,13 @@ class RegisterStreamProgram(NodeProgram):
     mode buffers the entire register first (the Lemma 7 proof's strawman).
     """
 
+    # The root streams chunks (carried by its own sends); interior nodes
+    # advance on deliveries.  Childless nodes walk their cursor locally on
+    # silent rounds (especially in naive mode, where the walk starts only
+    # after the full register arrived), so they request explicit wakeups
+    # whenever another local step is possible.
+    always_active = False
+
     def __init__(
         self,
         node: int,
@@ -104,6 +111,10 @@ class RegisterStreamProgram(NodeProgram):
         self.next_to_send += 1
         if self.next_to_send >= self.num_chunks:
             ctx.halt(output=tuple(self.received))
+        elif not self.children and self._may_send():
+            # No sends carry us into the next round, but another local
+            # cursor step is already possible: ask to be scheduled.
+            ctx.request_wakeup()
 
     def on_start(self, ctx: Context) -> None:
         self._push(ctx)

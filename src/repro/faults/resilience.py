@@ -148,6 +148,11 @@ class ResilientProgram(NodeProgram):
             acknowledging retransmissions, before leaving the simulation.
     """
 
+    # Retransmission timeouts and the linger countdown advance on *silent*
+    # physical rounds, so the wrapper must execute every round: active-set
+    # scheduling would otherwise never fire a timeout on a lossy link.
+    always_active = True
+
     def __init__(
         self,
         inner: NodeProgram,

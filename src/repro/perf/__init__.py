@@ -1,0 +1,64 @@
+"""Micro-benchmarks for the repository's hot paths.
+
+Three workload families, matching the PR-2 optimization targets:
+
+* :mod:`repro.perf.engine_bench` — CONGEST engine round throughput
+  (active-set vs dense scheduling on sparse flooding),
+* :mod:`repro.perf.gate_bench` — statevector gate kernels (fast vs the
+  generic moveaxis path),
+* :mod:`repro.perf.framework_bench` — repeated engine-mode
+  :func:`repro.core.framework.run_framework` calls (PreparedNetwork cache
+  warm vs cold).
+
+``python -m repro bench`` runs all of them and writes ``BENCH_PR2.json``
+(schema documented in ``benchmarks/perf/README.md``);
+:mod:`repro.perf.compare` diffs two such reports.
+
+Every workload *verifies* that the fast and reference paths produce
+identical results before timing them, so the benchmarks double as
+correctness smoke tests (CI runs them in ``--quick`` mode).
+"""
+
+from .engine_bench import engine_flooding_workload
+from .framework_bench import framework_repeat_workload
+from .gate_bench import gate_throughput_workload
+from .harness import (
+    SPEEDUP_TARGET,
+    WorkloadResult,
+    build_report,
+    measure,
+    write_report,
+)
+
+WORKLOADS = {
+    "engine": engine_flooding_workload,
+    "gates": gate_throughput_workload,
+    "framework": framework_repeat_workload,
+}
+
+
+def run_all(quick: bool = False, workloads=None) -> dict:
+    """Run the selected workloads (all by default) and build the report."""
+    selected = workloads or list(WORKLOADS)
+    results = []
+    for name in selected:
+        if name not in WORKLOADS:
+            raise KeyError(
+                f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+            )
+        results.append(WORKLOADS[name](quick=quick))
+    return build_report(results, quick=quick)
+
+
+__all__ = [
+    "SPEEDUP_TARGET",
+    "WORKLOADS",
+    "WorkloadResult",
+    "build_report",
+    "engine_flooding_workload",
+    "framework_repeat_workload",
+    "gate_throughput_workload",
+    "measure",
+    "run_all",
+    "write_report",
+]

@@ -1,0 +1,90 @@
+"""Compare two BENCH_PR2.json reports (e.g. before/after a change).
+
+Usage::
+
+    python -m repro.perf.compare OLD.json NEW.json
+
+Prints per-workload best-speedup and per-sweep-point wall-time deltas.
+Sweep points are matched on their identifying keys (everything that is
+not a measured time/rate), so reordered sweeps still line up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Tuple
+
+_MEASURED_KEYS = ("_s", "_per_s", "_s_per_gate", "speedup")
+
+
+def _is_measured(key: str) -> bool:
+    return key == "speedup" or any(key.endswith(s) for s in _MEASURED_KEYS)
+
+
+def _identity(entry: Dict[str, Any]) -> Tuple:
+    return tuple(sorted(
+        (k, str(v)) for k, v in entry.items() if not _is_measured(k)
+    ))
+
+
+def _load(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        report = json.load(fh)
+    if "workloads" not in report:
+        raise ValueError(f"{path} is not a repro-bench report")
+    return report
+
+
+def compare_reports(old: Dict[str, Any], new: Dict[str, Any]) -> str:
+    """Render a human-readable diff of two ``repro-bench/1`` reports.
+
+    Sweep entries are matched on their non-measured keys (topology, size,
+    workload label); measured timings are shown side by side with the
+    old/new ratio.
+    """
+    lines = []
+    names = sorted(set(old["workloads"]) | set(new["workloads"]))
+    for name in names:
+        wl_old = old["workloads"].get(name)
+        wl_new = new["workloads"].get(name)
+        if wl_old is None or wl_new is None:
+            lines.append(f"{name}: only in {'new' if wl_old is None else 'old'}")
+            continue
+        bo, bn = wl_old.get("best_speedup"), wl_new.get("best_speedup")
+        bo_s = f"{bo:.2f}x" if bo is not None else "n/a"
+        bn_s = f"{bn:.2f}x" if bn is not None else "n/a"
+        lines.append(f"{name}: best speedup {bo_s} -> {bn_s}")
+        old_by_id = {_identity(e): e for e in wl_old["sweep"]}
+        for entry in wl_new["sweep"]:
+            match = old_by_id.get(_identity(entry))
+            if match is None:
+                continue
+            for key in entry:
+                if not key.endswith("_s") or key not in match:
+                    continue
+                before, after = match[key], entry[key]
+                ratio = before / after if after else float("inf")
+                ident = {k: v for k, v in entry.items() if not _is_measured(k)}
+                lines.append(
+                    f"  {ident}: {key} {before * 1e3:.1f}ms -> "
+                    f"{after * 1e3:.1f}ms ({ratio:.2f}x)"
+                )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point: print the diff of two bench report files."""
+    parser = argparse.ArgumentParser(
+        description="diff two repro-bench JSON reports"
+    )
+    parser.add_argument("old", help="baseline report path")
+    parser.add_argument("new", help="comparison report path")
+    args = parser.parse_args(argv)
+    print(compare_reports(_load(args.old), _load(args.new)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Repeated engine-mode framework invocations: PreparedNetwork warm vs cold.
+
+Many experiments call :func:`repro.core.framework.run_framework` over and
+over on one topology (parameter sweeps, repeated trials).  The setup phase
+— leader election plus BFS-with-echo over every edge — is deterministic
+per (network, seed), so the PreparedNetwork cache removes it from all but
+the first call.  Results (rounds, outputs, leader) are asserted identical
+between cold and warm runs before timing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..congest import topologies
+from ..congest.network import Network
+from ..core.framework import (
+    DistributedInput,
+    FrameworkRun,
+    invalidate_prepared,
+    run_framework,
+)
+from ..core.semigroup import or_semigroup
+from .harness import WorkloadResult, measure
+
+
+def _make_case(n: int, degree: int) -> Tuple[Network, DistributedInput]:
+    net = topologies.random_regular(n, degree, seed=3)
+    rnd = random.Random(0)
+    vectors = {v: [rnd.randint(0, 1) for _ in range(4)] for v in net.nodes()}
+    return net, DistributedInput(vectors=vectors, semigroup=or_semigroup())
+
+
+def _algorithm(oracle, _rng):
+    return tuple(oracle.query_batch([0, 1]))
+
+
+def _invoke(net: Network, di: DistributedInput, reuse: bool) -> FrameworkRun:
+    return run_framework(
+        net, _algorithm, parallelism=2, dist_input=di, mode="engine",
+        seed=5, reuse_setup=reuse,
+    )
+
+
+def framework_repeat_workload(quick: bool = False) -> WorkloadResult:
+    """Time repeated run_framework calls with and without the setup cache."""
+    result = WorkloadResult(
+        name="framework_repeat",
+        description=(
+            "repeated engine-mode run_framework calls (one 2-query batch) "
+            "on a fixed random-regular topology; cold = setup recomputed "
+            "per call, warm = PreparedNetwork cache (identical rounds, "
+            "results and charges asserted)"
+        ),
+    )
+    cases: List[Tuple[int, int, int]] = (
+        [(60, 4, 3)] if quick else [(400, 8, 3), (800, 8, 2)]
+    )
+    for n, degree, reps in cases:
+        net, di = _make_case(n, degree)
+        invalidate_prepared(net)
+        cold_run = _invoke(net, di, reuse=False)
+        warm_run = _invoke(net, di, reuse=True)  # fills the cache
+        warm_run2 = _invoke(net, di, reuse=True)
+        for other in (warm_run, warm_run2):
+            same = (
+                cold_run.result == other.result
+                and cold_run.total_rounds == other.total_rounds
+                and cold_run.leader == other.leader
+            )
+            if not same:
+                raise AssertionError(f"cached setup changed results on n={n}")
+        t_cold = measure(
+            lambda net=net, di=di: _invoke(net, di, reuse=False), reps=reps
+        )
+        t_warm = measure(
+            lambda net=net, di=di: _invoke(net, di, reuse=True), reps=reps
+        )
+        result.sweep.append({
+            "n": n,
+            "degree": degree,
+            "total_rounds": cold_run.total_rounds,
+            "cold_s": t_cold,
+            "warm_s": t_warm,
+            "cold_invocations_per_s": 1.0 / t_cold,
+            "warm_invocations_per_s": 1.0 / t_warm,
+            "speedup": t_cold / t_warm,
+        })
+        invalidate_prepared(net)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual convenience
+    wl = framework_repeat_workload()
+    for entry in wl.sweep:
+        print(entry)
+    print(f"best speedup {wl.best_speedup:.2f}x")

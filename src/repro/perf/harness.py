@@ -1,0 +1,107 @@
+"""Timing helpers and the BENCH_PR2.json report format.
+
+The report schema (``repro-bench/1``) is documented for consumers in
+``benchmarks/perf/README.md``; :func:`build_report` is the single place
+that constructs it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+SCHEMA = "repro-bench/1"
+
+# The PR-2 acceptance bar: the summary marks a workload as "met" when its
+# best sweep-point speedup reaches this factor.
+SPEEDUP_TARGET = 3.0
+
+
+def measure(fn: Callable[[], Any], reps: int = 3, warmup: int = 1) -> float:
+    """Best-of-``reps`` wall time of ``fn()`` in seconds.
+
+    Best-of is the standard micro-benchmark estimator: external noise only
+    ever makes a run *slower*, so the minimum is the stablest statistic.
+    """
+    if reps < 1:
+        raise ValueError("need at least one timed repetition")
+    for _ in range(warmup):
+        fn()
+    best = math.inf
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@dataclass
+class WorkloadResult:
+    """One workload's sweep, ready to embed in the report."""
+
+    name: str
+    description: str
+    sweep: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def best_speedup(self) -> Optional[float]:
+        speedups = [
+            entry["speedup"] for entry in self.sweep if "speedup" in entry
+        ]
+        return max(speedups) if speedups else None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "description": self.description,
+            "sweep": self.sweep,
+            "best_speedup": self.best_speedup,
+        }
+
+
+def build_report(
+    results: List[WorkloadResult], quick: bool = False
+) -> Dict[str, Any]:
+    """Assemble the full ``repro-bench/1`` report dict."""
+    workloads = {r.name: r.to_json() for r in results}
+    met = sorted(
+        r.name
+        for r in results
+        if r.best_speedup is not None and r.best_speedup >= SPEEDUP_TARGET
+    )
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "workloads": workloads,
+        "summary": {
+            "speedup_target": SPEEDUP_TARGET,
+            "best_speedups": {
+                r.name: r.best_speedup for r in results
+            },
+            "workloads_meeting_target": met,
+        },
+    }
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write a bench report as stable (sorted, indented) JSON."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def format_summary(report: Dict[str, Any]) -> str:
+    """A short human-readable digest of a report (printed after a run)."""
+    lines = [f"benchmark report ({report['schema']}"
+             f"{', quick' if report.get('quick') else ''})"]
+    for name, wl in sorted(report["workloads"].items()):
+        best = wl.get("best_speedup")
+        best_s = f"{best:.2f}x" if best is not None else "n/a"
+        lines.append(f"  {name}: best speedup {best_s} "
+                     f"({len(wl['sweep'])} sweep points)")
+    met = report["summary"]["workloads_meeting_target"]
+    target = report["summary"]["speedup_target"]
+    lines.append(f"  >= {target:.0f}x target met by: {', '.join(met) or 'none'}")
+    return "\n".join(lines)

@@ -100,3 +100,32 @@ class TestUnwrap:
     def test_plain_passthrough(self):
         assert unwrap(42) == 42
         assert unwrap("x") == "x"
+
+
+class TestPayloadBitsMemo:
+    """The payload_bits cache must never conflate distinct payloads."""
+
+    def test_repeated_field_payloads_are_stable(self):
+        for _ in range(3):
+            assert payload_bits(Field(3, 8)) == 3
+            assert payload_bits((Field(1, 16), Field(3, 8))) == 7
+
+    def test_cross_type_equality_is_not_conflated(self):
+        # 1 == True == 1.0 in Python, but their wire sizes differ; the
+        # memo must keep them apart (it only caches Field-based payloads).
+        assert payload_bits(True) == 1
+        assert payload_bits(1) == 2
+        assert payload_bits(1.0) == 64
+        assert payload_bits((True, Field(0, 4))) == 1 + 2
+        assert payload_bits((1, Field(0, 4))) == 2 + 2
+        assert payload_bits((1.0, Field(0, 4))) == 64 + 2
+
+    def test_str_and_none_elements_cacheable(self):
+        payload = (Field(2, 4), "ab", None)
+        expected = 2 + 16 + 1
+        assert payload_bits(payload) == expected
+        assert payload_bits((Field(2, 4), "ab", None)) == expected
+
+    def test_equal_fields_share_entries(self):
+        # Same (value, domain) via distinct objects: still one answer.
+        assert payload_bits(Field(5, 32)) == payload_bits(Field(5, 32)) == 5

@@ -1,0 +1,112 @@
+"""PreparedNetwork: cached setup is charge- and result-transparent."""
+
+import random
+
+import pytest
+
+from repro.congest import topologies
+from repro.core.framework import (
+    DistributedInput,
+    PreparedNetwork,
+    invalidate_prepared,
+    prepare_network,
+    run_framework,
+)
+from repro.core.semigroup import sum_semigroup
+
+
+@pytest.fixture
+def case():
+    net = topologies.random_regular(20, 4, seed=2)
+    rnd = random.Random(1)
+    vectors = {v: [rnd.randint(0, 3) for _ in range(6)] for v in net.nodes()}
+    di = DistributedInput(vectors=vectors, semigroup=sum_semigroup(100))
+    invalidate_prepared()
+    yield net, di
+    invalidate_prepared()
+
+
+def algorithm(oracle, _rng):
+    return tuple(oracle.query_batch([0, 3, 5]))
+
+
+class TestPrepareNetwork:
+    def test_repeated_calls_return_cached_object(self, case):
+        net, _ = case
+        first = prepare_network(net, seed=7)
+        second = prepare_network(net, seed=7)
+        assert first is second
+
+    def test_seed_and_leader_key_the_cache(self, case):
+        net, _ = case
+        by_seed = {s: prepare_network(net, seed=s) for s in (1, 2)}
+        assert by_seed[1] is not by_seed[2]
+        designated = prepare_network(net, seed=1, leader=5)
+        assert designated is not by_seed[1]
+        assert designated.leader == 5
+        assert designated.election_rounds is None
+        assert by_seed[1].election_rounds is not None
+
+    def test_invalidate_single_network(self, case):
+        net, _ = case
+        before = prepare_network(net, seed=7)
+        invalidate_prepared(net)
+        after = prepare_network(net, seed=7)
+        assert before is not after
+        # Deterministic setup: the recomputed tree matches the dropped one.
+        assert before.leader == after.leader
+        assert before.tree.parent == after.tree.parent
+
+    def test_invalidate_all(self, case):
+        net, _ = case
+        other = topologies.grid(3, 3)
+        a = prepare_network(net, seed=1)
+        b = prepare_network(other, seed=1)
+        invalidate_prepared()
+        assert prepare_network(net, seed=1) is not a
+        assert prepare_network(other, seed=1) is not b
+
+
+class TestRunFrameworkCaching:
+    @pytest.mark.parametrize("mode", ["formula", "engine"])
+    def test_cached_setup_is_transparent(self, case, mode):
+        net, di = case
+        runs = [
+            run_framework(net, algorithm, parallelism=3, dist_input=di,
+                          mode=mode, seed=9, reuse_setup=False),
+            run_framework(net, algorithm, parallelism=3, dist_input=di,
+                          mode=mode, seed=9),  # fills the cache
+            run_framework(net, algorithm, parallelism=3, dist_input=di,
+                          mode=mode, seed=9),  # hits the cache
+        ]
+        baseline = runs[0]
+        for run in runs[1:]:
+            assert run.result == baseline.result
+            assert run.leader == baseline.leader
+            assert run.tree_depth == baseline.tree_depth
+            # Charge-for-charge identical ledgers, not just equal totals.
+            assert run.rounds.charges == baseline.rounds.charges
+
+    def test_explicit_prepared_object(self, case):
+        net, di = case
+        prepared = prepare_network(net, seed=9)
+        assert isinstance(prepared, PreparedNetwork)
+        via_prepared = run_framework(
+            net, algorithm, parallelism=3, dist_input=di, mode="engine",
+            seed=9, prepared=prepared,
+        )
+        fresh = run_framework(
+            net, algorithm, parallelism=3, dist_input=di, mode="engine",
+            seed=9, reuse_setup=False,
+        )
+        assert via_prepared.rounds.charges == fresh.rounds.charges
+        assert via_prepared.result == fresh.result
+
+    def test_designated_leader_skips_election_charge(self, case):
+        net, di = case
+        run = run_framework(net, algorithm, parallelism=3, dist_input=di,
+                            mode="engine", seed=9, leader=4)
+        phases = run.rounds.by_phase()
+        assert "setup:leader-election" not in phases
+        assert "setup:bfs-tree" in phases
+        assert run.leader == 4

@@ -1,0 +1,113 @@
+"""Regression: two same-source messages delivered in one round.
+
+A delayed message can land in the same round as a fresh message from the
+same sender (delay reorders traffic on an edge).  The Inbox used to keep
+only the *last* message per source in its by-source index, silently
+hiding the older one from ``from_node``.  Now ``from_node`` returns the
+first (oldest-sent) match and ``all_from_node`` exposes every match.
+"""
+
+from repro.congest import topologies
+from repro.congest.encoding import Field
+from repro.congest.messages import Inbox, Message
+from repro.congest.program import NodeProgram
+from repro.faults import FaultyEngine
+from repro.faults.models import DELAY, DELIVER, ChannelFaultModel
+
+
+class DelayFirstMessage(ChannelFaultModel):
+    """Deterministically hold the very first message for one round."""
+
+    def __init__(self):
+        super().__init__(seed=0)
+        self._held = None
+        self._held_due = None
+        self._seen = 0
+
+    def apply(self, msg, round_no):
+        self._seen += 1
+        if self._seen == 1:
+            self._held = msg
+            self._held_due = round_no + 1
+            return DELAY, None
+        return DELIVER, msg
+
+    def release(self, round_no):
+        if self._held is not None and round_no >= self._held_due:
+            msg, self._held = self._held, None
+            return [msg]
+        return []
+
+    def pending(self):
+        return self._held is not None
+
+
+class SequenceSender(NodeProgram):
+    """Node 0 sends 1, 2, 3... to node 1, one per round, then halts."""
+
+    always_active = True
+
+    def __init__(self, node, count=3):
+        self.node = node
+        self.count = count
+        self.next_value = 1
+        self.received = []
+
+    def _push(self, ctx):
+        if self.node != 0:
+            return
+        if self.next_value > self.count:
+            ctx.halt()
+            return
+        ctx.send(1, Field(self.next_value, 16))
+        self.next_value += 1
+
+    def on_start(self, ctx):
+        self._push(ctx)
+
+    def on_round(self, ctx, inbox):
+        if self.node == 1:
+            first = inbox.from_node(0)
+            self.received.append((
+                ctx.round,
+                first.value if first is not None else None,
+                tuple(m.value for m in inbox.all_from_node(0)),
+            ))
+            if sum(len(batch) for _, _, batch in self.received) >= self.count:
+                ctx.halt(output=tuple(self.received))
+                return
+        self._push(ctx)
+
+
+class TestDelayedDuplicates:
+    def test_from_node_returns_first_and_all_from_node_returns_every(self):
+        net = topologies.path(2)
+        programs = {v: SequenceSender(v) for v in net.nodes()}
+        engine = FaultyEngine(
+            net, programs, fault_model=DelayFirstMessage(), seed=0,
+        )
+        engine.run()
+        received = programs[1].received
+        # Round 1: message "1" was withheld, nothing arrived.
+        # Round 2: the released "1" plus the fresh "2" arrive together.
+        by_round = {r: (first, batch) for r, first, batch in received}
+        assert by_round[1] == (None, ())
+        first, batch = by_round[2]
+        assert first == 1, "from_node must return the oldest message"
+        assert batch == (1, 2), "all_from_node must return every message"
+        assert by_round[3] == (3, (3,))
+
+
+class TestInboxIndex:
+    def test_duplicate_sources_all_preserved(self):
+        msgs = [
+            Message(src=4, dst=0, payload=10, bits=5, round_sent=1),
+            Message(src=7, dst=0, payload=20, bits=6, round_sent=1),
+            Message(src=4, dst=0, payload=30, bits=6, round_sent=1),
+        ]
+        inbox = Inbox(msgs)
+        assert inbox.from_node(4) is msgs[0]
+        assert inbox.all_from_node(4) == [msgs[0], msgs[2]]
+        assert inbox.all_from_node(7) == [msgs[1]]
+        assert inbox.all_from_node(9) == []
+        assert inbox.from_node(9) is None

@@ -1,0 +1,184 @@
+"""The dispatched gate kernels agree with the generic moveaxis path.
+
+``Statevector.apply`` routes 1- and 2-qubit gates (and single-target
+controlled gates) through strided in-place kernels;
+``Statevector.apply_generic`` keeps the original dense route as the
+oracle.  These tests drive both over random states, random (not even
+unitary) matrices, every qubit position, and the named special-case
+families (diagonal, anti-diagonal, Hadamard-structure), asserting
+agreement to 1e-12.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.statevector import (
+    Statevector,
+    control_mask,
+    qubit_indices,
+    uniform_superposition,
+)
+
+ATOL = 1e-12
+
+H = np.array([[1, 1], [1, -1]], dtype=np.complex128) / np.sqrt(2)
+X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+Z = np.diag([1, -1]).astype(np.complex128)
+S = np.diag([1, 1j]).astype(np.complex128)
+T = np.diag([1, np.exp(1j * np.pi / 4)]).astype(np.complex128)
+NAMED_1Q = [H, X, Y, Z, S, T]
+
+
+def random_state(n, rng):
+    vec = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+    vec /= np.linalg.norm(vec)
+    return vec
+
+
+def random_matrix(k, rng):
+    d = 1 << k
+    return rng.normal(size=(d, d)) + 1j * rng.normal(size=(d, d))
+
+
+def assert_pair_equal(fast, ref):
+    err = float(np.abs(fast.data - ref.data).max())
+    assert err <= ATOL, f"kernel deviates from generic path by {err:g}"
+
+
+class TestSingleQubitKernels:
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_named_gates_every_position(self, n):
+        rng = np.random.default_rng(100 + n)
+        vec = random_state(n, rng)
+        fast, ref = Statevector(n, vec), Statevector(n, vec)
+        for gate in NAMED_1Q:
+            for q in range(n):
+                fast.apply(gate, [q])
+                ref.apply_generic(gate, [q])
+                assert_pair_equal(fast, ref)
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(n=st.integers(1, 8), seed=st.integers(0, 1000))
+    def test_random_matrices(self, n, seed):
+        rng = np.random.default_rng(seed)
+        vec = random_state(n, rng)
+        fast, ref = Statevector(n, vec), Statevector(n, vec)
+        for q in range(n):
+            gate = random_matrix(1, rng)
+            fast.apply(gate, [q])
+            ref.apply_generic(gate, [q])
+        assert_pair_equal(fast, ref)
+
+
+class TestTwoQubitKernel:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(n=st.integers(2, 8), seed=st.integers(0, 1000))
+    def test_random_pairs(self, n, seed):
+        rng = np.random.default_rng(seed)
+        vec = random_state(n, rng)
+        fast, ref = Statevector(n, vec), Statevector(n, vec)
+        for _ in range(4):
+            q0, q1 = rng.choice(n, size=2, replace=False)
+            gate = random_matrix(2, rng)
+            fast.apply(gate, [int(q0), int(q1)])
+            ref.apply_generic(gate, [int(q0), int(q1)])
+        assert_pair_equal(fast, ref)
+
+    @pytest.mark.parametrize("n", range(2, 7))
+    def test_cnot_cz_every_ordered_pair(self, n):
+        rng = np.random.default_rng(5)
+        cnot = np.eye(4, dtype=np.complex128)[[0, 1, 3, 2]]
+        cz = np.diag([1, 1, 1, -1]).astype(np.complex128)
+        vec = random_state(n, rng)
+        fast, ref = Statevector(n, vec), Statevector(n, vec)
+        for q0 in range(n):
+            for q1 in range(n):
+                if q0 == q1:
+                    continue
+                for gate in (cnot, cz):
+                    fast.apply(gate, [q0, q1])
+                    ref.apply_generic(gate, [q0, q1])
+        assert_pair_equal(fast, ref)
+
+
+class TestControlledKernel:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(n=st.integers(2, 8), seed=st.integers(0, 1000),
+           num_controls=st.integers(1, 3))
+    def test_multi_controlled_single_target(self, n, seed, num_controls):
+        num_controls = min(num_controls, n - 1)
+        rng = np.random.default_rng(seed)
+        qubits = rng.permutation(n)[: num_controls + 1]
+        controls = [int(q) for q in qubits[:-1]]
+        target = int(qubits[-1])
+        gate = random_matrix(1, rng)
+        vec = random_state(n, rng)
+        fast, ref = Statevector(n, vec), Statevector(n, vec)
+        fast.apply_controlled(gate, controls, [target])
+        # Reference: embed into the full controlled unitary.
+        full = np.eye(1 << (num_controls + 1), dtype=np.complex128)
+        full[-2:, -2:] = gate
+        ref.apply_generic(full, controls + [target])
+        assert_pair_equal(fast, ref)
+
+
+class TestDiagonalPaths:
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_apply_diagonal_matches_generic(self, n):
+        rng = np.random.default_rng(n)
+        phases = np.exp(1j * rng.uniform(0, 2 * np.pi, size=1 << n))
+        vec = random_state(n, rng)
+        fast, ref = Statevector(n, vec), Statevector(n, vec)
+        fast.apply_diagonal(phases)
+        ref.data *= phases  # the mathematical definition
+        assert_pair_equal(fast, ref)
+
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_apply_phase_matches_1q_diagonal(self, n):
+        rng = np.random.default_rng(n)
+        vec = random_state(n, rng)
+        for q in range(n):
+            phase = np.exp(1j * rng.uniform(0, 2 * np.pi))
+            fast, ref = Statevector(n, vec), Statevector(n, vec)
+            fast.apply_phase(q, phase)
+            ref.apply_generic(np.diag([1, phase]), [q])
+            assert_pair_equal(fast, ref)
+
+
+class TestIndexTables:
+    def test_qubit_indices_partition(self):
+        zeros, ones = qubit_indices(4, 1)
+        assert len(zeros) == len(ones) == 8
+        assert sorted(np.concatenate([zeros, ones])) == list(range(16))
+        # qubit 1 of 4 has place value 2^{4-1-1} = 4
+        assert all((i & 4) == 0 for i in zeros)
+        assert all((i & 4) != 0 for i in ones)
+        with pytest.raises(ValueError):
+            qubit_indices(3, 3)
+
+    def test_control_mask_counts(self):
+        mask = control_mask(4, (0, 2))
+        assert mask.sum() == 4  # both bits fixed to 1 leaves 2 free qubits
+        with pytest.raises(ValueError):
+            control_mask(3, (5,))
+
+    def test_tables_are_read_only(self):
+        zeros, _ = qubit_indices(5, 2)
+        with pytest.raises(ValueError):
+            zeros[0] = 99
+
+
+class TestNormPreservation:
+    def test_long_unitary_circuit_stays_normalized(self):
+        sv = uniform_superposition(6)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            gate = NAMED_1Q[int(rng.integers(len(NAMED_1Q)))]
+            sv.apply(gate, [int(rng.integers(6))])
+        assert sv.is_normalized()
