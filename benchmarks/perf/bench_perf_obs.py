@@ -1,0 +1,22 @@
+"""Quick-mode smoke wrapper: instrumentation-overhead benchmark.
+
+The workload asserts bare/null-recorder/dense-sink engine runs are
+identical and *raises* if the disabled path exceeds the <5% overhead
+budget, so collecting it under pytest enforces the observability spine's
+cost contract; see README.md here and DESIGN.md §6d.
+"""
+
+from repro.perf import OVERHEAD_BUDGET, obs_overhead_workload
+
+
+def test_obs_overhead_quick():
+    wl = obs_overhead_workload(quick=True)
+    assert len(wl.sweep) >= 2
+    for entry in wl.sweep:
+        assert entry["rounds"] > 0
+        assert entry["bare_s"] > 0 and entry["null_s"] > 0
+        # The workload raises past the budget; re-check the recorded
+        # numbers so a report edit can't silently drop the guard.
+        assert entry["disabled_overhead"] < OVERHEAD_BUDGET
+        # The dense sink is allowed to cost, but must have run.
+        assert entry["dense_s"] > 0

@@ -20,6 +20,9 @@ Layered design (see DESIGN.md):
 * :mod:`repro.baselines` — the classical CONGEST comparators.
 * :mod:`repro.lowerbounds` — runnable reduction gadgets + certificates.
 * :mod:`repro.analysis` — power-law fits and experiment tables.
+* :mod:`repro.obs` — the observability spine: one event bus for engine
+  rounds, faults, query batches, and round charges, with span/phase
+  attribution and pluggable sinks (trace, metrics, JSONL).
 """
 
 __version__ = "1.0.0"
@@ -31,6 +34,7 @@ from . import (
     congest,
     core,
     lowerbounds,
+    obs,
     paper,
     quantum,
     queries,
@@ -46,6 +50,7 @@ __all__ = [
     "congest",
     "core",
     "lowerbounds",
+    "obs",
     "quantum",
     "queries",
     "__version__",

@@ -9,6 +9,10 @@ Usage::
                                          # the resilience layer
     python -m repro bench [--quick]      # hot-path micro-benchmarks,
                                          # writes BENCH_PR2.json
+    python -m repro trace E7 [--jsonl trace.jsonl]
+                                         # run one experiment under the
+                                         # observability spine and print
+                                         # its per-phase cost breakdown
 """
 
 from __future__ import annotations
@@ -72,7 +76,22 @@ def main(argv=None) -> int:
     bench_parser.add_argument(
         "--workload", action="append", dest="workloads", default=None,
         metavar="NAME",
-        help="run only this workload (repeatable): engine, gates, framework",
+        help="run only this workload (repeatable): engine, gates, "
+        "framework, obs",
+    )
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one experiment under the observability spine and print "
+        "a per-phase cost breakdown (rounds, query batches, busiest "
+        "edge, fault counts)",
+    )
+    trace_parser.add_argument("experiment", help="experiment id (E1..E19)")
+    trace_parser.add_argument("--full", action="store_true", help="full sweep")
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="additionally stream every event to PATH in the "
+        "repro-trace/1 JSONL schema (validated after the run)",
     )
     args = parser.parse_args(argv)
 
@@ -100,6 +119,32 @@ def main(argv=None) -> int:
         write_report(report, args.out)
         print(format_summary(report))
         print(f"(wrote {args.out} in {time.time() - start:.1f}s)")
+        return 0
+
+    if args.command == "trace":
+        from .analysis.report import cost_breakdown_table
+        from .experiments.runner import run_instrumented
+        from .obs.jsonl import validate_jsonl
+
+        target = args.experiment.upper()
+        if target not in ALL_EXPERIMENTS:
+            print(f"unknown experiment: {target}", file=sys.stderr)
+            print(f"available: {list(ALL_EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        start = time.time()
+        run = run_instrumented(
+            target, quick=not args.full, seed=args.seed, jsonl_path=args.jsonl
+        )
+        table = getattr(run.result, "table", None)
+        if table is not None:
+            table.show()
+        cost_breakdown_table(target, run.metrics).show()
+        if args.jsonl is not None:
+            counts = validate_jsonl(args.jsonl)
+            total = sum(counts.values())
+            per_kind = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            print(f"wrote {args.jsonl}: {total} records valid ({per_kind})")
+        print(f"({target} traced in {time.time() - start:.1f}s)")
         return 0
 
     if args.command == "faults":

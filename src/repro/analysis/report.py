@@ -2,6 +2,12 @@
 
 The benchmark harness prints one table per experiment in a fixed format so
 EXPERIMENTS.md entries can be regenerated verbatim.
+
+:func:`cost_breakdown_table` renders the unified records of an
+instrumented run (:mod:`repro.obs`) in the same table format: per-phase
+round charges with span attribution, plus the aggregate engine / query /
+fault counters — the "what did this run cost, where" artifact that
+``python -m repro trace`` prints.
 """
 
 from __future__ import annotations
@@ -49,6 +55,58 @@ class ExperimentTable:
     def show(self) -> None:
         print(self.render())
         print()
+
+
+def cost_breakdown_table(experiment_id: str, metrics) -> ExperimentTable:
+    """Per-phase cost breakdown of an instrumented run.
+
+    Args:
+        experiment_id: label for the table header (e.g. ``"E7"``).
+        metrics: a filled :class:`repro.obs.MetricsSink`.
+
+    One row per charged ledger phase (in first-charge order) with the
+    span it was first charged under and its share of all charged rounds;
+    aggregate engine traffic, query batches, busiest edge, and fault
+    counts are appended as notes.
+    """
+    table = ExperimentTable(
+        experiment_id,
+        "per-phase cost breakdown (observability spine)",
+        ["phase", "span", "rounds", "share"],
+    )
+    total = metrics.total_charged
+    for phase, rounds in metrics.charges_by_phase.items():
+        table.add_row(
+            phase,
+            metrics.phase_span.get(phase, "") or "-",
+            rounds,
+            rounds / total if total else 0.0,
+        )
+    table.add_row("(total charged)", "-", total, 1.0 if total else 0.0)
+    table.add_note(
+        f"query batches: {metrics.query_batches} "
+        f"({metrics.total_queries} queries)"
+    )
+    edge, edge_bits = metrics.busiest_edge()
+    if edge is None:
+        table.add_note("busiest edge: none (no engine deliveries recorded)")
+    else:
+        table.add_note(
+            f"busiest edge: {edge[0]}->{edge[1]} carried {edge_bits} bits"
+        )
+    table.add_note(
+        f"engine: {metrics.engine_rounds} measured rounds, "
+        f"{metrics.messages} messages, {metrics.bits} bits delivered"
+    )
+    if metrics.fault_counts:
+        per_kind = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(metrics.fault_counts.items())
+        )
+        table.add_note(f"fault events: {metrics.total_faults} ({per_kind})")
+    else:
+        table.add_note("fault events: 0")
+    return table
 
 
 def _fmt(value: object) -> str:

@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from ..obs.recorder import Recorder, current_recorder
 from .errors import RoundLimitExceeded
 from .messages import Inbox, Message, TrafficStats
 from .network import Network
@@ -117,6 +118,10 @@ class Engine:
         schedule: ``"active"`` (default, skip provably idle nodes) or
             ``"dense"`` (execute every node every round).  Results are
             identical; only wall time differs.
+        recorder: observability spine bus (:mod:`repro.obs`).  Defaults
+            to the ambient :func:`~repro.obs.current_recorder`, which is
+            the null recorder unless one is installed; recording never
+            changes rounds, outputs, or traffic statistics.
     """
 
     def __init__(
@@ -127,6 +132,7 @@ class Engine:
         max_rounds: Optional[int] = None,
         stop_on_quiescence: bool = False,
         schedule: str = "active",
+        recorder: Optional[Recorder] = None,
     ):
         missing = set(network.nodes()) - set(programs)
         if missing:
@@ -138,6 +144,11 @@ class Engine:
         self.network = network
         self.programs = programs
         self.schedule = schedule
+        self.recorder = recorder if recorder is not None else current_recorder()
+        #: Cached at construction so the hot loops pay one boolean check;
+        #: with the null recorder the engine is bit- and branch-identical
+        #: to an uninstrumented one.
+        self._recording = self.recorder.active
         if max_rounds is None:
             max_rounds = max(
                 DEFAULT_MAX_ROUNDS_FLOOR,
@@ -221,12 +232,14 @@ class Engine:
 
             delivered = self._transmit(in_flight, rounds)
             inboxes: Dict[int, List[Message]] = {}
+            bits = 0
             for msg in delivered:
                 inboxes.setdefault(msg.dst, []).append(msg)
+                bits += msg.bits
                 self._on_deliver(msg, rounds)
-            stats.record_round(
-                len(delivered), sum(m.bits for m in delivered)
-            )
+            stats.record_round(len(delivered), bits)
+            if self._recording:
+                self.recorder.round(rounds, len(delivered), bits)
             in_flight = []
 
             for v, program in self.programs.items():
@@ -326,6 +339,8 @@ class Engine:
                 bits += msg.bits
                 self._on_deliver(msg, rounds)
             stats.record_round(len(delivered), bits)
+            if self._recording:
+                self.recorder.round(rounds, len(delivered), bits)
             in_flight = []
 
             # Build this round's execution set in dense-loop order.
@@ -386,11 +401,13 @@ class Engine:
     # ------------------------------------------------------------------
     # The base implementations describe a perfect synchronous network:
     # every message sent in round r is delivered at the start of round
-    # r+1 and every node executes every round.  Subclasses override these
-    # hooks to observe traffic (:class:`~repro.congest.tracing.
-    # TracingEngine`) or to inject channel and node faults
-    # (:class:`repro.faults.FaultyEngine`) without touching the round
-    # loop, so every existing NodeProgram runs unmodified under faults.
+    # r+1 and every node executes every round.  Traffic observation goes
+    # through the recorder (:mod:`repro.obs`) — :class:`~repro.congest.
+    # tracing.TracingEngine` is just an engine with a Trace-building sink
+    # attached.  Subclasses override these hooks to inject channel and
+    # node faults (:class:`repro.faults.FaultyEngine`) without touching
+    # the round loop, so every existing NodeProgram runs unmodified
+    # under faults.
 
     def _begin_round(self, round_no: int) -> None:
         """Hook called at the top of every communication round."""
@@ -412,7 +429,14 @@ class Engine:
         return True
 
     def _on_deliver(self, msg: Message, round_no: int) -> None:
-        """Observation hook invoked for every delivered message."""
+        """Observation hook invoked for every delivered message.
+
+        The default emits a ``deliver`` event on the recorder (a no-op
+        branch when recording is off); subclasses that need richer
+        observation still override it.
+        """
+        if self._recording:
+            self.recorder.deliver(round_no, msg.src, msg.dst, msg.bits, msg.value)
 
 
 def run_program(
@@ -422,6 +446,7 @@ def run_program(
     max_rounds: Optional[int] = None,
     stop_on_quiescence: bool = False,
     schedule: str = "active",
+    recorder: Optional[Recorder] = None,
 ) -> RunResult:
     """Convenience wrapper: build an engine and run it."""
     engine = Engine(
@@ -431,5 +456,6 @@ def run_program(
         max_rounds=max_rounds,
         stop_on_quiescence=stop_on_quiescence,
         schedule=schedule,
+        recorder=recorder,
     )
     return engine.run()

@@ -10,6 +10,13 @@ Events carry a ``kind`` so that fault injection (:mod:`repro.faults`) can
 record drops, corruptions, delays, crashes, and recoveries as first-class
 trace events next to ordinary deliveries; timelines mark them with
 distinct symbols so a lossy run's retransmissions are visible at a glance.
+
+Since the observability spine (:mod:`repro.obs`) landed, tracing is a
+*sink*: the engine emits ``deliver``/``fault`` events on its recorder and
+:class:`TraceSink` rebuilds the :class:`Trace` from them.
+:class:`TracingEngine` is a thin shim — an :class:`~repro.congest.engine.
+Engine` constructed with a :class:`TraceSink` attached — kept for its
+established API.
 """
 
 from __future__ import annotations
@@ -17,8 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.events import DELIVER as OBS_DELIVER
+from ..obs.events import FAULT as OBS_FAULT
+from ..obs.recorder import Recorder, current_recorder
+from ..obs.sinks import Sink
 from .engine import Engine, RunResult
-from .messages import Message
 from .network import Network
 from .program import NodeProgram
 
@@ -94,13 +104,18 @@ class Trace:
         ]
 
     def busiest_round(self) -> Tuple[int, int]:
-        """(round, message count) of the most congested round."""
+        """(round, message count) of the most congested round.
+
+        Ties break deterministically: among rounds with the maximal
+        delivery count, the *lowest* round number wins, regardless of
+        the order events were recorded in.
+        """
         counts: Dict[int, int] = {}
         for e in self.deliveries():
             counts[e.round_no] = counts.get(e.round_no, 0) + 1
         if not counts:
             return (0, 0)
-        round_no = max(counts, key=counts.get)
+        round_no = min(counts, key=lambda r: (-counts[r], r))
         return (round_no, counts[round_no])
 
     def edge_utilization(self, src: int, dst: int) -> float:
@@ -141,29 +156,59 @@ class Trace:
         return "\n".join(lines)
 
 
+class TraceSink(Sink):
+    """Rebuilds a :class:`Trace` from spine ``deliver``/``fault`` events.
+
+    The in-memory Trace-compatible sink: attach it to any recorder and
+    every engine delivery and injected fault lands in ``self.trace``
+    exactly as :class:`TracingEngine` has always recorded them.  Other
+    event kinds (rounds, query batches, charges, spans) are ignored.
+    """
+
+    def __init__(self, trace: Optional[Trace] = None):
+        self.trace = trace if trace is not None else Trace()
+
+    def handle(self, event) -> None:
+        kind = event.kind
+        if kind == OBS_DELIVER:
+            self.trace.events.append(
+                TraceEvent(
+                    round_no=event.round_no,
+                    src=event.src,
+                    dst=event.dst,
+                    bits=event.bits,
+                    value=event.value,
+                )
+            )
+        elif kind == OBS_FAULT:
+            self.trace.events.append(
+                TraceEvent(
+                    round_no=event.round_no,
+                    src=event.src,
+                    dst=event.dst,
+                    bits=event.bits,
+                    value=event.value,
+                    kind=event.fault,
+                )
+            )
+
+
 class TracingEngine(Engine):
     """An :class:`Engine` that records every delivered message.
 
-    Implemented entirely through the engine's observation seam
-    (:meth:`Engine._on_deliver`), so the round loop itself stays in one
-    place; :class:`repro.faults.FaultyEngine` extends this class and adds
-    fault events to the same trace.
+    A thin shim over the observability spine: construction attaches a
+    :class:`TraceSink` to the engine's recorder (forking the passed or
+    ambient recorder so any other installed sinks keep receiving events),
+    and ``self.trace`` is that sink's trace.
+    :class:`repro.faults.FaultyEngine` extends this class; its fault
+    events flow through the same bus into the same trace.
     """
 
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.trace = Trace()
-
-    def _on_deliver(self, msg: Message, round_no: int) -> None:
-        self.trace.events.append(
-            TraceEvent(
-                round_no=round_no,
-                src=msg.src,
-                dst=msg.dst,
-                bits=msg.bits,
-                value=msg.value,
-            )
-        )
+    def __init__(self, *args, recorder: Optional[Recorder] = None, **kwargs):
+        base = recorder if recorder is not None else current_recorder()
+        sink = TraceSink()
+        super().__init__(*args, recorder=base.fork(sink), **kwargs)
+        self.trace = sink.trace
 
 
 def run_traced(
@@ -172,6 +217,7 @@ def run_traced(
     seed: Optional[int] = None,
     max_rounds: Optional[int] = None,
     stop_on_quiescence: bool = False,
+    recorder: Optional[Recorder] = None,
 ) -> Tuple[RunResult, Trace]:
     """Run programs under tracing; return (result, trace)."""
     engine = TracingEngine(
@@ -180,6 +226,7 @@ def run_traced(
         seed=seed,
         max_rounds=max_rounds,
         stop_on_quiescence=stop_on_quiescence,
+        recorder=recorder,
     )
     result = engine.run()
     return result, engine.trace

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..congest.network import Network
+from ..obs.recorder import Recorder, current_recorder
 
 
 @dataclass
@@ -94,14 +95,26 @@ class CostModel:
 
 @dataclass
 class RoundLedger:
-    """Accumulates charged rounds by phase."""
+    """Accumulates charged rounds by phase.
+
+    Every :meth:`charge` is also emitted as a ``charge`` event on the
+    observability spine (:mod:`repro.obs`): the explicit ``recorder``
+    field if set, otherwise the ambient recorder resolved at charge time.
+    The ledger's list-of-charges semantics are unchanged — emission is a
+    side channel, and the spine's charge stream matches ``self.charges``
+    entry for entry (merges excepted, see :meth:`merge`).
+    """
 
     charges: List[Tuple[str, int]] = field(default_factory=list)
+    recorder: Optional[Recorder] = field(default=None, compare=False, repr=False)
 
     def charge(self, phase: str, rounds: int) -> None:
         if rounds < 0:
             raise ValueError(f"negative round charge for phase {phase!r}")
         self.charges.append((phase, rounds))
+        rec = self.recorder if self.recorder is not None else current_recorder()
+        if rec.active:
+            rec.charge(phase, rounds)
 
     @property
     def total(self) -> int:
@@ -113,6 +126,44 @@ class RoundLedger:
             out[phase] = out.get(phase, 0) + rounds
         return out
 
-    def merge(self, other: "RoundLedger", prefix: str = "") -> None:
+    def merge(
+        self,
+        other: "RoundLedger",
+        prefix: str = "",
+        on_collision: str = "add",
+    ) -> None:
+        """Append ``other``'s charges, phase keys prefixed by ``prefix``.
+
+        Phase-key collisions (a prefixed incoming key equal to a phase
+        already charged on this ledger) are never silent:
+
+        * ``on_collision="add"`` (default) — the charges coexist in the
+          list and :meth:`by_phase` *adds* them under the shared key,
+          which is the documented aggregation rule;
+        * ``on_collision="error"`` — raise :class:`ValueError` listing
+          the colliding keys, for callers that rely on phase keys being
+          disjoint (e.g. one-prefix-per-subprotocol reports).
+
+        Merged charges were already validated (and already emitted on the
+        spine) by ``other``'s own :meth:`charge` calls, so they are
+        appended directly rather than re-charged — the event stream never
+        double-counts a merge.
+        """
+        if on_collision not in ("add", "error"):
+            raise ValueError(
+                f"on_collision must be 'add' or 'error', got {on_collision!r}"
+            )
+        if on_collision == "error":
+            existing = {phase for phase, _ in self.charges}
+            colliding = sorted(
+                {prefix + phase for phase, _ in other.charges} & existing
+            )
+            if colliding:
+                raise ValueError(
+                    f"phase key collision on merge: {colliding}; use "
+                    f"on_collision='add' to aggregate or a distinct prefix"
+                )
         for phase, rounds in other.charges:
-            self.charge(prefix + phase, rounds)
+            if rounds < 0:
+                raise ValueError(f"negative round charge for phase {phase!r}")
+            self.charges.append((prefix + phase, rounds))

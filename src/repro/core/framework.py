@@ -40,6 +40,7 @@ from ..congest.algorithms.aggregate import pipelined_downcast, pipelined_upcast
 from ..congest.algorithms.bfs import BFSResult, bfs_with_echo
 from ..congest.algorithms.leader import elect_leader
 from ..congest.network import Network
+from ..obs.recorder import Recorder, current_recorder, install
 from ..queries.ledger import QueryLedger
 from .cost import CostModel, RoundLedger
 from .semigroup import Semigroup
@@ -109,6 +110,7 @@ class CongestBatchOracle:
         k: Optional[int] = None,
         seed: Optional[int] = None,
         semigroup: Optional[Semigroup] = None,
+        recorder: Optional[Recorder] = None,
     ):
         if mode not in ("formula", "engine"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -117,7 +119,8 @@ class CongestBatchOracle:
         self.network = network
         self.dist_input = dist_input
         self.semigroup = dist_input.semigroup if dist_input is not None else semigroup
-        self.ledger = QueryLedger(parallelism)
+        self.recorder = recorder if recorder is not None else current_recorder()
+        self.ledger = QueryLedger(parallelism, recorder=self.recorder)
         self.mode = mode
         self.tree = tree
         self.cost_model = cost_model
@@ -170,16 +173,18 @@ class CongestBatchOracle:
         if alpha_rounds:
             self.rounds.charge("alpha", alpha_rounds)
         # 1. distribute indices (downcast), then 4. its uncompute.
-        _, down_rounds = pipelined_downcast(
-            self.network, self.tree, indices, domain=max(self._k, 2),
-            seed=self._seed,
-        )
-        self.rounds.charge("index-distribute", down_rounds)
+        with self.recorder.span("distribute"):
+            _, down_rounds = pipelined_downcast(
+                self.network, self.tree, indices, domain=max(self._k, 2),
+                seed=self._seed,
+            )
+            self.rounds.charge("index-distribute", down_rounds)
         # 2. chunked pipelined ⊕-convergecast of the p values, and
         # 3. the send-back-down uncompute pass.
         values = self._engine_aggregate(indices, semigroup)
         # Uncompute passes mirror the forward passes round-for-round.
-        self.rounds.charge("index-uncompute", down_rounds)
+        with self.recorder.span("uncompute"):
+            self.rounds.charge("index-uncompute", down_rounds)
         return values
 
     def query_superposed(self, label: str = "") -> None:
@@ -261,25 +266,27 @@ class CongestBatchOracle:
                 else:
                     row.append(self._cache_vectors[j].get(v, identity))
             per_node_vectors[v] = row
-        combined, up_rounds = pipelined_upcast(
-            self.network,
-            self.tree,
-            per_node_vectors,
-            combine=semigroup.combine,
-            domain=domain,
-            seed=self._seed,
-        )
-        self.rounds.charge("value-upcast", up_rounds)
+        with self.recorder.span("convergecast"):
+            combined, up_rounds = pipelined_upcast(
+                self.network,
+                self.tree,
+                per_node_vectors,
+                combine=semigroup.combine,
+                domain=domain,
+                seed=self._seed,
+            )
+            self.rounds.charge("value-upcast", up_rounds)
         # Theorem 8's "sends the x^{(w)} back to the children, who
         # uncompute it": a mirrored downcast of the same volume.
-        _, down_rounds = pipelined_downcast(
-            self.network,
-            self.tree,
-            list(combined),
-            domain=domain,
-            seed=self._seed,
-        )
-        self.rounds.charge("value-uncompute", down_rounds)
+        with self.recorder.span("uncompute"):
+            _, down_rounds = pipelined_downcast(
+                self.network,
+                self.tree,
+                list(combined),
+                domain=domain,
+                seed=self._seed,
+            )
+            self.rounds.charge("value-uncompute", down_rounds)
         values = [combined[i * words + (words - 1)] for i in range(len(indices))]
         return values
 
@@ -397,6 +404,7 @@ def run_framework(
     semigroup: Optional[Semigroup] = None,
     prepared: Optional[PreparedNetwork] = None,
     reuse_setup: bool = True,
+    recorder: Optional[Recorder] = None,
 ) -> FrameworkRun:
     """Evaluate f(x) = F(⊕_v x^{(v)}) per Theorem 8 / Corollary 9.
 
@@ -417,52 +425,63 @@ def run_framework(
         reuse_setup: when True (default), setup is fetched from the
             process-wide :func:`prepare_network` cache; the charged rounds
             are identical either way.
+        recorder: observability bus (defaults to the ambient recorder).
+            The run is wrapped in ``setup``/``query`` spans — with
+            ``distribute``/``convergecast``/``uncompute`` sub-spans per
+            engine-mode batch — and installed as ambient for its duration
+            so engine rounds, query batches, and ledger charges all land
+            in one attributed event stream.  Costs are identical with the
+            null recorder.
 
     Returns:
         a :class:`FrameworkRun` with the algorithm result, per-phase round
         ledger, and query ledger.
     """
-    rounds = RoundLedger()
-    cost_model = CostModel.for_network(network)
-    rng = np.random.default_rng(seed)
+    rec = recorder if recorder is not None else current_recorder()
+    with install(rec):
+        rounds = RoundLedger(recorder=rec)
+        cost_model = CostModel.for_network(network)
+        rng = np.random.default_rng(seed)
 
-    if prepared is None:
-        if reuse_setup:
-            prepared = prepare_network(network, seed=seed, leader=leader)
-        else:
-            if leader is None:
-                election = elect_leader(network, seed=seed)
-                prepared = PreparedNetwork(
-                    leader=election.leader,
-                    election_rounds=election.rounds,
-                    tree=bfs_with_echo(network, election.leader, seed=seed),
-                    seed=seed,
-                )
-            else:
-                prepared = PreparedNetwork(
-                    leader=leader,
-                    election_rounds=None,
-                    tree=bfs_with_echo(network, leader, seed=seed),
-                    seed=seed,
-                )
-    leader = prepared.leader
-    tree = prepared.tree
-    prepared.charge_setup(rounds)
+        with rec.span("setup"):
+            if prepared is None:
+                if reuse_setup:
+                    prepared = prepare_network(network, seed=seed, leader=leader)
+                elif leader is None:
+                    election = elect_leader(network, seed=seed)
+                    prepared = PreparedNetwork(
+                        leader=election.leader,
+                        election_rounds=election.rounds,
+                        tree=bfs_with_echo(network, election.leader, seed=seed),
+                        seed=seed,
+                    )
+                else:
+                    prepared = PreparedNetwork(
+                        leader=leader,
+                        election_rounds=None,
+                        tree=bfs_with_echo(network, leader, seed=seed),
+                        seed=seed,
+                    )
+            leader = prepared.leader
+            tree = prepared.tree
+            prepared.charge_setup(rounds)
 
-    oracle = CongestBatchOracle(
-        network=network,
-        dist_input=dist_input,
-        parallelism=parallelism,
-        mode=mode,
-        tree=tree,
-        cost_model=cost_model,
-        round_ledger=rounds,
-        computer=computer,
-        k=k,
-        seed=seed,
-        semigroup=semigroup,
-    )
-    result = algorithm(oracle, rng)
+        oracle = CongestBatchOracle(
+            network=network,
+            dist_input=dist_input,
+            parallelism=parallelism,
+            mode=mode,
+            tree=tree,
+            cost_model=cost_model,
+            round_ledger=rounds,
+            computer=computer,
+            k=k,
+            seed=seed,
+            semigroup=semigroup,
+            recorder=rec,
+        )
+        with rec.span("query"):
+            result = algorithm(oracle, rng)
     return FrameworkRun(
         result=result,
         rounds=rounds,

@@ -4,6 +4,13 @@ The pytest-benchmark wrappers under ``benchmarks/`` assert one criterion
 per experiment; this module exposes the same checks as plain callables so
 they can run inside the test suite, a CI gate, or a notebook without the
 benchmark harness.
+
+:func:`run_instrumented` runs any experiment under the observability
+spine (:mod:`repro.obs`): it installs a recorder for the duration of the
+run, so every engine round, fault, query batch, and ledger charge the
+experiment triggers — however deep in the stack — lands in one metrics
+registry and (optionally) one JSONL stream.  ``python -m repro trace``
+is a thin CLI over it.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from ..obs import JSONLSink, MemorySink, MetricsSink, Recorder, install
 from . import ALL_EXPERIMENTS
 
 
@@ -72,6 +80,60 @@ CRITERIA: Dict[str, Callable] = {
                       f"outputs intact={r.all_correct}, overhead at max p "
                       f"= {max(r.overheads.values()):.1f}x"),
 }
+
+
+@dataclass
+class InstrumentedRun:
+    """One experiment execution plus its unified event-stream products."""
+
+    experiment: str
+    result: object
+    metrics: MetricsSink
+    events: Optional[List[object]]  # raw events when keep_events=True
+    jsonl_path: Optional[str]
+
+
+def run_instrumented(
+    experiment: str,
+    quick: bool = True,
+    seed: int = 0,
+    jsonl_path: Optional[str] = None,
+    keep_events: bool = False,
+) -> InstrumentedRun:
+    """Run one experiment with the observability spine recording.
+
+    Args:
+        experiment: experiment id (``"E1"`` .. ``"E19"``).
+        quick: forwarded to the experiment's ``run``.
+        seed: forwarded to the experiment's ``run``.
+        jsonl_path: when set, stream every event to this file in the
+            ``repro-trace/1`` schema (:mod:`repro.obs.jsonl`).
+        keep_events: when True, additionally retain the raw event objects
+            (``InstrumentedRun.events``); off by default since large
+            engine-mode runs can emit hundreds of thousands of events.
+    """
+    if experiment not in ALL_EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment!r}")
+    metrics = MetricsSink()
+    sinks: List[object] = [metrics]
+    memory = MemorySink() if keep_events else None
+    if memory is not None:
+        sinks.append(memory)
+    if jsonl_path is not None:
+        sinks.append(JSONLSink(jsonl_path))
+    recorder = Recorder(sinks)
+    try:
+        with install(recorder):
+            result = ALL_EXPERIMENTS[experiment].run(quick=quick, seed=seed)
+    finally:
+        recorder.close()
+    return InstrumentedRun(
+        experiment=experiment,
+        result=result,
+        metrics=metrics,
+        events=memory.events if memory is not None else None,
+        jsonl_path=jsonl_path,
+    )
 
 
 def verify_experiment(

@@ -4,9 +4,11 @@
 declared on :class:`repro.congest.engine.Engine`, so every existing
 :class:`~repro.congest.program.NodeProgram` runs unmodified under
 channel faults (drop / burst / corruption / delay) and node faults
-(crash-stop / crash-recovery).  All fault events land in the run's
-:class:`~repro.congest.tracing.Trace` as first-class events, so
-timelines show drops and retries next to ordinary deliveries.
+(crash-stop / crash-recovery).  Fault events are emitted on the engine's
+recorder (:mod:`repro.obs`) — the same bus deliveries ride — so they land
+in the run's :class:`~repro.congest.tracing.Trace` as first-class events
+(timelines show drops and retries next to ordinary deliveries) *and* in
+any other sink the ambient recorder carries (JSONL, metrics).
 
 With the default :class:`~repro.faults.models.NoFaults` channel and no
 crash schedule, a run is byte-for-byte identical (rounds, outputs,
@@ -33,7 +35,6 @@ from ..congest.tracing import (
     DROP,
     RECOVER,
     Trace,
-    TraceEvent,
     TracingEngine,
 )
 from .crash import CrashSchedule
@@ -115,12 +116,7 @@ class FaultyEngine(TracingEngine):
             else:
                 self.fault_stats.recoveries += 1
                 event_kind = RECOVER
-            self.trace.events.append(
-                TraceEvent(
-                    round_no=round_no, src=node, dst=node, bits=0,
-                    value=None, kind=event_kind,
-                )
-            )
+            self.recorder.fault(event_kind, round_no, node, node)
 
     def _transmit(
         self, messages: List[Message], round_no: int
@@ -181,16 +177,8 @@ class FaultyEngine(TracingEngine):
     # -- helpers --------------------------------------------------------
 
     def _record_fault(self, kind: str, msg: Message, round_no: int) -> None:
-        self.trace.events.append(
-            TraceEvent(
-                round_no=round_no,
-                src=msg.src,
-                dst=msg.dst,
-                bits=msg.bits,
-                value=msg.value,
-                kind=kind,
-            )
-        )
+        """Emit one channel-fault event on the spine (lands in the trace)."""
+        self.recorder.fault(kind, round_no, msg.src, msg.dst, msg.bits, msg.value)
 
 
 def run_with_faults(
@@ -202,6 +190,7 @@ def run_with_faults(
     fault_seed: Optional[int] = None,
     max_rounds: Optional[int] = None,
     stop_on_quiescence: bool = False,
+    recorder=None,
 ) -> Tuple[RunResult, Trace, FaultStats]:
     """Run programs under faults; return (result, trace, fault stats)."""
     engine = FaultyEngine(
@@ -213,6 +202,7 @@ def run_with_faults(
         seed=seed,
         max_rounds=max_rounds,
         stop_on_quiescence=stop_on_quiescence,
+        recorder=recorder,
     )
     result = engine.run()
     return result, engine.trace, engine.fault_stats

@@ -1,0 +1,78 @@
+"""repro.obs — the unified instrumentation spine.
+
+One event bus for everything the repository accounts: engine rounds and
+deliveries, injected faults, oracle query batches, and ledger round
+charges, with span-based phase attribution (DESIGN.md §"Observability
+spine").
+
+Quick tour::
+
+    from repro.obs import MetricsSink, Recorder, install
+
+    metrics = MetricsSink()
+    with install(Recorder([metrics])):
+        run_framework(...)            # or any experiment / engine run
+    print(metrics.summary())
+
+Sinks are pluggable: :class:`MemorySink` keeps raw events,
+:class:`MetricsSink` aggregates counters, :class:`JSONLSink` streams the
+``repro-trace/1`` schema to disk, and
+:class:`repro.congest.tracing.TraceSink` rebuilds the classic
+:class:`~repro.congest.tracing.Trace`.  With no recorder installed the
+:data:`NULL_RECORDER` is ambient and the whole spine reduces to one
+boolean check on every hot path.
+"""
+
+from .events import (
+    CHARGE,
+    DELIVER,
+    EVENT_KINDS,
+    FAULT,
+    QUERY_BATCH,
+    ROUND,
+    SPAN,
+    ChargeEvent,
+    DeliverEvent,
+    FaultEvent,
+    QueryBatchEvent,
+    RoundEvent,
+    SpanEvent,
+    to_json,
+)
+from .jsonl import SCHEMA, JSONLSink, validate_jsonl
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    current_recorder,
+    install,
+)
+from .sinks import MemorySink, MetricsSink, Sink
+
+__all__ = [
+    "CHARGE",
+    "DELIVER",
+    "EVENT_KINDS",
+    "FAULT",
+    "QUERY_BATCH",
+    "ROUND",
+    "SPAN",
+    "SCHEMA",
+    "ChargeEvent",
+    "DeliverEvent",
+    "FaultEvent",
+    "JSONLSink",
+    "MemorySink",
+    "MetricsSink",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "QueryBatchEvent",
+    "Recorder",
+    "RoundEvent",
+    "Sink",
+    "SpanEvent",
+    "current_recorder",
+    "install",
+    "to_json",
+    "validate_jsonl",
+]

@@ -1,0 +1,154 @@
+"""Typed events carried by the observability spine.
+
+Every accounting mechanism in the repository speaks through these six
+event kinds (DESIGN.md §"Observability spine"):
+
+* ``round`` — one engine communication round (message count, payload bits),
+* ``deliver`` — one message delivered by the engine,
+* ``fault`` — one injected fault (drop / corrupt / delay / crash / recover),
+* ``query_batch`` — one application of the parallel oracle O^{⊗p},
+* ``charge`` — one :class:`~repro.core.cost.RoundLedger` phase charge,
+* ``span`` — begin/end of a named phase opened on the recorder.
+
+Events are small frozen dataclasses.  Each carries a ``span`` string — the
+``/``-joined path of recorder spans open when it was emitted — so any sink
+can attribute costs to phases without coordinating with the emitters.
+
+:func:`to_json` maps an event onto the stable ``repro-trace/1`` JSONL
+record documented in :mod:`repro.obs.jsonl`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict
+
+#: The six event kinds, as they appear in JSONL ``type`` fields.
+ROUND = "round"
+DELIVER = "deliver"
+FAULT = "fault"
+QUERY_BATCH = "query_batch"
+CHARGE = "charge"
+SPAN = "span"
+
+EVENT_KINDS = (ROUND, DELIVER, FAULT, QUERY_BATCH, CHARGE, SPAN)
+
+
+@dataclass(frozen=True)
+class RoundEvent:
+    """One engine communication round: its delivery count and bit volume."""
+
+    kind: ClassVar[str] = ROUND
+
+    round_no: int
+    messages: int
+    bits: int
+    span: str = ""
+
+
+@dataclass(frozen=True)
+class DeliverEvent:
+    """One message delivered to a node at the start of a round."""
+
+    kind: ClassVar[str] = DELIVER
+
+    round_no: int
+    src: int
+    dst: int
+    bits: int
+    value: Any = None
+    span: str = ""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault.
+
+    ``fault`` names the fault kind (``drop``, ``corrupt``, ``delay``,
+    ``crash``, ``recover``); node-level faults set ``src == dst``.
+    """
+
+    kind: ClassVar[str] = FAULT
+
+    fault: str
+    round_no: int
+    src: int
+    dst: int
+    bits: int = 0
+    value: Any = None
+    span: str = ""
+
+
+@dataclass(frozen=True)
+class QueryBatchEvent:
+    """One metered application of the parallel oracle (Definition 1)."""
+
+    kind: ClassVar[str] = QUERY_BATCH
+
+    size: int
+    label: str = ""
+    span: str = ""
+
+
+@dataclass(frozen=True)
+class ChargeEvent:
+    """One phase charge on a :class:`~repro.core.cost.RoundLedger`."""
+
+    kind: ClassVar[str] = CHARGE
+
+    phase: str
+    rounds: int
+    span: str = ""
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """Begin or end of a recorder span.
+
+    ``span`` is the full path of the span itself (including ``name``), so
+    a stream of span events reconstructs the phase tree on its own.
+    """
+
+    kind: ClassVar[str] = SPAN
+
+    name: str
+    phase: str  # "begin" | "end"
+    span: str = ""
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an arbitrary payload into a JSON-serializable shape."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def to_json(event: Any) -> Dict[str, Any]:
+    """The stable ``repro-trace/1`` JSONL record for one event."""
+    kind = event.kind
+    if kind == ROUND:
+        return {"type": ROUND, "round": event.round_no,
+                "messages": event.messages, "bits": event.bits,
+                "span": event.span}
+    if kind == DELIVER:
+        return {"type": DELIVER, "round": event.round_no, "src": event.src,
+                "dst": event.dst, "bits": event.bits,
+                "value": _jsonable(event.value), "span": event.span}
+    if kind == FAULT:
+        return {"type": FAULT, "fault": event.fault, "round": event.round_no,
+                "src": event.src, "dst": event.dst, "bits": event.bits,
+                "value": _jsonable(event.value), "span": event.span}
+    if kind == QUERY_BATCH:
+        return {"type": QUERY_BATCH, "size": event.size,
+                "label": event.label, "span": event.span}
+    if kind == CHARGE:
+        return {"type": CHARGE, "phase": event.phase, "rounds": event.rounds,
+                "span": event.span}
+    if kind == SPAN:
+        return {"type": SPAN, "name": event.name, "phase": event.phase,
+                "span": event.span}
+    raise ValueError(f"unknown event kind {kind!r}")

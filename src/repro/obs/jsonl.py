@@ -1,0 +1,106 @@
+"""JSONL event streams: the ``repro-trace/1`` schema, writer, validator.
+
+One record per line.  The first line is a header::
+
+    {"type": "meta", "schema": "repro-trace/1"}
+
+and every subsequent line is one event record as produced by
+:func:`repro.obs.events.to_json` — its ``type`` is one of the six event
+kinds and its remaining fields are fixed per type (see ``_REQUIRED``).
+The CI ``trace-smoke`` job round-trips a real experiment through this
+schema with :func:`validate_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .events import (
+    CHARGE,
+    DELIVER,
+    EVENT_KINDS,
+    FAULT,
+    QUERY_BATCH,
+    ROUND,
+    SPAN,
+    to_json,
+)
+from .sinks import Sink
+
+SCHEMA = "repro-trace/1"
+
+#: required field -> type, per record type ("value" is unconstrained).
+_REQUIRED = {
+    ROUND: {"round": int, "messages": int, "bits": int, "span": str},
+    DELIVER: {"round": int, "src": int, "dst": int, "bits": int, "span": str},
+    FAULT: {"fault": str, "round": int, "src": int, "dst": int, "bits": int,
+            "span": str},
+    QUERY_BATCH: {"size": int, "label": str, "span": str},
+    CHARGE: {"phase": str, "rounds": int, "span": str},
+    SPAN: {"name": str, "phase": str, "span": str},
+}
+
+
+class JSONLSink(Sink):
+    """Writes the event stream to a file, one JSON record per line."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "w")
+        self._fh.write(json.dumps({"type": "meta", "schema": SCHEMA}) + "\n")
+
+    def handle(self, event) -> None:
+        self._fh.write(json.dumps(to_json(event)) + "\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def validate_jsonl(path: str) -> Dict[str, int]:
+    """Validate a ``repro-trace/1`` stream; return record counts by type.
+
+    Raises:
+        ValueError: on a malformed line, a missing/mis-typed field, an
+            unknown record type, or a missing/mismatched schema header.
+    """
+    counts: Dict[str, int] = {}
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}")
+            if not isinstance(record, dict) or "type" not in record:
+                raise ValueError(f"{path}:{lineno}: record missing 'type'")
+            rtype = record["type"]
+            if lineno == 1:
+                if rtype != "meta" or record.get("schema") != SCHEMA:
+                    raise ValueError(
+                        f"{path}:1: expected meta header with schema "
+                        f"{SCHEMA!r}, got {record!r}"
+                    )
+                counts["meta"] = 1
+                continue
+            if rtype not in EVENT_KINDS:
+                raise ValueError(f"{path}:{lineno}: unknown type {rtype!r}")
+            for field, ftype in _REQUIRED[rtype].items():
+                if field not in record:
+                    raise ValueError(
+                        f"{path}:{lineno}: {rtype} record missing {field!r}"
+                    )
+                value = record[field]
+                # bool is an int subclass; trace integers are never bools.
+                if not isinstance(value, ftype) or isinstance(value, bool):
+                    raise ValueError(
+                        f"{path}:{lineno}: field {field!r} should be "
+                        f"{ftype.__name__}, got {value!r}"
+                    )
+            counts[rtype] = counts.get(rtype, 0) + 1
+    if counts.get("meta") != 1:
+        raise ValueError(f"{path}: empty stream (no meta header)")
+    return counts

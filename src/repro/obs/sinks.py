@@ -1,0 +1,140 @@
+"""Sinks: where recorded events land.
+
+The sink contract is two methods — ``handle(event)`` called synchronously
+per event, and ``close()`` called when the owning recorder is closed.
+Sinks must not mutate events (they are shared between sinks) and must not
+assume any particular emitter: a sink sees whatever mixture of engine,
+fault, query, and ledger events the run produces.
+
+This module holds the dependency-free sinks; the ``Trace``-compatible
+sink lives in :mod:`repro.congest.tracing` (:class:`TraceSink`) next to
+the :class:`~repro.congest.tracing.Trace` type it builds, and the JSONL
+writer in :mod:`repro.obs.jsonl` next to its schema validator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .events import CHARGE, DELIVER, FAULT, QUERY_BATCH, ROUND, SPAN
+
+
+class Sink:
+    """Base sink: subclasses override :meth:`handle`."""
+
+    def handle(self, event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (default: nothing to release)."""
+
+
+class MemorySink(Sink):
+    """Keeps every event in an in-memory list, in emission order."""
+
+    def __init__(self):
+        self.events: List = []
+
+    def handle(self, event) -> None:
+        self.events.append(event)
+
+    def events_of_kind(self, kind: str) -> List:
+        return [e for e in self.events if e.kind == kind]
+
+
+class MetricsSink(Sink):
+    """Aggregating counters: the one-pass metrics registry.
+
+    Accumulates everything ``python -m repro trace`` reports — engine
+    round/message/bit totals, per-edge bit volume, fault counts by kind,
+    query-batch counts, and per-phase round charges (with the span each
+    phase was first charged under) — without retaining the events.
+    """
+
+    def __init__(self):
+        self.engine_rounds = 0
+        self.messages = 0
+        self.bits = 0
+        self.edge_bits: Dict[Tuple[int, int], int] = {}
+        self.fault_counts: Dict[str, int] = {}
+        self.query_batches = 0
+        self.total_queries = 0
+        self.batches_by_label: Dict[str, int] = {}
+        self.charge_events = 0
+        self.charges_by_phase: Dict[str, int] = {}
+        self.phase_span: Dict[str, str] = {}
+        self.charged_by_span: Dict[str, int] = {}
+        self.span_names: List[str] = []
+
+    def handle(self, event) -> None:
+        kind = event.kind
+        if kind == DELIVER:
+            self.messages += 1
+            self.bits += event.bits
+            edge = (event.src, event.dst)
+            self.edge_bits[edge] = self.edge_bits.get(edge, 0) + event.bits
+        elif kind == ROUND:
+            if event.round_no > self.engine_rounds:
+                self.engine_rounds = event.round_no
+        elif kind == CHARGE:
+            self.charge_events += 1
+            self.charges_by_phase[event.phase] = (
+                self.charges_by_phase.get(event.phase, 0) + event.rounds
+            )
+            self.phase_span.setdefault(event.phase, event.span)
+            self.charged_by_span[event.span] = (
+                self.charged_by_span.get(event.span, 0) + event.rounds
+            )
+        elif kind == QUERY_BATCH:
+            self.query_batches += 1
+            self.total_queries += event.size
+            self.batches_by_label[event.label] = (
+                self.batches_by_label.get(event.label, 0) + 1
+            )
+        elif kind == FAULT:
+            self.fault_counts[event.fault] = (
+                self.fault_counts.get(event.fault, 0) + 1
+            )
+        elif kind == SPAN:
+            if event.phase == "begin" and event.span not in self.span_names:
+                self.span_names.append(event.span)
+
+    # -- derived --------------------------------------------------------
+
+    @property
+    def total_charged(self) -> int:
+        """Total rounds charged across every ledger phase."""
+        return sum(self.charges_by_phase.values())
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.fault_counts.values())
+
+    def busiest_edge(self) -> Tuple[Optional[Tuple[int, int]], int]:
+        """(directed edge, bits) carrying the most payload bits.
+
+        Ties break deterministically to the lowest ``(src, dst)`` pair;
+        returns ``(None, 0)`` when no message was delivered.
+        """
+        if not self.edge_bits:
+            return (None, 0)
+        edge = min(self.edge_bits, key=lambda e: (-self.edge_bits[e], e))
+        return (edge, self.edge_bits[edge])
+
+    def summary(self) -> Dict[str, Any]:
+        """A plain-dict digest (JSON-ready except the edge tuple)."""
+        edge, edge_bits = self.busiest_edge()
+        return {
+            "engine_rounds": self.engine_rounds,
+            "messages": self.messages,
+            "bits": self.bits,
+            "busiest_edge": edge,
+            "busiest_edge_bits": edge_bits,
+            "fault_counts": dict(self.fault_counts),
+            "query_batches": self.query_batches,
+            "total_queries": self.total_queries,
+            "charged_rounds": self.total_charged,
+            "charges_by_phase": dict(self.charges_by_phase),
+            "charged_by_span": dict(self.charged_by_span),
+            "spans": list(self.span_names),
+        }

@@ -8,7 +8,10 @@ Three workload families, matching the PR-2 optimization targets:
   generic moveaxis path),
 * :mod:`repro.perf.framework_bench` — repeated engine-mode
   :func:`repro.core.framework.run_framework` calls (PreparedNetwork cache
-  warm vs cold).
+  warm vs cold),
+* :mod:`repro.perf.obs_bench` — observability-spine overhead (null
+  recorder vs a dense metrics sink on engine flooding; enforces the
+  <5% disabled-path budget).
 
 ``python -m repro bench`` runs all of them and writes ``BENCH_PR2.json``
 (schema documented in ``benchmarks/perf/README.md``);
@@ -29,11 +32,13 @@ from .harness import (
     measure,
     write_report,
 )
+from .obs_bench import OVERHEAD_BUDGET, obs_overhead_workload
 
 WORKLOADS = {
     "engine": engine_flooding_workload,
     "gates": gate_throughput_workload,
     "framework": framework_repeat_workload,
+    "obs": obs_overhead_workload,
 }
 
 
@@ -51,6 +56,7 @@ def run_all(quick: bool = False, workloads=None) -> dict:
 
 
 __all__ = [
+    "OVERHEAD_BUDGET",
     "SPEEDUP_TARGET",
     "WORKLOADS",
     "WorkloadResult",
@@ -59,6 +65,7 @@ __all__ = [
     "framework_repeat_workload",
     "gate_throughput_workload",
     "measure",
+    "obs_overhead_workload",
     "run_all",
     "write_report",
 ]

@@ -5,12 +5,20 @@ is one application of O^{⊗p}: up to ``p`` simultaneous queries.  The
 ledger records each batch so benchmarks can verify the paper's (b, p)
 bounds — b is ``ledger.batches`` — and so the CONGEST framework can charge
 network rounds per batch.
+
+Each recorded batch is also emitted as a ``query_batch`` event on the
+observability spine (:mod:`repro.obs`), so a single event stream carries
+query accounting next to engine rounds and ledger charges.  The ledger's
+own records and semantics (including :class:`ParallelismViolation`) are
+unchanged; emission happens only after a batch passes validation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..obs.recorder import Recorder, current_recorder
 
 
 class ParallelismViolation(ValueError):
@@ -33,13 +41,22 @@ class BatchRecord:
 
 
 class QueryLedger:
-    """Meters batches of parallel queries against a parallelism cap p."""
+    """Meters batches of parallel queries against a parallelism cap p.
 
-    def __init__(self, parallelism: int):
+    Args:
+        parallelism: the cap p on simultaneous queries per batch.
+        recorder: observability bus to emit ``query_batch`` events on;
+            ``None`` (default) resolves the ambient recorder at record
+            time, so ledgers built before a recorder is installed still
+            report into it.
+    """
+
+    def __init__(self, parallelism: int, recorder: Optional[Recorder] = None):
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
         self.parallelism = parallelism
         self.records: List[BatchRecord] = []
+        self.recorder = recorder
 
     def record(self, size: int, label: str = "") -> None:
         if size < 1:
@@ -47,6 +64,9 @@ class QueryLedger:
         if size > self.parallelism:
             raise ParallelismViolation(size, self.parallelism)
         self.records.append(BatchRecord(size=size, label=label))
+        rec = self.recorder if self.recorder is not None else current_recorder()
+        if rec.active:
+            rec.query_batch(size, label)
 
     @property
     def batches(self) -> int:

@@ -6,8 +6,21 @@ from repro.congest import topologies
 from repro.congest.algorithms.bfs import BFSEchoProgram, bfs_with_echo
 from repro.congest.encoding import Field
 from repro.congest.program import Context, NodeProgram
-from repro.congest.tracing import run_traced
+from repro.congest.tracing import (
+    CORRUPT,
+    DELAY,
+    DELIVER,
+    DROP,
+    Trace,
+    TraceEvent,
+    run_traced,
+)
 from repro.core.state_transfer import RegisterStreamProgram
+
+
+def _delivery(round_no, src=0, dst=1, bits=4, kind=DELIVER):
+    return TraceEvent(round_no=round_no, src=src, dst=dst, bits=bits,
+                      value=None, kind=kind)
 
 
 class PingPong(NodeProgram):
@@ -123,6 +136,39 @@ class TestPipeliningVisible:
         assert len(lines) == 4
         assert "#" in art and "." in art
 
+    def test_busiest_round_tie_breaks_to_lowest_round(self):
+        """Regression: among equally busy rounds, the lowest wins —
+        independent of event recording order."""
+        trace = Trace(events=[
+            _delivery(5), _delivery(5), _delivery(2), _delivery(2),
+        ])
+        assert trace.busiest_round() == (2, 2)
+        # Reversed recording order gives the same answer.
+        trace_rev = Trace(events=list(reversed(trace.events)))
+        assert trace_rev.busiest_round() == (2, 2)
+
+    def test_busiest_round_counts_deliveries_only(self):
+        trace = Trace(events=[
+            _delivery(1),
+            _delivery(2, kind=DROP), _delivery(2, kind=DROP),
+        ])
+        assert trace.busiest_round() == (1, 1)
+
+    def test_edge_utilization_exact_fraction(self):
+        # Edge (0, 1) busy in rounds 1 and 3 of a 4-round trace: 1/2.
+        trace = Trace(events=[
+            _delivery(1), _delivery(3), _delivery(4, src=1, dst=2),
+        ])
+        assert trace.edge_utilization(0, 1) == pytest.approx(0.5)
+        assert trace.edge_utilization(1, 2) == pytest.approx(0.25)
+        assert trace.edge_utilization(2, 1) == 0.0
+
+    def test_edge_utilization_ignores_faults(self):
+        trace = Trace(events=[
+            _delivery(1), _delivery(2, kind=DROP),
+        ])
+        assert trace.edge_utilization(0, 1) == pytest.approx(0.5)
+
     def test_empty_trace(self, path8):
         from repro.congest.program import IdleProgram
 
@@ -130,3 +176,42 @@ class TestPipeliningVisible:
         assert trace.rounds_used() == 0
         assert trace.busiest_round() == (0, 0)
         assert trace.edge_utilization(0, 1) == 0.0
+
+
+class TestRenderTimeline:
+    def test_rows_and_symbols(self):
+        trace = Trace(events=[
+            _delivery(1), _delivery(3),
+            _delivery(2, src=1, dst=2, kind=DROP),
+            _delivery(3, src=1, dst=2, kind=CORRUPT),
+            _delivery(1, src=2, dst=3, kind=DELAY),
+            _delivery(2, src=2, dst=3),
+        ])
+        art = trace.render_timeline([(0, 1), (1, 2), (2, 3)])
+        lines = art.splitlines()
+        assert len(lines) == 4  # header + one row per edge
+        assert lines[0].endswith("123")
+        assert lines[1].endswith("#.#")   # deliveries on (0, 1)
+        assert lines[2].endswith(".x!")   # drop then corruption on (1, 2)
+        assert lines[3].endswith("~#.")   # delay then delivery on (2, 3)
+
+    def test_fault_symbol_outranks_delivery(self):
+        """A retransmitted round shows the delivery-masking fault symbol."""
+        trace = Trace(events=[
+            _delivery(1), _delivery(1, kind=DROP),
+        ])
+        art = trace.render_timeline([(0, 1)])
+        assert art.splitlines()[1].endswith("x")
+
+    def test_max_rounds_clamps_horizon(self):
+        trace = Trace(events=[_delivery(r) for r in (1, 2, 3, 4, 5)])
+        art = trace.render_timeline([(0, 1)], max_rounds=3)
+        header, row = art.splitlines()
+        assert header.endswith("123")
+        assert row.endswith("###")
+
+    def test_unlisted_edges_not_rendered(self):
+        trace = Trace(events=[_delivery(1), _delivery(1, src=5, dst=6)])
+        art = trace.render_timeline([(0, 1)])
+        assert len(art.splitlines()) == 2
+        assert "5" not in art.splitlines()[1]

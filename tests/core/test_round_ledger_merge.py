@@ -1,0 +1,68 @@
+"""Tests for RoundLedger.merge: prefixes and phase-key collision control."""
+
+import pytest
+
+from repro.core.cost import RoundLedger
+
+
+def _ledger(*charges):
+    ledger = RoundLedger()
+    for phase, rounds in charges:
+        ledger.charge(phase, rounds)
+    return ledger
+
+
+class TestMergePrefix:
+    def test_prefix_applied_to_every_incoming_phase(self):
+        parent = _ledger(("setup", 5))
+        child = _ledger(("bfs", 3), ("echo", 2))
+        parent.merge(child, prefix="sub:")
+        assert parent.by_phase() == {"setup": 5, "sub:bfs": 3, "sub:echo": 2}
+        assert parent.total == 10
+
+    def test_empty_prefix_keeps_keys(self):
+        parent = _ledger(("a", 1))
+        parent.merge(_ledger(("b", 2)))
+        assert parent.by_phase() == {"a": 1, "b": 2}
+
+    def test_child_unmodified(self):
+        child = _ledger(("x", 1))
+        _ledger(("a", 1)).merge(child, prefix="p:")
+        assert child.charges == [("x", 1)]
+
+
+class TestMergeCollisions:
+    def test_default_add_aggregates_shared_keys(self):
+        parent = _ledger(("setup", 5))
+        parent.merge(_ledger(("setup", 3)))
+        # Both charges survive in the list; by_phase adds them.
+        assert parent.charges == [("setup", 5), ("setup", 3)]
+        assert parent.by_phase() == {"setup": 8}
+
+    def test_error_mode_raises_on_collision(self):
+        parent = _ledger(("sub:bfs", 5), ("other", 1))
+        child = _ledger(("bfs", 3))
+        with pytest.raises(ValueError, match="sub:bfs"):
+            parent.merge(child, prefix="sub:", on_collision="error")
+
+    def test_error_mode_lists_every_colliding_key(self):
+        parent = _ledger(("b", 1), ("a", 1))
+        child = _ledger(("a", 2), ("b", 2), ("c", 2))
+        with pytest.raises(ValueError, match=r"\['a', 'b'\]"):
+            parent.merge(child, on_collision="error")
+
+    def test_error_mode_leaves_parent_untouched_on_collision(self):
+        parent = _ledger(("a", 1))
+        child = _ledger(("a", 2), ("b", 2))
+        with pytest.raises(ValueError):
+            parent.merge(child, on_collision="error")
+        assert parent.charges == [("a", 1)]
+
+    def test_error_mode_passes_when_disjoint(self):
+        parent = _ledger(("a", 1))
+        parent.merge(_ledger(("a", 2)), prefix="sub:", on_collision="error")
+        assert parent.by_phase() == {"a": 1, "sub:a": 2}
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_collision"):
+            _ledger().merge(_ledger(), on_collision="overwrite")

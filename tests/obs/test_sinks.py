@@ -1,0 +1,173 @@
+"""Tests for the shipped sinks: memory, metrics, and the JSONL stream."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JSONLSink,
+    MemorySink,
+    MetricsSink,
+    Recorder,
+    validate_jsonl,
+)
+from repro.obs.jsonl import SCHEMA
+
+
+def _emit_sample(rec: Recorder) -> None:
+    """A small but complete event stream: every kind, two spans."""
+    with rec.span("setup"):
+        rec.charge("setup:bfs", 10)
+    with rec.span("query"):
+        rec.round(1, 2, 16)
+        rec.deliver(1, 0, 1, 8, value=5)
+        rec.deliver(1, 1, 2, 8, value=None)
+        rec.round(2, 1, 4)
+        rec.deliver(2, 0, 1, 4)
+        rec.fault("drop", 2, 1, 0, 8)
+        rec.fault("drop", 2, 2, 1, 8)
+        rec.fault("delay", 3, 0, 1, 4)
+        rec.query_batch(16, label="grover")
+        rec.query_batch(8, label="grover")
+        rec.charge("batch:grover", 7)
+        rec.charge("batch:grover", 3)
+
+
+class TestMemorySink:
+    def test_order_and_kind_filter(self):
+        sink = MemorySink()
+        _emit_sample(Recorder([sink]))
+        assert len(sink.events_of_kind("deliver")) == 3
+        assert len(sink.events_of_kind("fault")) == 3
+        assert len(sink.events_of_kind("span")) == 4  # 2 spans x begin/end
+        # Emission order is preserved.
+        deliver_rounds = [e.round_no for e in sink.events_of_kind("deliver")]
+        assert deliver_rounds == [1, 1, 2]
+
+
+class TestMetricsSink:
+    def test_aggregation(self):
+        metrics = MetricsSink()
+        _emit_sample(Recorder([metrics]))
+        assert metrics.engine_rounds == 2
+        assert metrics.messages == 3
+        assert metrics.bits == 20
+        assert metrics.fault_counts == {"drop": 2, "delay": 1}
+        assert metrics.total_faults == 3
+        assert metrics.query_batches == 2
+        assert metrics.total_queries == 24
+        assert metrics.batches_by_label == {"grover": 2}
+        assert metrics.charges_by_phase == {"setup:bfs": 10, "batch:grover": 10}
+        assert metrics.total_charged == 20
+        assert metrics.phase_span == {"setup:bfs": "setup", "batch:grover": "query"}
+        assert metrics.charged_by_span == {"setup": 10, "query": 10}
+        assert metrics.span_names == ["setup", "query"]
+
+    def test_busiest_edge(self):
+        metrics = MetricsSink()
+        _emit_sample(Recorder([metrics]))
+        edge, bits = metrics.busiest_edge()
+        assert edge == (0, 1) and bits == 12
+
+    def test_busiest_edge_tie_breaks_to_lowest_edge(self):
+        metrics = MetricsSink()
+        rec = Recorder([metrics])
+        # (2, 3) first, then (0, 1): both carry 8 bits.
+        rec.deliver(1, 2, 3, 8)
+        rec.deliver(2, 0, 1, 8)
+        assert metrics.busiest_edge() == ((0, 1), 8)
+
+    def test_busiest_edge_empty(self):
+        assert MetricsSink().busiest_edge() == (None, 0)
+
+    def test_summary_is_plain_data(self):
+        metrics = MetricsSink()
+        _emit_sample(Recorder([metrics]))
+        summary = metrics.summary()
+        assert summary["engine_rounds"] == 2
+        assert summary["busiest_edge"] == (0, 1)
+        assert summary["charged_rounds"] == 20
+
+
+class TestJSONL:
+    def test_round_trip_validates(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        rec = Recorder([JSONLSink(path)])
+        _emit_sample(rec)
+        rec.close()
+        counts = validate_jsonl(path)
+        assert counts == {
+            "meta": 1, "span": 4, "charge": 3, "round": 2,
+            "deliver": 3, "fault": 3, "query_batch": 2,
+        }
+
+    def test_header_is_schema_meta(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        rec = Recorder([JSONLSink(path)])
+        rec.close()
+        first = json.loads(open(path).read().splitlines()[0])
+        assert first == {"type": "meta", "schema": SCHEMA}
+
+    def test_non_jsonable_value_coerced(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        rec = Recorder([JSONLSink(path)])
+        rec.deliver(1, 0, 1, 8, value=object())
+        rec.close()
+        validate_jsonl(path)  # the value column never breaks the schema
+
+    def test_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "round", "round": 1, "messages": 0, '
+                        '"bits": 0, "span": ""}\n')
+        with pytest.raises(ValueError, match="meta header"):
+            validate_jsonl(str(path))
+
+    def test_rejects_unknown_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "schema": SCHEMA}) + "\n"
+            + '{"type": "warp", "span": ""}\n'
+        )
+        with pytest.raises(ValueError, match="unknown type"):
+            validate_jsonl(str(path))
+
+    def test_rejects_missing_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "schema": SCHEMA}) + "\n"
+            + '{"type": "charge", "phase": "x", "span": ""}\n'  # no rounds
+        )
+        with pytest.raises(ValueError, match="missing 'rounds'"):
+            validate_jsonl(str(path))
+
+    def test_rejects_mistyped_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "schema": SCHEMA}) + "\n"
+            + '{"type": "charge", "phase": "x", "rounds": "12", "span": ""}\n'
+        )
+        with pytest.raises(ValueError, match="should be int"):
+            validate_jsonl(str(path))
+
+    def test_rejects_bool_masquerading_as_int(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "schema": SCHEMA}) + "\n"
+            + '{"type": "charge", "phase": "x", "rounds": true, "span": ""}\n'
+        )
+        with pytest.raises(ValueError, match="should be int"):
+            validate_jsonl(str(path))
+
+    def test_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "schema": SCHEMA}) + "\n{not json\n"
+        )
+        with pytest.raises(ValueError, match="not valid JSON"):
+            validate_jsonl(str(path))
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty stream"):
+            validate_jsonl(str(path))

@@ -28,6 +28,33 @@ class TestCLI:
         assert main(["run", "E15", "--seed", "3"]) == 0
 
 
+class TestTraceCommand:
+    def test_trace_prints_cost_breakdown(self, capsys):
+        assert main(["trace", "E15"]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase cost breakdown" in out
+        assert "(total charged)" in out
+        assert "query batches" in out
+
+    def test_trace_lowercase_accepted(self, capsys):
+        assert main(["trace", "e15"]) == 0
+
+    def test_trace_jsonl_written_and_validated(self, capsys, tmp_path):
+        from repro.obs.jsonl import validate_jsonl
+
+        path = str(tmp_path / "trace.jsonl")
+        assert main(["trace", "E15", "--jsonl", path]) == 0
+        out = capsys.readouterr().out
+        assert "records valid" in out
+        counts = validate_jsonl(path)
+        assert counts["meta"] == 1
+
+    def test_trace_unknown_experiment(self, capsys):
+        assert main(["trace", "E99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+
+
 class TestBoundsCommand:
     def test_bounds_renders(self, capsys):
         assert main(["bounds"]) == 0
