@@ -13,6 +13,13 @@ Usage::
                                          # run one experiment under the
                                          # observability spine and print
                                          # its per-phase cost breakdown
+    python -m repro verify --jobs 4      # check every reproduction
+                                         # criterion, fanned across
+                                         # worker processes
+    python -m repro verify --jobs 4 --resume verify.ckpt.jsonl
+                                         # ... checkpointing completed
+                                         # experiments so a killed sweep
+                                         # resumes where it stopped
 """
 
 from __future__ import annotations
@@ -77,7 +84,43 @@ def main(argv=None) -> int:
         "--workload", action="append", dest="workloads", default=None,
         metavar="NAME",
         help="run only this workload (repeatable): engine, gates, "
-        "framework, obs",
+        "framework, obs, parallel",
+    )
+    verify_parser = sub.add_parser(
+        "verify",
+        help="run the reproduction criteria sweep (optionally in "
+        "parallel worker processes with checkpoint/resume)",
+    )
+    verify_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = in-process serial sweep)",
+    )
+    verify_parser.add_argument(
+        "--only", nargs="+", default=None, metavar="EXP",
+        help="verify only these experiment ids (e.g. --only E1 E13 E15)",
+    )
+    verify_parser.add_argument("--full", action="store_true",
+                               help="full (non-quick) sweeps")
+    verify_parser.add_argument("--seed", type=int, default=0)
+    verify_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-experiment wall-clock budget; over-budget tasks are "
+        "terminated, retried, then reported as failures",
+    )
+    verify_parser.add_argument(
+        "--retries", type=int, default=1,
+        help="re-attempts per experiment after a failure or timeout",
+    )
+    verify_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="JSONL checkpoint file; completed experiments recorded "
+        "there are replayed instead of re-run (the file is created on "
+        "first use)",
+    )
+    verify_parser.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="run instrumented and merge every worker's trace shard "
+        "into one repro-trace/1 stream at PATH",
     )
     trace_parser = sub.add_parser(
         "trace",
@@ -120,6 +163,52 @@ def main(argv=None) -> int:
         print(format_summary(report))
         print(f"(wrote {args.out} in {time.time() - start:.1f}s)")
         return 0
+
+    if args.command == "verify":
+        from .obs.jsonl import validate_jsonl
+        from .parallel import TaskFailure
+        from .parallel.verify import verify_parallel
+
+        targets = (
+            [t.upper() for t in args.only] if args.only is not None else None
+        )
+        if targets:
+            unknown = [t for t in targets if t not in ALL_EXPERIMENTS]
+            if unknown:
+                print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+                print(f"available: {list(ALL_EXPERIMENTS)}", file=sys.stderr)
+                return 2
+        start = time.time()
+        sweep = verify_parallel(
+            quick=not args.full,
+            seed=args.seed,
+            only=targets,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            checkpoint=args.resume,
+            jsonl_path=args.jsonl,
+        )
+        failed = 0
+        for verdict in sweep.verdicts:
+            if isinstance(verdict, TaskFailure):
+                failed += 1
+                print(f"{verdict.key:>4}  ERROR  {verdict}")
+            else:
+                status = "ok" if verdict.passed else "FAIL"
+                if not verdict.passed:
+                    failed += 1
+                print(f"{verdict.experiment:>4}  {status:<5} {verdict.detail}")
+        if args.jsonl is not None and sweep.jsonl_path is not None:
+            counts = validate_jsonl(sweep.jsonl_path)
+            total = sum(counts.values())
+            print(f"wrote {sweep.jsonl_path}: {total} records valid")
+        n = len(sweep.verdicts)
+        print(
+            f"({n - failed}/{n} criteria ok, jobs={args.jobs}, "
+            f"{time.time() - start:.1f}s)"
+        )
+        return 1 if failed else 0
 
     if args.command == "trace":
         from .analysis.report import cost_breakdown_table

@@ -39,6 +39,7 @@ from ..faults import (
     resilient_leader,
     run_with_faults,
 )
+from ..parallel.seeds import derive_seed
 
 #: Convergecast value domain (fits comfortably next to the resilience
 #: frame header within the default CONGEST bandwidth).
@@ -104,10 +105,13 @@ def run(quick: bool = True, seed: int = 0) -> E19Result:
     overheads: Dict[float, float] = {}
     for i, p in enumerate(losses):
         model = BernoulliLoss(p)
-        fault_seed = seed * 1000 + i
-
+        # One independent fault stream per (root seed, sweep point,
+        # algorithm) — derive_seed replaces the old `seed * 1000 + i`
+        # (+500/+900 offsets) arithmetic, whose streams collided across
+        # adjacent root seeds.
         bfs_res, bfs_run = resilient_bfs(
-            net, root, fault_model=model, seed=seed, fault_seed=fault_seed
+            net, root, fault_model=model, seed=seed,
+            fault_seed=derive_seed(seed, "E19", "bfs", i),
         )
         bfs_ok = (
             bfs_res.dist == truth_dist and bfs_res.eccentricity == truth_ecc
@@ -116,13 +120,13 @@ def run(quick: bool = True, seed: int = 0) -> E19Result:
         agg, conv_run = resilient_convergecast(
             net, tree, values, max, VALUE_DOMAIN,
             fault_model=BernoulliLoss(p),
-            seed=seed, fault_seed=fault_seed + 500,
+            seed=seed, fault_seed=derive_seed(seed, "E19", "convergecast", i),
         )
         conv_ok = agg == truth_agg
 
         leader, leader_run = resilient_leader(
             net, fault_model=BernoulliLoss(p),
-            seed=seed, fault_seed=fault_seed + 900,
+            seed=seed, fault_seed=derive_seed(seed, "E19", "leader", i),
         )
         leader_ok = leader == net.n - 1
 

@@ -139,9 +139,25 @@ def run_instrumented(
 def verify_experiment(
     experiment: str, quick: bool = True, seed: int = 0
 ) -> Verdict:
-    """Run one experiment and evaluate its reproduction criterion."""
+    """Run one experiment and evaluate its reproduction criterion.
+
+    Both registries are validated *before* the (possibly expensive)
+    run: an experiment registered in ``ALL_EXPERIMENTS`` but missing
+    from ``CRITERIA`` — the exact drift a newly added E20 would cause —
+    is reported as such up front instead of surfacing as a bare
+    ``KeyError`` after minutes of sweep work.
+    """
     if experiment not in ALL_EXPERIMENTS:
-        raise KeyError(f"unknown experiment {experiment!r}")
+        raise KeyError(
+            f"unknown experiment {experiment!r}; "
+            f"available: {list(ALL_EXPERIMENTS)}"
+        )
+    if experiment not in CRITERIA:
+        raise KeyError(
+            f"experiment {experiment!r} is registered in ALL_EXPERIMENTS "
+            f"but has no reproduction criterion in CRITERIA; add one to "
+            f"repro.experiments.runner.CRITERIA before verifying it"
+        )
     result = ALL_EXPERIMENTS[experiment].run(quick=quick, seed=seed)
     passed, detail = CRITERIA[experiment](result)
     return Verdict(experiment=experiment, passed=passed, detail=detail)
@@ -151,8 +167,37 @@ def verify_all(
     quick: bool = True,
     seed: int = 0,
     only: Optional[List[str]] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    checkpoint: Optional[str] = None,
 ) -> List[Verdict]:
     """Run every experiment (or ``only`` the listed ones) and check all
-    reproduction criteria."""
+    reproduction criteria.
+
+    With ``jobs > 1`` the sweep fans out across worker processes via
+    :mod:`repro.parallel`; verdicts are bit-identical to the serial run
+    and come back in the same order.  ``timeout``/``retries`` bound each
+    task (an exhausted task yields a
+    :class:`~repro.parallel.executor.TaskFailure` in its slot instead of
+    killing the sweep), and ``checkpoint`` names a JSONL file that lets
+    an interrupted sweep resume from its completed experiments.
+    """
     targets = only if only is not None else list(ALL_EXPERIMENTS)
-    return [verify_experiment(name, quick=quick, seed=seed) for name in targets]
+    if jobs == 1 and timeout is None and checkpoint is None:
+        return [
+            verify_experiment(name, quick=quick, seed=seed)
+            for name in targets
+        ]
+    from ..parallel.verify import verify_parallel
+
+    sweep = verify_parallel(
+        quick=quick,
+        seed=seed,
+        only=targets,
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        checkpoint=checkpoint,
+    )
+    return sweep.verdicts

@@ -13,6 +13,7 @@ from typing import List
 
 from ..analysis.report import ExperimentTable
 from ..congest import topologies
+from ..parallel.seeds import derive_seed
 from ..congest.algorithms.aggregate import aggregate_single
 from ..congest.algorithms.bfs import bfs_with_echo
 from ..congest.algorithms.leader import elect_leader
@@ -84,7 +85,10 @@ def fault_sweep(
     )
     for i, p in enumerate(losses):
         fault_model = _make_model(model, p)
-        fault_seed = seed * 1000 + i
+        # derive_seed, not `seed * 1000 + i`: the old arithmetic made
+        # (seed=0, i=1000) collide with (seed=1, i=0), so adjacent root
+        # seeds shared fault streams across sweep points.
+        fault_seed = derive_seed(seed, "fault_sweep", algorithm, model, i)
         if algorithm == "bfs":
             res, run = resilient_bfs(
                 net, root, fault_model=fault_model,

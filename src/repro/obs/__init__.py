@@ -39,7 +39,7 @@ from .events import (
     SpanEvent,
     to_json,
 )
-from .jsonl import SCHEMA, JSONLSink, validate_jsonl
+from .jsonl import SCHEMA, JSONLSink, merge_jsonl_shards, validate_jsonl
 from .recorder import (
     NULL_RECORDER,
     NullRecorder,
@@ -73,6 +73,7 @@ __all__ = [
     "SpanEvent",
     "current_recorder",
     "install",
+    "merge_jsonl_shards",
     "to_json",
     "validate_jsonl",
 ]

@@ -14,7 +14,7 @@ schema with :func:`validate_jsonl`.
 from __future__ import annotations
 
 import json
-from typing import Dict
+from typing import Dict, Iterable
 
 from .events import (
     CHARGE,
@@ -56,6 +56,50 @@ class JSONLSink(Sink):
     def close(self) -> None:
         if not self._fh.closed:
             self._fh.close()
+
+
+def merge_jsonl_shards(shards: Iterable[str], out_path: str) -> int:
+    """Stitch per-task ``repro-trace/1`` shards into one valid stream.
+
+    Parallel sweep workers each write their own JSONL shard (one meta
+    header plus that task's events).  This concatenates the shards'
+    event records under a single header, in shard order, so the merged
+    file passes :func:`validate_jsonl` exactly like a one-process trace.
+    Event order *within* a shard is preserved; shards are separated
+    streams, so no cross-shard interleaving is lost.
+
+    Each shard is validated as it is read: a shard with a missing or
+    mismatched schema header is an error (it would silently poison the
+    merged stream otherwise).
+
+    Returns the number of event records written (excluding the header).
+    """
+    written = 0
+    with open(out_path, "w") as out:
+        out.write(json.dumps({"type": "meta", "schema": SCHEMA}) + "\n")
+        for shard in shards:
+            with open(shard) as fh:
+                header = fh.readline().strip()
+                try:
+                    meta = json.loads(header) if header else None
+                except json.JSONDecodeError:
+                    meta = None
+                if (
+                    not isinstance(meta, dict)
+                    or meta.get("type") != "meta"
+                    or meta.get("schema") != SCHEMA
+                ):
+                    raise ValueError(
+                        f"{shard}: not a {SCHEMA!r} stream (bad header "
+                        f"{header!r})"
+                    )
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    out.write(line + "\n")
+                    written += 1
+    return written
 
 
 def validate_jsonl(path: str) -> Dict[str, int]:

@@ -99,6 +99,103 @@ class MetricsSink(Sink):
             if event.phase == "begin" and event.span not in self.span_names:
                 self.span_names.append(event.span)
 
+    # -- cross-process merge --------------------------------------------
+
+    def merge(self, other: "MetricsSink") -> "MetricsSink":
+        """Fold another sink's counters into this one, in place.
+
+        The invariant: merging equals handling.  After
+        ``a.merge(b)``, ``a`` holds exactly what it would hold had it
+        handled ``b``'s event stream after its own — counters sum,
+        per-key dicts sum per key, ``engine_rounds`` takes the max
+        (``handle`` tracks the highest round number seen, and round
+        counters restart per engine run), first-span attribution keeps
+        the earlier sink's answer, and span names append in order
+        without duplicates.  This is what stitches per-task
+        :class:`MetricsSink` shards from parallel sweep workers into
+        the single registry a one-process run would have produced.
+
+        Returns ``self`` so merges chain/reduce.
+        """
+        self.engine_rounds = max(self.engine_rounds, other.engine_rounds)
+        self.messages += other.messages
+        self.bits += other.bits
+        for edge, bits in other.edge_bits.items():
+            self.edge_bits[edge] = self.edge_bits.get(edge, 0) + bits
+        for fault, count in other.fault_counts.items():
+            self.fault_counts[fault] = self.fault_counts.get(fault, 0) + count
+        self.query_batches += other.query_batches
+        self.total_queries += other.total_queries
+        for label, count in other.batches_by_label.items():
+            self.batches_by_label[label] = (
+                self.batches_by_label.get(label, 0) + count
+            )
+        self.charge_events += other.charge_events
+        for phase, rounds in other.charges_by_phase.items():
+            self.charges_by_phase[phase] = (
+                self.charges_by_phase.get(phase, 0) + rounds
+            )
+        for phase, span in other.phase_span.items():
+            self.phase_span.setdefault(phase, span)
+        for span, rounds in other.charged_by_span.items():
+            self.charged_by_span[span] = (
+                self.charged_by_span.get(span, 0) + rounds
+            )
+        for name in other.span_names:
+            if name not in self.span_names:
+                self.span_names.append(name)
+        return self
+
+    # -- checkpoint serialization ---------------------------------------
+
+    def to_state(self) -> Dict[str, Any]:
+        """Lossless JSON-safe snapshot of every counter.
+
+        Unlike :meth:`summary` (a human-facing digest), this round-trips
+        through :meth:`from_state` exactly; edge keys are rendered as
+        ``"src,dst"`` strings because JSON objects cannot key on tuples.
+        """
+        return {
+            "engine_rounds": self.engine_rounds,
+            "messages": self.messages,
+            "bits": self.bits,
+            "edge_bits": {
+                f"{src},{dst}": bits
+                for (src, dst), bits in self.edge_bits.items()
+            },
+            "fault_counts": dict(self.fault_counts),
+            "query_batches": self.query_batches,
+            "total_queries": self.total_queries,
+            "batches_by_label": dict(self.batches_by_label),
+            "charge_events": self.charge_events,
+            "charges_by_phase": dict(self.charges_by_phase),
+            "phase_span": dict(self.phase_span),
+            "charged_by_span": dict(self.charged_by_span),
+            "span_names": list(self.span_names),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "MetricsSink":
+        """Rebuild a sink from a :meth:`to_state` snapshot."""
+        sink = cls()
+        sink.engine_rounds = state["engine_rounds"]
+        sink.messages = state["messages"]
+        sink.bits = state["bits"]
+        sink.edge_bits = {
+            tuple(int(part) for part in key.split(",")): bits
+            for key, bits in state["edge_bits"].items()
+        }
+        sink.fault_counts = dict(state["fault_counts"])
+        sink.query_batches = state["query_batches"]
+        sink.total_queries = state["total_queries"]
+        sink.batches_by_label = dict(state["batches_by_label"])
+        sink.charge_events = state["charge_events"]
+        sink.charges_by_phase = dict(state["charges_by_phase"])
+        sink.phase_span = dict(state["phase_span"])
+        sink.charged_by_span = dict(state["charged_by_span"])
+        sink.span_names = list(state["span_names"])
+        return sink
+
     # -- derived --------------------------------------------------------
 
     @property

@@ -1,0 +1,46 @@
+"""repro.parallel — the process-pool sweep executor.
+
+Everything in EXPERIMENTS.md comes from sweeps; this package is how
+those sweeps use more than one core without giving up reproducibility
+(DESIGN.md §6e):
+
+* :func:`derive_seed` — the single documented child-seed derivation
+  for sweep coordinates (replaces collision-prone ``seed * 1000 + i``
+  arithmetic),
+* :func:`run_parallel` — fan :class:`Task` lists across worker
+  processes with per-task timeout, bounded retry, a
+  :class:`TaskFailure` verdict instead of a sweep-killing exception,
+  and JSONL checkpoint/resume,
+* :func:`verify_parallel` — the verification sweep on top of it,
+  returning verdicts bit-identical to the serial ``verify_all`` plus
+  merged cross-process observability products.
+
+Quick tour::
+
+    from repro.parallel import derive_seed, verify_parallel
+
+    seed = derive_seed(0, "bfs", 0.05, 3)      # stable, collision-free
+    sweep = verify_parallel(jobs=4, checkpoint="verify.ckpt.jsonl")
+    assert not sweep.failures
+"""
+
+from .executor import (
+    CHECKPOINT_SCHEMA,
+    Task,
+    TaskFailure,
+    load_checkpoint,
+    run_parallel,
+)
+from .seeds import derive_seed
+from .verify import VerifySweep, verify_parallel
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "Task",
+    "TaskFailure",
+    "VerifySweep",
+    "derive_seed",
+    "load_checkpoint",
+    "run_parallel",
+    "verify_parallel",
+]

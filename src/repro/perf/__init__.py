@@ -11,7 +11,10 @@ Three workload families, matching the PR-2 optimization targets:
   warm vs cold),
 * :mod:`repro.perf.obs_bench` — observability-spine overhead (null
   recorder vs a dense metrics sink on engine flooding; enforces the
-  <5% disabled-path budget).
+  <5% disabled-path budget),
+* :mod:`repro.perf.parallel_bench` — the :mod:`repro.parallel` sweep
+  executor (serial vs multi-process ``verify_all`` on the quick
+  verification sweep; asserts verdict identity before timing).
 
 ``python -m repro bench`` runs all of them and writes ``BENCH_PR2.json``
 (schema documented in ``benchmarks/perf/README.md``);
@@ -33,12 +36,14 @@ from .harness import (
     write_report,
 )
 from .obs_bench import OVERHEAD_BUDGET, obs_overhead_workload
+from .parallel_bench import parallel_verify_workload
 
 WORKLOADS = {
     "engine": engine_flooding_workload,
     "gates": gate_throughput_workload,
     "framework": framework_repeat_workload,
     "obs": obs_overhead_workload,
+    "parallel": parallel_verify_workload,
 }
 
 
@@ -66,6 +71,7 @@ __all__ = [
     "gate_throughput_workload",
     "measure",
     "obs_overhead_workload",
+    "parallel_verify_workload",
     "run_all",
     "write_report",
 ]

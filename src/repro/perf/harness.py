@@ -48,15 +48,38 @@ class WorkloadResult:
 
     @property
     def best_speedup(self) -> Optional[float]:
+        """Largest *finite* sweep-point speedup, or None.
+
+        A ~0s baseline from :func:`measure` divides out to ``inf`` (and
+        a 0/0 to ``nan``); propagating those would mark the workload
+        "met" in :func:`build_report` on a degenerate measurement and
+        serialize as ``Infinity``/``NaN`` — which is not valid JSON —
+        so non-finite entries are excluded here.
+        """
         speedups = [
-            entry["speedup"] for entry in self.sweep if "speedup" in entry
+            entry["speedup"]
+            for entry in self.sweep
+            if "speedup" in entry and math.isfinite(entry["speedup"])
         ]
         return max(speedups) if speedups else None
 
     def to_json(self) -> Dict[str, Any]:
+        # Non-finite floats in raw sweep entries become null: JSON has
+        # no Infinity/NaN, and write_report rejects them outright.
+        sweep = [
+            {
+                key: (
+                    None
+                    if isinstance(value, float) and not math.isfinite(value)
+                    else value
+                )
+                for key, value in entry.items()
+            }
+            for entry in self.sweep
+        ]
         return {
             "description": self.description,
-            "sweep": self.sweep,
+            "sweep": sweep,
             "best_speedup": self.best_speedup,
         }
 
@@ -86,9 +109,16 @@ def build_report(
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:
-    """Write a bench report as stable (sorted, indented) JSON."""
+    """Write a bench report as stable (sorted, indented) JSON.
+
+    ``allow_nan=False`` makes a non-finite value anywhere in the report
+    a hard error at write time instead of silently emitting the
+    ``Infinity``/``NaN`` extensions no strict JSON parser accepts.
+    Summary fields are already finite (``best_speedup`` filters), but
+    raw sweep entries could still smuggle one in.
+    """
     with open(path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
+        json.dump(report, fh, indent=2, sort_keys=True, allow_nan=False)
         fh.write("\n")
 
 

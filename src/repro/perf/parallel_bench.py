@@ -1,0 +1,133 @@
+"""Parallel sweep executor speedup on the quick verification sweep.
+
+The workload ``python -m repro bench --workload parallel`` guards: fan
+the quick-mode verification sweep across worker processes and compare
+wall time against the serial loop.  Before timing, the serial and
+parallel verdict lists are asserted identical — the executor's hard
+contract — so the benchmark doubles as a cross-process determinism
+smoke test.
+
+The speedup ceiling is min(worker count, available cores, critical
+path): the sweep cannot beat its longest single experiment (E10
+dominates the full quick sweep), and CPU-bound workers cannot exceed
+the host's core count — on a 1-CPU box the honest answer is ~1.0x, so
+every sweep entry records ``cpus`` and the smoke test gates the >1.5x
+jobs=4 bar on having the cores to clear it.  The ``fanout`` entries are
+the hardware-independent complement: sleep-based tasks measure the
+executor's *concurrency* (dispatch + collection overhead) without
+competing for cores, so they prove the pool genuinely overlaps tasks
+even where a CPU-bound speedup is physically impossible.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List
+
+from .harness import WorkloadResult, measure
+
+#: Cheap experiments for --quick mode (a correctness smoke, not a perf
+#: claim: tasks this short are dominated by process fan-out overhead).
+_QUICK_TARGETS = ["E1", "E4", "E13", "E15", "E16", "E17"]
+
+
+def _verdict_tuples(verdicts) -> List[tuple]:
+    return [(v.experiment, v.passed, v.detail) for v in verdicts]
+
+
+def _cpus() -> int:
+    """Cores actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+def _nap(seconds: float) -> float:
+    """Module-level sleep task (workers need a picklable callable)."""
+    time.sleep(seconds)
+    return seconds
+
+
+def _fanout_entry(jobs: int, nap_s: float = 0.2) -> dict:
+    """Concurrency probe: ``jobs`` sleep tasks should take ~one nap.
+
+    Sleeps do not compete for cores, so wall time near ``nap_s`` (vs the
+    serial ``jobs * nap_s``) demonstrates real task overlap plus the
+    executor's full dispatch/collect overhead, on any hardware.  The
+    ratio is reported as ``fanout_speedup`` (not ``speedup``) so the
+    workload's ``best_speedup`` reflects only genuine CPU-bound wins.
+    """
+    from ..parallel import Task, run_parallel
+
+    tasks = [
+        Task(key=f"nap{i}", fn=_nap, kwargs={"seconds": nap_s})
+        for i in range(jobs)
+    ]
+    start = time.perf_counter()
+    run_parallel(tasks, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    return {
+        "fanout_tasks": jobs,
+        "jobs": jobs,
+        "nap_s": nap_s,
+        "wall_s": elapsed,
+        "fanout_speedup": (jobs * nap_s) / elapsed,
+    }
+
+
+def parallel_verify_workload(quick: bool = False) -> WorkloadResult:
+    """Time serial vs parallel ``verify_all`` on the quick-mode sweep."""
+    from ..experiments import ALL_EXPERIMENTS
+    from ..experiments.runner import verify_all
+
+    targets = _QUICK_TARGETS if quick else list(ALL_EXPERIMENTS)
+    job_counts = [2] if quick else [2, 4]
+
+    result = WorkloadResult(
+        name="parallel_verify",
+        description=(
+            "quick-mode verification sweep, serial vs the repro.parallel "
+            "process-pool executor (identical verdicts asserted before "
+            "timing)"
+        ),
+    )
+
+    serial = verify_all(quick=True, only=targets)
+    for jobs in job_counts:
+        parallel = verify_all(quick=True, only=targets, jobs=jobs)
+        if _verdict_tuples(serial) != _verdict_tuples(parallel):
+            raise AssertionError(
+                f"parallel verdicts diverge from serial at jobs={jobs}: "
+                f"{_verdict_tuples(parallel)} vs {_verdict_tuples(serial)}"
+            )
+    t_serial = measure(
+        lambda: verify_all(quick=True, only=targets), reps=1, warmup=0
+    )
+    cpus = _cpus()
+    for jobs in job_counts:
+        t_parallel = measure(
+            lambda jobs=jobs: verify_all(quick=True, only=targets, jobs=jobs),
+            reps=1, warmup=0,
+        )
+        result.sweep.append({
+            "experiments": len(targets),
+            "jobs": jobs,
+            "cpus": cpus,
+            "serial_s": t_serial,
+            "parallel_s": t_parallel,
+            "speedup": t_serial / t_parallel,
+        })
+    for jobs in job_counts:
+        result.sweep.append(_fanout_entry(jobs))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual convenience
+    start = time.perf_counter()
+    wl = parallel_verify_workload()
+    for entry in wl.sweep:
+        print(entry)
+    print(f"best speedup {wl.best_speedup:.2f}x "
+          f"({time.perf_counter() - start:.1f}s total)")

@@ -1,0 +1,132 @@
+"""Cross-process merge primitives: MetricsSink.merge / to_state, and
+JSONL shard stitching.
+
+The merge invariant under test: ``a.merge(b)`` must leave ``a`` exactly
+as if it had handled ``b``'s event stream after its own.
+"""
+
+import pytest
+
+from repro.obs import (
+    ChargeEvent,
+    DeliverEvent,
+    FaultEvent,
+    JSONLSink,
+    MetricsSink,
+    QueryBatchEvent,
+    RoundEvent,
+    SpanEvent,
+    validate_jsonl,
+)
+from repro.obs.jsonl import merge_jsonl_shards
+
+STREAM_A = [
+    SpanEvent(name="setup", phase="begin", span="setup"),
+    RoundEvent(round_no=1, messages=2, bits=16, span="setup"),
+    DeliverEvent(round_no=1, src=0, dst=1, bits=8, span="setup"),
+    DeliverEvent(round_no=1, src=1, dst=0, bits=8, span="setup"),
+    ChargeEvent(phase="query", rounds=3, span="setup"),
+    QueryBatchEvent(size=4, label="grover", span="setup"),
+    FaultEvent(fault="drop", round_no=1, src=0, dst=1, span="setup"),
+    SpanEvent(name="setup", phase="end", span="setup"),
+]
+
+STREAM_B = [
+    SpanEvent(name="sweep", phase="begin", span="sweep"),
+    RoundEvent(round_no=5, messages=1, bits=4, span="sweep"),
+    DeliverEvent(round_no=5, src=0, dst=1, bits=4, span="sweep"),
+    ChargeEvent(phase="query", rounds=2, span="sweep"),
+    ChargeEvent(phase="uncompute", rounds=1, span="sweep"),
+    QueryBatchEvent(size=2, label="grover", span="sweep"),
+    QueryBatchEvent(size=1, label="minimum", span="sweep"),
+    FaultEvent(fault="corrupt", round_no=5, src=1, dst=0, span="sweep"),
+    SpanEvent(name="sweep", phase="end", span="sweep"),
+]
+
+
+def _sink(events):
+    sink = MetricsSink()
+    for event in events:
+        sink.handle(event)
+    return sink
+
+
+class TestMetricsSinkMerge:
+    def test_merging_equals_handling(self):
+        merged = _sink(STREAM_A).merge(_sink(STREAM_B))
+        sequential = _sink(STREAM_A + STREAM_B)
+        assert merged.summary() == sequential.summary()
+        assert merged.edge_bits == sequential.edge_bits
+        assert merged.phase_span == sequential.phase_span
+        assert merged.batches_by_label == sequential.batches_by_label
+        assert merged.charge_events == sequential.charge_events
+
+    def test_engine_rounds_take_the_max_not_the_sum(self):
+        # Round counters restart per engine run: a one-process sink
+        # tracking two runs holds the max, so merge must too.
+        merged = _sink(STREAM_A).merge(_sink(STREAM_B))
+        assert merged.engine_rounds == 5
+
+    def test_merge_is_order_sensitive_only_where_handling_is(self):
+        ab = _sink(STREAM_A).merge(_sink(STREAM_B))
+        ba = _sink(STREAM_B).merge(_sink(STREAM_A))
+        # Counters commute; first-span attribution and span order do
+        # not (exactly like handling the streams in the other order).
+        assert ab.messages == ba.messages
+        assert ab.total_charged == ba.total_charged
+        assert ab.phase_span["query"] == "setup"
+        assert ba.phase_span["query"] == "sweep"
+
+    def test_merge_returns_self_for_reduction(self):
+        sink = MetricsSink()
+        assert sink.merge(_sink(STREAM_A)) is sink
+
+    def test_state_round_trip(self):
+        sink = _sink(STREAM_A + STREAM_B)
+        clone = MetricsSink.from_state(sink.to_state())
+        assert clone.summary() == sink.summary()
+        assert clone.edge_bits == sink.edge_bits  # tuple keys restored
+
+    def test_state_is_json_safe(self):
+        import json
+
+        state = _sink(STREAM_A).to_state()
+        assert json.loads(json.dumps(state)) == state
+
+
+class TestShardMerge:
+    def _write_shard(self, path, events):
+        sink = JSONLSink(str(path))
+        for event in events:
+            sink.handle(event)
+        sink.close()
+
+    def test_shards_stitch_into_one_valid_stream(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write_shard(a, STREAM_A)
+        self._write_shard(b, STREAM_B)
+        out = tmp_path / "merged.jsonl"
+        written = merge_jsonl_shards([str(a), str(b)], str(out))
+        assert written == len(STREAM_A) + len(STREAM_B)
+        counts = validate_jsonl(str(out))
+        assert counts["meta"] == 1
+        assert sum(counts.values()) - 1 == written
+        assert counts["deliver"] == 3
+        assert counts["charge"] == 3
+
+    def test_shard_order_is_preserved(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write_shard(a, STREAM_A)
+        self._write_shard(b, STREAM_B)
+        out = tmp_path / "merged.jsonl"
+        merge_jsonl_shards([str(a), str(b)], str(out))
+        spans = [
+            line for line in out.read_text().splitlines() if "span" in line
+        ]
+        assert "setup" in spans[0] and "sweep" in spans[-1]
+
+    def test_bad_shard_header_is_an_error(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "round", "round": 1}\n')
+        with pytest.raises(ValueError, match="bad header"):
+            merge_jsonl_shards([str(bad)], str(tmp_path / "out.jsonl"))

@@ -1,0 +1,68 @@
+"""derive_seed: the documented contract, plus the collision regression.
+
+The regression class: ``seed * 1000 + i`` aliased sweep coordinates
+across adjacent root seeds — ``(seed=0, i=1000)`` and ``(seed=1, i=0)``
+shared a fault stream.  These tests fail on that arithmetic and pin the
+hash-based replacement.
+"""
+
+import pytest
+
+from repro.parallel import derive_seed
+
+
+class TestCollisionRegression:
+    def test_the_old_arithmetic_did_collide(self):
+        # Documents the bug being regression-tested: the pre-fix
+        # derivation mapped these coordinates to the same stream.
+        assert 0 * 1000 + 1000 == 1 * 1000 + 0
+
+    def test_adjacent_seed_index_pairs_distinct(self):
+        assert derive_seed(0, 1000) != derive_seed(1, 0)
+        assert derive_seed(1, 1000) != derive_seed(2, 0)
+
+    def test_fault_sweep_coordinates_distinct(self):
+        # The exact coordinates faults.sweep derives with.
+        a = derive_seed(0, "fault_sweep", "bfs", "bernoulli", 1000)
+        b = derive_seed(1, "fault_sweep", "bfs", "bernoulli", 0)
+        assert a != b
+
+    def test_dense_grid_has_no_collisions(self):
+        seeds = {
+            derive_seed(s, i) for s in range(50) for i in range(50)
+        }
+        assert len(seeds) == 2500
+
+
+class TestContract:
+    def test_deterministic(self):
+        assert derive_seed(7, "x", 3) == derive_seed(7, "x", 3)
+
+    def test_pinned_values_are_stable(self):
+        # Golden values: derive_seed must be stable across processes,
+        # platforms, and releases (checkpoints and EXPERIMENTS.md
+        # sweeps depend on it).  A failure here means the derivation
+        # changed and every recorded sweep silently re-randomized.
+        assert derive_seed(0, 1000) == 1221175062812160334
+        assert derive_seed(1, 0) == 6097375986964779175
+
+    def test_range_fits_every_rng(self):
+        for coords in [(), (0,), ("a", 1, 0.5), (10**9,)]:
+            seed = derive_seed(-3, *coords)
+            assert 0 <= seed < 2**63
+
+    def test_coordinate_types_are_tagged_apart(self):
+        assert derive_seed(0, 1) != derive_seed(0, "1")
+        assert derive_seed(0, 1) != derive_seed(0, 1.0)
+        assert derive_seed(0, True) != derive_seed(0, 1)
+
+    def test_positions_are_separated(self):
+        assert derive_seed(0, "a", "bc") != derive_seed(0, "ab", "c")
+        assert derive_seed(0, 1, 23) != derive_seed(0, 12, 3)
+
+    def test_root_seed_matters(self):
+        assert derive_seed(0, "x") != derive_seed(1, "x")
+
+    def test_unsupported_coordinate_type_rejected(self):
+        with pytest.raises(TypeError):
+            derive_seed(0, object())

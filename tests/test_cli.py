@@ -55,6 +55,66 @@ class TestTraceCommand:
         assert "unknown" in err
 
 
+class TestVerifyCommand:
+    def test_verify_subset_serial(self, capsys):
+        assert main(["verify", "--only", "E15", "E17"]) == 0
+        out = capsys.readouterr().out
+        assert "E15" in out and "E17" in out
+        assert "2/2 criteria ok" in out
+
+    def test_verify_parallel_matches_serial_output(self, capsys):
+        assert main(["verify", "--only", "E15", "E17"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["verify", "--jobs", "2", "--only", "E15", "E17"]) == 0
+        parallel_out = capsys.readouterr().out
+        # Identical verdict lines; only the jobs= footer differs.
+        serial_lines = serial_out.splitlines()[:-1]
+        parallel_lines = parallel_out.splitlines()[:-1]
+        assert serial_lines == parallel_lines
+
+    def test_verify_lowercase_accepted(self, capsys):
+        assert main(["verify", "--only", "e15"]) == 0
+
+    def test_verify_unknown_experiment(self, capsys):
+        assert main(["verify", "--only", "E99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_verify_resume_checkpoint(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt.jsonl")
+        assert main(["verify", "--only", "E15", "--resume", ckpt]) == 0
+        capsys.readouterr()
+        import json
+
+        records = [
+            json.loads(line)
+            for line in open(ckpt).read().splitlines()
+        ]
+        assert records[0]["schema"] == "repro-checkpoint/1"
+        assert records[1]["key"] == "E15"
+        # Resuming replays without re-running (and still exits 0).
+        assert main(["verify", "--only", "E15", "--resume", ckpt]) == 0
+
+    def test_verify_jsonl_merged_trace(self, capsys, tmp_path):
+        from repro.obs.jsonl import validate_jsonl
+
+        path = str(tmp_path / "merged.jsonl")
+        assert main(
+            ["verify", "--jobs", "2", "--only", "E15", "E17",
+             "--jsonl", path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "records valid" in out
+        assert validate_jsonl(path)["meta"] == 1
+
+    def test_verify_timeout_failure_exits_nonzero(self, capsys):
+        assert main(
+            ["verify", "--only", "E13", "--timeout", "0.05",
+             "--retries", "0", "--jobs", "1"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "ERROR" in out
+
+
 class TestBoundsCommand:
     def test_bounds_renders(self, capsys):
         assert main(["bounds"]) == 0

@@ -1,0 +1,72 @@
+"""Perf-harness regressions: non-finite speedups must not leak.
+
+Pre-fix behavior being pinned down: a ~0s baseline from ``measure``
+produced ``speedup: inf``, which (a) made ``best_speedup`` infinite and
+marked the workload "met" in ``build_report``, and (b) serialized as
+``Infinity`` — a JSON extension no strict parser accepts.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.perf.harness import (
+    SPEEDUP_TARGET,
+    WorkloadResult,
+    build_report,
+    write_report,
+)
+
+
+def _workload(speedups):
+    wl = WorkloadResult(name="wl", description="test workload")
+    wl.sweep = [{"point": i, "speedup": s} for i, s in enumerate(speedups)]
+    return wl
+
+
+class TestBestSpeedup:
+    def test_non_finite_entries_are_ignored(self):
+        assert _workload([math.inf, 2.0, 1.0]).best_speedup == 2.0
+        assert _workload([math.nan, 1.5]).best_speedup == 1.5
+        assert _workload([-math.inf, 0.5]).best_speedup == 0.5
+
+    def test_all_non_finite_means_no_speedup(self):
+        assert _workload([math.inf, math.nan]).best_speedup is None
+
+    def test_finite_behavior_unchanged(self):
+        assert _workload([1.0, 3.5, 2.0]).best_speedup == 3.5
+        assert _workload([]).best_speedup is None
+
+
+class TestBuildReport:
+    def test_inf_does_not_mark_the_target_met(self):
+        report = build_report([_workload([math.inf])])
+        assert report["summary"]["workloads_meeting_target"] == []
+        assert report["summary"]["best_speedups"]["wl"] is None
+
+    def test_genuine_speedup_still_meets_the_target(self):
+        report = build_report([_workload([SPEEDUP_TARGET + 1.0])])
+        assert report["summary"]["workloads_meeting_target"] == ["wl"]
+
+
+class TestSerialization:
+    def test_report_with_inf_sweep_entry_is_valid_json(self, tmp_path):
+        report = build_report([_workload([math.inf, 2.0])])
+        path = tmp_path / "bench.json"
+        write_report(report, str(path))
+        text = path.read_text()
+        assert "Infinity" not in text and "NaN" not in text
+        parsed = json.loads(text)
+        sweep = parsed["workloads"]["wl"]["sweep"]
+        assert sweep[0]["speedup"] is None  # non-finite became null
+        assert sweep[1]["speedup"] == 2.0
+
+    def test_write_report_refuses_raw_non_finite_values(self, tmp_path):
+        # Belt and braces: a non-finite smuggled around the sanitizer
+        # (e.g. in a hand-built dict) fails loudly at write time.
+        with pytest.raises(ValueError):
+            write_report(
+                {"schema": "x", "oops": math.inf},
+                str(tmp_path / "bad.json"),
+            )
