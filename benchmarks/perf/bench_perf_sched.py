@@ -1,0 +1,30 @@
+"""Quick-mode smoke wrapper: coalescing-scheduler benchmark.
+
+The workload asserts the bit-identical-to-serial coalescing invariant
+(outputs, per-caller ledgers, round conservation) before timing anything
+and raises unless amortized rounds-per-query strictly decreases with the
+caller count at fixed p, so collecting it under pytest enforces both the
+correctness contract and the PR-5 acceptance bar.  See DESIGN.md §6f.
+"""
+
+from repro.perf.sched_bench import sched_coalescing_workload
+
+
+def test_sched_coalescing_quick():
+    wl = sched_coalescing_workload(quick=True)
+    sweep = [e for e in wl.sweep if "speedup" in e]
+    memo = [e for e in wl.sweep if "memo_hit_rate" in e]
+    assert len(sweep) >= 2 and len(memo) == 1
+
+    amortized = [e["amortized_rounds_per_query"] for e in sweep]
+    assert all(b < a for a, b in zip(amortized, amortized[1:])), amortized
+    for entry in sweep:
+        # Rounds-based speedup is hardware-independent: fewer physical
+        # batches over the same query volume, never a timing artifact.
+        assert entry["speedup"] > 1.0, entry
+        assert entry["coalesced_rounds"] < entry["serial_rounds"]
+        assert entry["serial_s"] > 0 and entry["coalesced_s"] > 0
+
+    # A warm memo answers the replay without touching the network.
+    assert memo[0]["coalesced_rounds"] == 0
+    assert memo[0]["memo_hits"] == memo[0]["queries"] // 2 or memo[0]["memo_hits"] > 0

@@ -16,7 +16,7 @@ Run:  python examples/custom_query_algorithm.py
 import numpy as np
 
 from repro.congest import topologies
-from repro.core.framework import DistributedInput, run_framework
+from repro.core.framework import DistributedInput, FrameworkConfig, run_framework
 from repro.core.semigroup import sum_semigroup
 from repro.quantum import grover as exact_grover
 from repro.queries.grover import find_one
@@ -69,11 +69,11 @@ def main():
     dist_input = DistributedInput(vectors, sum_semigroup(110 * net.n))
     algorithm = threshold_counter(limit=80, threshold=5)
 
+    base = FrameworkConfig(
+        parallelism=net.diameter, dist_input=dist_input, seed=13
+    )
     for mode in ("formula", "engine"):
-        run = run_framework(
-            net, algorithm, parallelism=net.diameter,
-            dist_input=dist_input, mode=mode, seed=13,
-        )
+        run = run_framework(net, algorithm, config=base.replace(mode=mode))
         witnesses = run.result
         print(f"[{mode:7s}] found {len(witnesses)} overloaded counters "
               f"in {run.total_rounds} rounds / {run.batches} batches: "

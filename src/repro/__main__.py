@@ -84,7 +84,7 @@ def main(argv=None) -> int:
         "--workload", action="append", dest="workloads", default=None,
         metavar="NAME",
         help="run only this workload (repeatable): engine, gates, "
-        "framework, obs, parallel",
+        "framework, obs, parallel, sched",
     )
     verify_parser = sub.add_parser(
         "verify",
@@ -165,30 +165,31 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "verify":
+        from .experiments.runner import RunRequest, verify_sweep
         from .obs.jsonl import validate_jsonl
         from .parallel import TaskFailure
-        from .parallel.verify import verify_parallel
 
-        targets = (
-            [t.upper() for t in args.only] if args.only is not None else None
-        )
-        if targets:
-            unknown = [t for t in targets if t not in ALL_EXPERIMENTS]
-            if unknown:
-                print(f"unknown experiment(s): {unknown}", file=sys.stderr)
-                print(f"available: {list(ALL_EXPERIMENTS)}", file=sys.stderr)
-                return 2
-        start = time.time()
-        sweep = verify_parallel(
+        request = RunRequest(
+            experiments=tuple(args.only) if args.only is not None else (),
             quick=not args.full,
             seed=args.seed,
-            only=targets,
             jobs=args.jobs,
             timeout=args.timeout,
             retries=args.retries,
             checkpoint=args.resume,
-            jsonl_path=args.jsonl,
+            jsonl=args.jsonl,
         )
+        try:
+            request.targets
+        except KeyError:
+            unknown = [
+                t for t in request.experiments if t not in ALL_EXPERIMENTS
+            ]
+            print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+            print(f"available: {list(ALL_EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        start = time.time()
+        sweep = verify_sweep(request)
         failed = 0
         for verdict in sweep.verdicts:
             if isinstance(verdict, TaskFailure):
@@ -212,7 +213,7 @@ def main(argv=None) -> int:
 
     if args.command == "trace":
         from .analysis.report import cost_breakdown_table
-        from .experiments.runner import run_instrumented
+        from .experiments.runner import RunRequest, run_instrumented
         from .obs.jsonl import validate_jsonl
 
         target = args.experiment.upper()
@@ -221,9 +222,10 @@ def main(argv=None) -> int:
             print(f"available: {list(ALL_EXPERIMENTS)}", file=sys.stderr)
             return 2
         start = time.time()
-        run = run_instrumented(
-            target, quick=not args.full, seed=args.seed, jsonl_path=args.jsonl
-        )
+        run = run_instrumented(RunRequest(
+            experiments=(target,), quick=not args.full, seed=args.seed,
+            jsonl=args.jsonl,
+        ))
         table = getattr(run.result, "table", None)
         if table is not None:
             table.show()
@@ -249,20 +251,27 @@ def main(argv=None) -> int:
         ).show()
         return 0
 
-    targets = (
-        list(ALL_EXPERIMENTS)
-        if args.experiment.lower() == "all"
-        else [args.experiment.upper()]
+    from .experiments.runner import RunRequest, run_experiment
+
+    request = RunRequest(
+        experiments=(
+            () if args.experiment.lower() == "all"
+            else (args.experiment,)
+        ),
+        quick=not args.full,
+        seed=args.seed,
     )
-    unknown = [t for t in targets if t not in ALL_EXPERIMENTS]
-    if unknown:
+    try:
+        targets = request.targets
+    except KeyError:
+        unknown = [t for t in request.experiments if t not in ALL_EXPERIMENTS]
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
         print(f"available: {list(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
 
     for target in targets:
         start = time.time()
-        result = ALL_EXPERIMENTS[target].run(quick=not args.full, seed=args.seed)
+        result = run_experiment(request.replace(experiments=(target,)))[target]
         result.table.show()
         print(f"({target} finished in {time.time() - start:.1f}s)\n")
     return 0

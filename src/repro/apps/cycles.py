@@ -43,7 +43,7 @@ from ..analysis.graphtruth import (
 from ..congest.algorithms.clustering import Clustering, build_clustering
 from ..congest.network import Network
 from ..core.cost import CostModel, RoundLedger
-from ..core.framework import ValueComputer, run_framework
+from ..core.framework import FrameworkConfig, ValueComputer, run_framework
 from ..core.semigroup import min_semigroup
 from ..queries import minimum as parallel_minimum
 
@@ -144,16 +144,10 @@ def heavy_cycle_search(
             oracle, rng, multiplicity=multiplicity
         )
 
-    run = run_framework(
-        network,
-        algorithm,
-        parallelism=p,
-        computer=computer,
-        k=network.n,
-        mode=mode,
-        seed=seed,
-        semigroup=min_semigroup(sentinel),
-    )
+    run = run_framework(network, algorithm, config=FrameworkConfig(
+        parallelism=p, computer=computer, k=network.n, mode=mode,
+        seed=seed, semigroup=min_semigroup(sentinel),
+    ))
     outcome = run.result
     length = outcome.value if outcome.value is not None and outcome.value <= k else None
     return length, run.total_rounds

@@ -21,7 +21,12 @@ from typing import Dict, List, Optional
 
 from ..congest.network import Network
 from ..core.cost import CostModel
-from ..core.framework import DistributedInput, FrameworkRun, run_framework
+from ..core.framework import (
+    DistributedInput,
+    FrameworkConfig,
+    FrameworkRun,
+    run_framework,
+)
 from ..core.semigroup import xor_semigroup
 from ..queries import deutsch_jozsa as parallel_dj
 from ..quantum.deutsch_jozsa import PromiseViolation, check_promise
@@ -73,14 +78,9 @@ def solve_distributed_dj(
     def algorithm(oracle, rng):
         return parallel_dj.decide(oracle)
 
-    run = run_framework(
-        network,
-        algorithm,
-        parallelism=1,
-        dist_input=dist_input,
-        mode=mode,
-        seed=seed,
-    )
+    run = run_framework(network, algorithm, config=FrameworkConfig(
+        parallelism=1, dist_input=dist_input, mode=mode, seed=seed,
+    ))
     decision = run.result
     return DJResult(
         constant=decision.constant,

@@ -25,8 +25,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..congest.algorithms.bfs import bfs_with_echo
 from ..congest.algorithms.multibfs import eccentricities_of_sources
 from ..congest.network import Network
-from ..core.cost import CostModel
-from ..core.framework import FrameworkRun, ValueComputer, run_framework
+from ..core.framework import (
+    FrameworkConfig,
+    FrameworkRun,
+    ValueComputer,
+    run_framework,
+)
 from ..core.semigroup import max_semigroup, min_semigroup
 from ..queries import mean_estimation as parallel_mean
 from ..queries import minimum as parallel_minimum
@@ -65,6 +69,16 @@ class EccentricityComputer(ValueComputer):
             return self.measured_alpha[-1]
         return p + 2 * max(self.network.diameter, 1)
 
+    def fingerprint(self) -> str:
+        """Content token for the coalescing scheduler's result memo.
+
+        Eccentricities are a pure function of the topology — mode and
+        seed only change round *charges*, never values — so the token
+        hashes the topology alone and memo entries stay shareable
+        across formula/engine runs of the same graph.
+        """
+        return f"eccentricity/{self.network.topology_fingerprint()}"
+
 
 @dataclass
 class EccentricityResult:
@@ -75,33 +89,57 @@ class EccentricityResult:
     run: FrameworkRun
 
 
+def _ecc_config(
+    network: Network,
+    parallelism: Optional[int],
+    mode: str,
+    seed: Optional[int],
+    config: Optional[FrameworkConfig],
+) -> FrameworkConfig:
+    """Fold flat parameters and an optional base config into one config.
+
+    A caller-supplied ``config`` wins on parallelism/mode/seed (and any
+    setup policy it carries); the lemma always owns the computer, k, and
+    semigroup, which are overlaid by the caller afterwards.
+    """
+    if config is not None:
+        return config.replace(
+            dist_input=None,
+            computer=EccentricityComputer(
+                network, mode=config.mode, seed=config.seed
+            ),
+            k=network.n,
+        )
+    p = parallelism if parallelism is not None else max(network.diameter, 1)
+    return FrameworkConfig(
+        parallelism=p,
+        computer=EccentricityComputer(network, mode=mode, seed=seed),
+        k=network.n,
+        mode=mode,
+        seed=seed,
+    )
+
+
 def _extreme_eccentricity(
     network: Network,
     maximum: bool,
     parallelism: Optional[int],
     mode: str,
     seed: Optional[int],
+    config: Optional[FrameworkConfig] = None,
 ) -> EccentricityResult:
-    p = parallelism if parallelism is not None else max(network.diameter, 1)
-    computer = EccentricityComputer(network, mode=mode, seed=seed)
     bound = 2 * network.n  # eccentricities are < n
     semigroup = max_semigroup(bound) if maximum else min_semigroup(bound)
+    cfg = _ecc_config(network, parallelism, mode, seed, config).replace(
+        semigroup=semigroup
+    )
 
     def algorithm(oracle, rng):
         if maximum:
             return parallel_minimum.find_maximum(oracle, rng)
         return parallel_minimum.find_minimum(oracle, rng)
 
-    run = run_framework(
-        network,
-        algorithm,
-        parallelism=p,
-        computer=computer,
-        k=network.n,
-        mode=mode,
-        seed=seed,
-        semigroup=semigroup,
-    )
+    run = run_framework(network, algorithm, config=cfg)
     outcome = run.result
     return EccentricityResult(
         value=outcome.value,
@@ -117,9 +155,16 @@ def compute_diameter(
     parallelism: Optional[int] = None,
     mode: str = "formula",
     seed: Optional[int] = None,
+    config: Optional[FrameworkConfig] = None,
 ) -> EccentricityResult:
-    """Lemma 21 (maximum eccentricity); succeeds with probability ≥ 2/3."""
-    return _extreme_eccentricity(network, True, parallelism, mode, seed)
+    """Lemma 21 (maximum eccentricity); succeeds with probability ≥ 2/3.
+
+    Pass ``config=FrameworkConfig(...)`` to control parallelism, mode,
+    seed, and setup policy with one object (the lemma overlays its own
+    computer, k, and semigroup); the flat parameters remain for
+    convenience and are ignored when ``config`` is given.
+    """
+    return _extreme_eccentricity(network, True, parallelism, mode, seed, config)
 
 
 def compute_radius(
@@ -127,9 +172,10 @@ def compute_radius(
     parallelism: Optional[int] = None,
     mode: str = "formula",
     seed: Optional[int] = None,
+    config: Optional[FrameworkConfig] = None,
 ) -> EccentricityResult:
     """Lemma 21 extension to the radius (minimum eccentricity)."""
-    return _extreme_eccentricity(network, False, parallelism, mode, seed)
+    return _extreme_eccentricity(network, False, parallelism, mode, seed, config)
 
 
 @dataclass
@@ -150,33 +196,27 @@ def estimate_average_eccentricity(
     parallelism: Optional[int] = None,
     mode: str = "formula",
     seed: Optional[int] = None,
+    config: Optional[FrameworkConfig] = None,
 ) -> AverageEccentricityResult:
     """Lemma 22: ε-additive average eccentricity in Õ(D^{3/2}/ε) rounds.
 
     ε is interpreted on the natural eccentricity scale (rounds), i.e. an
-    additive error of ε hops, matching the lemma.
+    additive error of ε hops, matching the lemma.  ``config`` takes the
+    same role as in :func:`compute_diameter`.
     """
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
     d = max(network.diameter, 1)
-    p = parallelism if parallelism is not None else d
-    computer = EccentricityComputer(network, mode=mode, seed=seed)
+    cfg = _ecc_config(network, parallelism, mode, seed, config).replace(
+        semigroup=max_semigroup(2 * network.n)
+    )
 
     def algorithm(oracle, rng):
         return parallel_mean.estimate_mean(
             oracle, sigma=float(d), epsilon=epsilon, rng=rng
         )
 
-    run = run_framework(
-        network,
-        algorithm,
-        parallelism=p,
-        computer=computer,
-        k=network.n,
-        mode=mode,
-        seed=seed,
-        semigroup=max_semigroup(2 * network.n),
-    )
+    run = run_framework(network, algorithm, config=cfg)
     est = run.result
     return AverageEccentricityResult(
         estimate=est.estimate,

@@ -23,7 +23,12 @@ from typing import Dict, List, Optional, Tuple
 
 from ..congest.network import Network
 from ..core.cost import CostModel
-from ..core.framework import DistributedInput, FrameworkRun, run_framework
+from ..core.framework import (
+    DistributedInput,
+    FrameworkConfig,
+    FrameworkRun,
+    run_framework,
+)
 from ..core.semigroup import sum_semigroup
 from ..queries import element_distinctness as parallel_ed
 
@@ -75,14 +80,9 @@ def distinctness_distributed_vector(
     def algorithm(oracle, rng):
         return parallel_ed.find_collision(oracle, rng)
 
-    run = run_framework(
-        network,
-        algorithm,
-        parallelism=p,
-        dist_input=dist_input,
-        mode=mode,
-        seed=seed,
-    )
+    run = run_framework(network, algorithm, config=FrameworkConfig(
+        parallelism=p, dist_input=dist_input, mode=mode, seed=seed,
+    ))
     outcome = run.result
     return DistinctnessResult(
         pair=outcome.pair,

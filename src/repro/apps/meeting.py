@@ -21,7 +21,12 @@ import numpy as np
 
 from ..congest.network import Network
 from ..core.cost import CostModel
-from ..core.framework import DistributedInput, FrameworkRun, run_framework
+from ..core.framework import (
+    DistributedInput,
+    FrameworkConfig,
+    FrameworkRun,
+    run_framework,
+)
 from ..core.semigroup import sum_semigroup
 from ..queries import minimum as parallel_minimum
 
@@ -81,14 +86,9 @@ def schedule_meeting(
     def algorithm(oracle, rng):
         return parallel_minimum.find_maximum(oracle, rng)
 
-    run = run_framework(
-        network,
-        algorithm,
-        parallelism=p,
-        dist_input=dist_input,
-        mode=mode,
-        seed=seed,
-    )
+    run = run_framework(network, algorithm, config=FrameworkConfig(
+        parallelism=p, dist_input=dist_input, mode=mode, seed=seed,
+    ))
     outcome = run.result
     return MeetingResult(
         best_slot=outcome.index,
@@ -132,14 +132,9 @@ def schedule_weighted_meeting(
     def algorithm(oracle, rng):
         return parallel_minimum.find_maximum(oracle, rng)
 
-    run = run_framework(
-        network,
-        algorithm,
-        parallelism=p,
-        dist_input=dist_input,
-        mode=mode,
-        seed=seed,
-    )
+    run = run_framework(network, algorithm, config=FrameworkConfig(
+        parallelism=p, dist_input=dist_input, mode=mode, seed=seed,
+    ))
     outcome = run.result
     return MeetingResult(
         best_slot=outcome.index,

@@ -9,6 +9,7 @@ by tests/benchmarks that compare measured behaviour against theory.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from functools import cached_property
 from typing import Dict, Iterable, List, Tuple
@@ -122,6 +123,26 @@ class Network:
     def distances_from(self, source: int) -> Dict[int, int]:
         """Ground-truth BFS distances from ``source``."""
         return dict(nx.single_source_shortest_path_length(self.graph, source))
+
+    def topology_fingerprint(self) -> str:
+        """Content hash of the structure: node count, bandwidth, edge set.
+
+        Deliberately *not* cached: the whole point is to detect in-place
+        graph mutation, so every call re-reads the live edge set.  Two
+        networks with the same structure hash identically regardless of
+        object identity; one network mutated in place stops matching its
+        own earlier fingerprint.  Used by
+        :func:`repro.core.framework.prepare_network` as a staleness
+        tripwire and by the :mod:`repro.sched` result memo as part of its
+        content address.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(f"n={self.n};bw={self.bandwidth};".encode())
+        for u, v in sorted(
+            (u, v) if u <= v else (v, u) for u, v in self.graph.edges()
+        ):
+            h.update(f"{u},{v};".encode())
+        return h.hexdigest()
 
     @cached_property
     def log_n_bits(self) -> int:

@@ -13,8 +13,13 @@ from .cost import CostModel, RoundLedger
 from .framework import (
     CongestBatchOracle,
     DistributedInput,
+    FrameworkConfig,
     FrameworkRun,
+    PreparedNetwork,
+    StalePreparedNetworkError,
     ValueComputer,
+    invalidate_prepared,
+    prepare_network,
     run_framework,
 )
 from .semigroup import (
@@ -40,8 +45,13 @@ __all__ = [
     "RoundLedger",
     "CongestBatchOracle",
     "DistributedInput",
+    "FrameworkConfig",
     "FrameworkRun",
+    "PreparedNetwork",
+    "StalePreparedNetworkError",
     "ValueComputer",
+    "invalidate_prepared",
+    "prepare_network",
     "run_framework",
     "Semigroup",
     "and_semigroup",

@@ -30,6 +30,8 @@ runs unchanged over the network.
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -291,6 +293,52 @@ class CongestBatchOracle:
         return values
 
 
+@dataclass(frozen=True)
+class FrameworkConfig:
+    """Everything that parameterizes one framework execution, frozen.
+
+    The canonical way to call the framework is::
+
+        run_framework(network, algorithm, config=FrameworkConfig(
+            parallelism=p, dist_input=di, mode="engine", seed=0,
+        ))
+
+    A config is immutable and reusable: sweeps derive variants with
+    :meth:`replace` (``cfg.replace(seed=trial)``) instead of re-spelling
+    ten keyword arguments per call, and the :mod:`repro.sched` scheduler
+    takes the same object to describe the shared oracle it serves.  The
+    legacy flat keyword signature of :func:`run_framework` survives as a
+    deprecation shim that builds one of these internally.
+
+    Attributes mirror the historical ``run_framework`` parameters; see
+    that function's docstring for their semantics.
+    """
+
+    parallelism: int
+    dist_input: Optional[DistributedInput] = None
+    computer: Optional[ValueComputer] = None
+    k: Optional[int] = None
+    mode: str = "formula"
+    seed: Optional[int] = None
+    leader: Optional[int] = None
+    semigroup: Optional[Semigroup] = None
+    prepared: Optional["PreparedNetwork"] = None
+    reuse_setup: bool = True
+    recorder: Optional[Recorder] = None
+
+    def __post_init__(self):
+        if self.parallelism < 1:
+            raise ValueError(
+                f"parallelism must be >= 1, got {self.parallelism}"
+            )
+        if self.mode not in ("formula", "engine"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+    def replace(self, **changes) -> "FrameworkConfig":
+        """A copy with the given fields swapped (sweep-friendly)."""
+        return dataclasses.replace(self, **changes)
+
+
 @dataclass
 class FrameworkRun:
     """Everything a framework execution produced."""
@@ -327,6 +375,9 @@ class PreparedNetwork:
     election_rounds: Optional[int]  # None when the leader was designated
     tree: BFSResult
     seed: Optional[int]
+    #: Topology fingerprint of the network the tree was built on (the
+    #: staleness tripwire); None for hand-built PreparedNetworks.
+    topology_fingerprint: Optional[str] = None
 
     def charge_setup(self, rounds: RoundLedger) -> None:
         """Replay the setup charges exactly as a fresh run would."""
@@ -335,8 +386,21 @@ class PreparedNetwork:
         rounds.charge("setup:bfs-tree", self.tree.rounds)
 
 
+class StalePreparedNetworkError(RuntimeError):
+    """A cached PreparedNetwork no longer matches its network's topology.
+
+    Raised by :func:`prepare_network` when the fingerprint recorded at
+    cache-fill time differs from the network's current edge set — i.e.
+    the graph was mutated in place without :func:`invalidate_prepared`.
+    Before this tripwire existed the stale BFS tree was silently reused.
+    """
+
+
 # Keyed weakly by Network identity so dropping a topology frees its cache;
-# the inner dict maps (seed, designated leader) -> PreparedNetwork.
+# the inner dict maps (seed, designated leader, topology fingerprint) ->
+# PreparedNetwork.  The fingerprint keys the entry *and* acts as a
+# tripwire: a (seed, leader) hit whose stored fingerprint mismatches the
+# live topology raises instead of silently reusing a stale BFS tree.
 _PREPARED: "weakref.WeakKeyDictionary[Network, Dict[Tuple, PreparedNetwork]]" = (
     weakref.WeakKeyDictionary()
 )
@@ -349,15 +413,28 @@ def prepare_network(
 ) -> PreparedNetwork:
     """Run (or fetch the cached) setup phase for a network.
 
-    The cache is per-``Network``-object and per ``(seed, leader)``: the
-    setup protocols are deterministic in those inputs, so the cached tree
-    is bit-identical to a recomputed one.  Mutating a network's graph
-    in place requires :func:`invalidate_prepared` first.
+    The cache is per-``Network``-object and per ``(seed, leader,
+    topology fingerprint)``: the setup protocols are deterministic in
+    those inputs, so the cached tree is bit-identical to a recomputed
+    one.  Mutating a network's graph in place without
+    :func:`invalidate_prepared` raises
+    :class:`StalePreparedNetworkError` on the next lookup — the cached
+    tree describes an edge set that no longer exists.
     """
+    fingerprint = network.topology_fingerprint()
     per_net = _PREPARED.get(network)
     key = (seed, leader)
     if per_net is not None and key in per_net:
-        return per_net[key]
+        prepared = per_net[key]
+        if prepared.topology_fingerprint != fingerprint:
+            raise StalePreparedNetworkError(
+                f"network {network!r} was mutated in place after its setup "
+                f"phase was cached (fingerprint "
+                f"{prepared.topology_fingerprint} -> {fingerprint}); call "
+                f"repro.core.framework.invalidate_prepared(network) after "
+                f"mutating a topology"
+            )
+        return prepared
     if leader is None:
         election = elect_leader(network, seed=seed)
         prepared_leader = election.leader
@@ -371,6 +448,7 @@ def prepare_network(
         election_rounds=election_rounds,
         tree=tree,
         seed=seed,
+        topology_fingerprint=fingerprint,
     )
     if per_net is None:
         per_net = {}
@@ -391,102 +469,181 @@ def invalidate_prepared(network: Optional[Network] = None) -> None:
         _PREPARED.pop(network, None)
 
 
+#: Legacy keyword parameters of :func:`run_framework`, in historical
+#: positional order — the deprecation shim maps them onto FrameworkConfig.
+_LEGACY_PARAMS = (
+    "parallelism", "dist_input", "computer", "k", "mode", "seed", "leader",
+    "semigroup", "prepared", "reuse_setup", "recorder",
+)
+
+def setup_network(
+    network: Network, config: FrameworkConfig, rounds: RoundLedger
+) -> PreparedNetwork:
+    """Resolve (and charge) the setup phase a config asks for.
+
+    Shared by :func:`run_framework` and the :mod:`repro.sched` scheduler
+    so both charge setup identically: an explicit ``config.prepared``
+    wins, else the process-wide cache (``reuse_setup=True``), else a
+    fresh election + BFS.
+    """
+    prepared = config.prepared
+    if prepared is None:
+        if config.reuse_setup:
+            prepared = prepare_network(
+                network, seed=config.seed, leader=config.leader
+            )
+        elif config.leader is None:
+            election = elect_leader(network, seed=config.seed)
+            prepared = PreparedNetwork(
+                leader=election.leader,
+                election_rounds=election.rounds,
+                tree=bfs_with_echo(network, election.leader, seed=config.seed),
+                seed=config.seed,
+                topology_fingerprint=network.topology_fingerprint(),
+            )
+        else:
+            prepared = PreparedNetwork(
+                leader=config.leader,
+                election_rounds=None,
+                tree=bfs_with_echo(network, config.leader, seed=config.seed),
+                seed=config.seed,
+                topology_fingerprint=network.topology_fingerprint(),
+            )
+    prepared.charge_setup(rounds)
+    return prepared
+
+
+def build_oracle(
+    network: Network,
+    config: FrameworkConfig,
+    tree: BFSResult,
+    rounds: RoundLedger,
+    recorder: Recorder,
+) -> CongestBatchOracle:
+    """The shared-oracle constructor both execution paths use."""
+    return CongestBatchOracle(
+        network=network,
+        dist_input=config.dist_input,
+        parallelism=config.parallelism,
+        mode=config.mode,
+        tree=tree,
+        cost_model=CostModel.for_network(network),
+        round_ledger=rounds,
+        computer=config.computer,
+        k=config.k,
+        seed=config.seed,
+        semigroup=config.semigroup,
+        recorder=recorder,
+    )
+
+
 def run_framework(
     network: Network,
     algorithm: Callable[[CongestBatchOracle, np.random.Generator], object],
-    parallelism: int,
-    dist_input: Optional[DistributedInput] = None,
-    computer: Optional[ValueComputer] = None,
-    k: Optional[int] = None,
-    mode: str = "formula",
-    seed: Optional[int] = None,
-    leader: Optional[int] = None,
-    semigroup: Optional[Semigroup] = None,
-    prepared: Optional[PreparedNetwork] = None,
-    reuse_setup: bool = True,
-    recorder: Optional[Recorder] = None,
+    *legacy_args,
+    config: Optional[FrameworkConfig] = None,
+    **legacy_kwargs,
 ) -> FrameworkRun:
     """Evaluate f(x) = F(⊕_v x^{(v)}) per Theorem 8 / Corollary 9.
+
+    Canonical signature (keyword-only)::
+
+        run_framework(network, algorithm, config=FrameworkConfig(...))
 
     Args:
         network: the CONGEST network.
         algorithm: a parallel-query algorithm ``(oracle, rng) -> result``
             (any of :mod:`repro.queries`, or custom).
-        parallelism: p, the batch width (the paper's applications use p=D).
-        dist_input: per-node vectors + semigroup (Theorem 8 setting).
-        computer: on-the-fly value computation (Corollary 9 setting).
-        k: input length when only a computer is supplied.
-        mode: ``formula`` (charged costs) or ``engine`` (measured costs).
-        seed: reproducibility seed for the algorithm and the engine.
-        leader: optional pre-designated leader (skips election, as the
-            paper allows "assume there is a designated leader").
-        prepared: an explicit :class:`PreparedNetwork` to reuse (its seed
-            and leader take precedence over ``seed``/``leader`` for setup).
-        reuse_setup: when True (default), setup is fetched from the
-            process-wide :func:`prepare_network` cache; the charged rounds
-            are identical either way.
-        recorder: observability bus (defaults to the ambient recorder).
-            The run is wrapped in ``setup``/``query`` spans — with
-            ``distribute``/``convergecast``/``uncompute`` sub-spans per
-            engine-mode batch — and installed as ambient for its duration
-            so engine rounds, query batches, and ledger charges all land
-            in one attributed event stream.  Costs are identical with the
-            null recorder.
+        config: a frozen :class:`FrameworkConfig` carrying everything
+            else — parallelism p (the paper's applications use p=D),
+            ``dist_input`` (Theorem 8 per-node vectors + semigroup) or
+            ``computer``/``k`` (Corollary 9 on-the-fly values), ``mode``
+            (``formula`` charged costs vs ``engine`` measured costs),
+            ``seed``, an optional designated ``leader``, an explicit
+            ``prepared`` setup to reuse, ``reuse_setup`` (the process
+            cache), and the observability ``recorder`` (defaults to the
+            ambient one; the run is wrapped in ``setup``/``query`` spans
+            with ``distribute``/``convergecast``/``uncompute`` sub-spans
+            per engine-mode batch).
+
+    The pre-config flat keyword/positional signature
+    (``run_framework(net, algo, parallelism=..., dist_input=..., ...)``)
+    still works as a thin shim that builds the config internally, but
+    emits a :class:`DeprecationWarning`; results are bit-identical either
+    way (the shim-equivalence tests pin this).
 
     Returns:
         a :class:`FrameworkRun` with the algorithm result, per-phase round
         ledger, and query ledger.
     """
-    rec = recorder if recorder is not None else current_recorder()
+    if legacy_args or legacy_kwargs:
+        if config is not None:
+            raise TypeError(
+                "run_framework: pass either config=FrameworkConfig(...) or "
+                "the legacy flat parameters, not both"
+            )
+        config = _config_from_legacy(legacy_args, legacy_kwargs)
+    elif config is None:
+        raise TypeError(
+            "run_framework() needs config=FrameworkConfig(...) (or the "
+            "deprecated flat parallelism/dist_input/... parameters)"
+        )
+
+    rec = (
+        config.recorder if config.recorder is not None else current_recorder()
+    )
     with install(rec):
         rounds = RoundLedger(recorder=rec)
-        cost_model = CostModel.for_network(network)
-        rng = np.random.default_rng(seed)
+        rng = np.random.default_rng(config.seed)
 
         with rec.span("setup"):
-            if prepared is None:
-                if reuse_setup:
-                    prepared = prepare_network(network, seed=seed, leader=leader)
-                elif leader is None:
-                    election = elect_leader(network, seed=seed)
-                    prepared = PreparedNetwork(
-                        leader=election.leader,
-                        election_rounds=election.rounds,
-                        tree=bfs_with_echo(network, election.leader, seed=seed),
-                        seed=seed,
-                    )
-                else:
-                    prepared = PreparedNetwork(
-                        leader=leader,
-                        election_rounds=None,
-                        tree=bfs_with_echo(network, leader, seed=seed),
-                        seed=seed,
-                    )
-            leader = prepared.leader
-            tree = prepared.tree
-            prepared.charge_setup(rounds)
+            prepared = setup_network(network, config, rounds)
+        tree = prepared.tree
 
-        oracle = CongestBatchOracle(
-            network=network,
-            dist_input=dist_input,
-            parallelism=parallelism,
-            mode=mode,
-            tree=tree,
-            cost_model=cost_model,
-            round_ledger=rounds,
-            computer=computer,
-            k=k,
-            seed=seed,
-            semigroup=semigroup,
-            recorder=rec,
-        )
+        oracle = build_oracle(network, config, tree, rounds, rec)
         with rec.span("query"):
             result = algorithm(oracle, rng)
     return FrameworkRun(
         result=result,
         rounds=rounds,
         query_ledger=oracle.ledger,
-        leader=leader,
+        leader=prepared.leader,
         tree_depth=tree.eccentricity,
-        mode=mode,
+        mode=config.mode,
     )
+
+
+def _config_from_legacy(args: tuple, kwargs: dict) -> FrameworkConfig:
+    """Map the historical flat signature onto a FrameworkConfig."""
+    if len(args) > len(_LEGACY_PARAMS):
+        raise TypeError(
+            f"run_framework() takes at most {2 + len(_LEGACY_PARAMS)} "
+            f"positional arguments ({2 + len(args)} given)"
+        )
+    merged: Dict[str, object] = {}
+    for name, value in zip(_LEGACY_PARAMS, args):
+        merged[name] = value
+    for name, value in kwargs.items():
+        if name not in _LEGACY_PARAMS:
+            raise TypeError(
+                f"run_framework() got an unexpected keyword argument "
+                f"{name!r}"
+            )
+        if name in merged:
+            raise TypeError(
+                f"run_framework() got multiple values for argument {name!r}"
+            )
+        merged[name] = value
+    if "parallelism" not in merged:
+        raise TypeError(
+            "run_framework() missing required argument: 'parallelism' "
+            "(or pass config=FrameworkConfig(...))"
+        )
+    warnings.warn(
+        "run_framework(network, algorithm, parallelism=..., ...) is "
+        "deprecated; pass config=FrameworkConfig(parallelism=..., ...) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return FrameworkConfig(**merged)

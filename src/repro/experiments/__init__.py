@@ -51,4 +51,25 @@ ALL_EXPERIMENTS = {
     "E19": e19_resilience,
 }
 
-__all__ = ["ALL_EXPERIMENTS"] + [m.__name__.split(".")[-1] for m in ALL_EXPERIMENTS.values()]
+# Imported after ALL_EXPERIMENTS exists: runner reads the registry at
+# import time, so the order here is load-bearing.
+from .runner import (  # noqa: E402
+    RunRequest,
+    Verdict,
+    run_experiment,
+    run_instrumented,
+    verify_all,
+    verify_experiment,
+    verify_sweep,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "RunRequest",
+    "Verdict",
+    "run_experiment",
+    "run_instrumented",
+    "verify_all",
+    "verify_experiment",
+    "verify_sweep",
+] + [m.__name__.split(".")[-1] for m in ALL_EXPERIMENTS.values()]

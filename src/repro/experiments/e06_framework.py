@@ -15,7 +15,7 @@ import numpy as np
 from ..analysis.report import ExperimentTable
 from ..congest import topologies
 from ..core.cost import CostModel
-from ..core.framework import DistributedInput, run_framework
+from ..core.framework import DistributedInput, FrameworkConfig, run_framework
 from ..core.semigroup import sum_semigroup
 
 
@@ -25,13 +25,13 @@ class E06Result:
     max_engine_formula_ratio: float
 
 
-def _batch_cost(net, di, p, mode, seed):
+def _batch_cost(net, config, p, mode):
     def algorithm(oracle, _rng):
         oracle.query_batch(list(range(p)), label="probe")
         return None
 
-    run = run_framework(net, algorithm, parallelism=p, dist_input=di,
-                        mode=mode, seed=seed, leader=0)
+    run = run_framework(net, algorithm,
+                        config=config.replace(parallelism=p, mode=mode))
     phases = run.rounds.by_phase()
     if mode == "formula":
         return phases["batch:probe"]
@@ -48,6 +48,9 @@ def run(quick: bool = True, seed: int = 0) -> E06Result:
         v: [int(rng.integers(0, 2)) for _ in range(k)] for v in net.nodes()
     }
     di = DistributedInput(vectors, sum_semigroup(net.n))
+    base = FrameworkConfig(
+        parallelism=1, dist_input=di, seed=seed, leader=0
+    )
     cm = CostModel.for_network(net)
 
     table = ExperimentTable(
@@ -58,8 +61,8 @@ def run(quick: bool = True, seed: int = 0) -> E06Result:
     worst = 0.0
     for p in [1, max(d // 2, 1), d, 2 * d, 4 * d]:
         p = min(p, k)
-        formula = _batch_cost(net, di, p, "formula", seed)
-        engine = _batch_cost(net, di, p, "engine", seed)
+        formula = _batch_cost(net, base, p, "formula")
+        engine = _batch_cost(net, base, p, "engine")
         ratio = engine / formula
         worst = max(worst, max(ratio, 1 / ratio))
         table.add_row(p, formula, engine, ratio, formula / p)

@@ -16,6 +16,7 @@ from ..analysis.report import ExperimentTable
 from ..apps.eccentricity import compute_diameter, compute_radius, quantum_diameter_bound
 from ..baselines.diameter import classical_all_eccentricities, classical_diameter_bound
 from ..congest import topologies
+from ..core.framework import FrameworkConfig
 
 
 @dataclass
@@ -39,10 +40,18 @@ def run(quick: bool = True, seed: int = 0) -> E10Result:
     q_rounds: List[float] = []
     for n in ns:
         net = topologies.diameter_controlled(n, diameter, seed=seed)
+        # One frozen base config per topology; trials swap only the seed.
+        base = FrameworkConfig(
+            parallelism=max(net.diameter, 1), seed=seed
+        )
         q_total, diam_ok, rad_ok = 0.0, 0, 0
         for trial in range(trials):
-            d_res = compute_diameter(net, seed=seed + trial)
-            r_res = compute_radius(net, seed=seed + 100 + trial)
+            d_res = compute_diameter(
+                net, config=base.replace(seed=seed + trial)
+            )
+            r_res = compute_radius(
+                net, config=base.replace(seed=seed + 100 + trial)
+            )
             q_total += d_res.rounds
             diam_ok += d_res.value == net.diameter
             rad_ok += r_res.value == net.radius

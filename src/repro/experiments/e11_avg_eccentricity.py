@@ -20,6 +20,7 @@ from ..apps.eccentricity import (
     quantum_avg_ecc_bound,
 )
 from ..congest import topologies
+from ..core.framework import FrameworkConfig
 
 
 @dataclass
@@ -39,12 +40,16 @@ def run(quick: bool = True, seed: int = 0) -> E11Result:
 
     # ε sweep at fixed topology.
     net = topologies.diameter_controlled(200, 8, seed=seed)
+    # One frozen base config per topology; trials swap only the seed.
+    base = FrameworkConfig(parallelism=max(net.diameter, 1), seed=seed)
     eps_rounds: List[float] = []
     epsilons = [2.0, 1.0, 0.5, 0.25]
     for eps in epsilons:
         total, hits = 0.0, 0
         for trial in range(trials):
-            res = estimate_average_eccentricity(net, eps, seed=seed + trial)
+            res = estimate_average_eccentricity(
+                net, eps, config=base.replace(seed=seed + trial)
+            )
             total += res.rounds
             hits += res.error_against(net) <= eps
         table.add_row(net.n, net.diameter, eps, total / trials,
@@ -60,9 +65,14 @@ def run(quick: bool = True, seed: int = 0) -> E11Result:
     eps = 1.0
     for d in [4, 8, 16]:
         net_d = topologies.diameter_controlled(200, d, seed=seed + 1)
+        base_d = FrameworkConfig(
+            parallelism=max(net_d.diameter, 1), seed=seed
+        )
         total, hits = 0.0, 0
         for trial in range(trials):
-            res = estimate_average_eccentricity(net_d, eps, seed=seed + trial)
+            res = estimate_average_eccentricity(
+                net_d, eps, config=base_d.replace(seed=seed + trial)
+            )
             total += res.rounds
             hits += res.error_against(net_d) <= eps
         table.add_row(net_d.n, net_d.diameter, eps, total / trials,

@@ -5,18 +5,33 @@ per experiment; this module exposes the same checks as plain callables so
 they can run inside the test suite, a CI gate, or a notebook without the
 benchmark harness.
 
-:func:`run_instrumented` runs any experiment under the observability
-spine (:mod:`repro.obs`): it installs a recorder for the duration of the
-run, so every engine round, fault, query batch, and ledger charge the
-experiment triggers — however deep in the stack — lands in one metrics
-registry and (optionally) one JSONL stream.  ``python -m repro trace``
-is a thin CLI over it.
+All entrypoints take one frozen :class:`RunRequest` describing *what* to
+run (experiment ids, quick/full, seed) and *how* (worker ``jobs``,
+per-task ``timeout``/``retries``, ``checkpoint`` resume file, merged
+``jsonl`` trace) — the ``--jobs/--resume/--jsonl`` plumbing exists here
+exactly once and the CLI, the parallel sweep, and the test suite all pass
+through it:
+
+* :func:`run_experiment` — run experiments, no criteria.
+* :func:`run_instrumented` — run one experiment under the observability
+  spine (:mod:`repro.obs`); ``python -m repro trace`` is a thin CLI over
+  it.
+* :func:`verify_experiment` / :func:`verify_all` / :func:`verify_sweep`
+  — run and evaluate reproduction criteria, serial or fanned across
+  worker processes.
+
+The historical flat signatures (``verify_experiment("E7", quick, seed)``,
+``verify_all(quick=..., only=..., jobs=...)``) survive as thin
+deprecation shims that build a :class:`RunRequest` internally and warn;
+results are bit-identical either way.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..obs import JSONLSink, MemorySink, MetricsSink, Recorder, install
 from . import ALL_EXPERIMENTS
@@ -82,6 +97,99 @@ CRITERIA: Dict[str, Callable] = {
 }
 
 
+@dataclass(frozen=True)
+class RunRequest:
+    """Everything that parameterizes one experiment run or sweep, frozen.
+
+    The canonical currency of the experiment layer::
+
+        verify_all(RunRequest(experiments=("E10", "E11"), jobs=4,
+                              checkpoint="sweep.ckpt.jsonl"))
+
+    A request is immutable and reusable; derive variants with
+    :meth:`replace` (``req.replace(seed=trial)``) instead of re-spelling
+    eight keyword arguments per call.  The same object drives
+    :func:`run_experiment`, :func:`run_instrumented`,
+    :func:`verify_experiment`, :func:`verify_all`, and the ``python -m
+    repro run/trace/verify`` commands, so worker-pool and trace plumbing
+    is spelled in exactly one place.
+
+    Attributes:
+        experiments: experiment ids to target, upper-cased on
+            construction; ``()`` (default) targets every registered
+            experiment.  A bare string is accepted and treated as one id.
+        quick: quick sweeps (default) vs full sweeps.
+        seed: root seed, forwarded verbatim to every experiment.
+        jobs: worker processes for verification sweeps (1 = in-process).
+        timeout: per-experiment wall-clock budget in seconds.
+        retries: re-attempts per experiment after a failure or timeout.
+        checkpoint: JSONL checkpoint path for resumable sweeps.
+        jsonl: when set, run instrumented and merge every event into one
+            ``repro-trace/1`` stream at this path.
+        keep_events: retain raw event objects on instrumented runs.
+    """
+
+    experiments: Tuple[str, ...] = ()
+    quick: bool = True
+    seed: int = 0
+    jobs: int = 1
+    timeout: Optional[float] = None
+    retries: int = 1
+    checkpoint: Optional[str] = None
+    jsonl: Optional[str] = None
+    keep_events: bool = False
+
+    def __post_init__(self):
+        exps = self.experiments
+        if isinstance(exps, str):
+            exps = (exps,)
+        object.__setattr__(
+            self, "experiments", tuple(e.upper() for e in exps)
+        )
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+
+    def replace(self, **changes) -> "RunRequest":
+        """A copy with the given fields swapped (sweep-friendly)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def targets(self) -> List[str]:
+        """The validated experiment ids this request names, in order."""
+        if not self.experiments:
+            return list(ALL_EXPERIMENTS)
+        unknown = [e for e in self.experiments if e not in ALL_EXPERIMENTS]
+        if unknown:
+            raise KeyError(
+                f"unknown experiment(s) {unknown}; "
+                f"available: {list(ALL_EXPERIMENTS)}"
+            )
+        return list(self.experiments)
+
+    def single_target(self) -> str:
+        """The one experiment id, for single-experiment entrypoints."""
+        targets = self.targets
+        if len(targets) != 1:
+            raise ValueError(
+                f"this entrypoint takes exactly one experiment, the "
+                f"request names {len(targets)}: {targets}"
+            )
+        return targets[0]
+
+
+def _legacy_request(fn: str, **fields) -> RunRequest:
+    """Build a RunRequest from a deprecated flat call and warn once per site."""
+    warnings.warn(
+        f"{fn} with flat parameters is deprecated; pass a "
+        f"RunRequest(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return RunRequest(**fields)
+
+
 @dataclass
 class InstrumentedRun:
     """One experiment execution plus its unified event-stream products."""
@@ -93,8 +201,38 @@ class InstrumentedRun:
     jsonl_path: Optional[str]
 
 
+def run_experiment(
+    request: Union[RunRequest, str],
+    quick: Optional[bool] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the requested experiments; no criteria are evaluated.
+
+    Canonical form: ``run_experiment(RunRequest(...))`` returns
+    ``{experiment id: result object}`` in target order.  The flat form
+    ``run_experiment("E7", quick=..., seed=...)`` is a deprecation shim.
+    """
+    if not isinstance(request, RunRequest):
+        request = _legacy_request(
+            "run_experiment",
+            experiments=(request,),
+            quick=True if quick is None else quick,
+            seed=0 if seed is None else seed,
+        )
+    elif quick is not None or seed is not None:
+        raise TypeError(
+            "run_experiment: quick/seed ride on the RunRequest; "
+            "use request.replace(...)"
+        )
+    return {
+        name: ALL_EXPERIMENTS[name].run(quick=request.quick,
+                                        seed=request.seed)
+        for name in request.targets
+    }
+
+
 def run_instrumented(
-    experiment: str,
+    request: Union[RunRequest, str],
     quick: bool = True,
     seed: int = 0,
     jsonl_path: Optional[str] = None,
@@ -102,29 +240,37 @@ def run_instrumented(
 ) -> InstrumentedRun:
     """Run one experiment with the observability spine recording.
 
-    Args:
-        experiment: experiment id (``"E1"`` .. ``"E19"``).
-        quick: forwarded to the experiment's ``run``.
-        seed: forwarded to the experiment's ``run``.
-        jsonl_path: when set, stream every event to this file in the
-            ``repro-trace/1`` schema (:mod:`repro.obs.jsonl`).
-        keep_events: when True, additionally retain the raw event objects
-            (``InstrumentedRun.events``); off by default since large
-            engine-mode runs can emit hundreds of thousands of events.
+    Canonical form: ``run_instrumented(RunRequest(experiments=("E7",),
+    jsonl=..., keep_events=...))``.  The spine captures every engine
+    round, fault, query batch, coalesce, and ledger charge the experiment
+    triggers — however deep in the stack — in one metrics registry and
+    (with ``jsonl`` set) one ``repro-trace/1`` stream.  The flat form
+    ``run_instrumented("E7", quick, seed, jsonl_path, keep_events)`` is a
+    deprecation shim.
     """
-    if experiment not in ALL_EXPERIMENTS:
-        raise KeyError(f"unknown experiment {experiment!r}")
+    if not isinstance(request, RunRequest):
+        request = _legacy_request(
+            "run_instrumented",
+            experiments=(request,),
+            quick=quick,
+            seed=seed,
+            jsonl=jsonl_path,
+            keep_events=keep_events,
+        )
+    experiment = request.single_target()
     metrics = MetricsSink()
     sinks: List[object] = [metrics]
-    memory = MemorySink() if keep_events else None
+    memory = MemorySink() if request.keep_events else None
     if memory is not None:
         sinks.append(memory)
-    if jsonl_path is not None:
-        sinks.append(JSONLSink(jsonl_path))
+    if request.jsonl is not None:
+        sinks.append(JSONLSink(request.jsonl))
     recorder = Recorder(sinks)
     try:
         with install(recorder):
-            result = ALL_EXPERIMENTS[experiment].run(quick=quick, seed=seed)
+            result = ALL_EXPERIMENTS[experiment].run(
+                quick=request.quick, seed=request.seed
+            )
     finally:
         recorder.close()
     return InstrumentedRun(
@@ -132,38 +278,95 @@ def run_instrumented(
         result=result,
         metrics=metrics,
         events=memory.events if memory is not None else None,
-        jsonl_path=jsonl_path,
+        jsonl_path=request.jsonl,
     )
 
 
-def verify_experiment(
-    experiment: str, quick: bool = True, seed: int = 0
-) -> Verdict:
-    """Run one experiment and evaluate its reproduction criterion.
-
-    Both registries are validated *before* the (possibly expensive)
-    run: an experiment registered in ``ALL_EXPERIMENTS`` but missing
-    from ``CRITERIA`` — the exact drift a newly added E20 would cause —
-    is reported as such up front instead of surfacing as a bare
-    ``KeyError`` after minutes of sweep work.
-    """
-    if experiment not in ALL_EXPERIMENTS:
-        raise KeyError(
-            f"unknown experiment {experiment!r}; "
-            f"available: {list(ALL_EXPERIMENTS)}"
-        )
+def _check_criterion(experiment: str) -> None:
+    """Fail fast on registry drift, before any (expensive) run."""
     if experiment not in CRITERIA:
         raise KeyError(
             f"experiment {experiment!r} is registered in ALL_EXPERIMENTS "
             f"but has no reproduction criterion in CRITERIA; add one to "
             f"repro.experiments.runner.CRITERIA before verifying it"
         )
-    result = ALL_EXPERIMENTS[experiment].run(quick=quick, seed=seed)
+
+
+def verify_experiment(
+    request: Union[RunRequest, str],
+    quick: bool = True,
+    seed: int = 0,
+) -> Verdict:
+    """Run one experiment and evaluate its reproduction criterion.
+
+    Canonical form: ``verify_experiment(RunRequest(experiments=("E7",),
+    ...))``.  Both registries are validated *before* the (possibly
+    expensive) run: an experiment registered in ``ALL_EXPERIMENTS`` but
+    missing from ``CRITERIA`` — the exact drift a newly added E20 would
+    cause — is reported as such up front instead of surfacing as a bare
+    ``KeyError`` after minutes of sweep work.  The flat form
+    ``verify_experiment("E7", quick, seed)`` is a deprecation shim.
+    """
+    if not isinstance(request, RunRequest):
+        if request not in ALL_EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {request!r}; "
+                f"available: {list(ALL_EXPERIMENTS)}"
+            )
+        request = _legacy_request(
+            "verify_experiment",
+            experiments=(request,), quick=quick, seed=seed,
+        )
+    experiment = request.single_target()
+    _check_criterion(experiment)
+    result = ALL_EXPERIMENTS[experiment].run(
+        quick=request.quick, seed=request.seed
+    )
     passed, detail = CRITERIA[experiment](result)
     return Verdict(experiment=experiment, passed=passed, detail=detail)
 
 
+def verify_sweep(request: RunRequest):
+    """Run a verification sweep exactly as the request describes it.
+
+    The one place the ``--jobs/--resume/--jsonl`` plumbing lives: serial
+    in-process when nothing asks for workers, timeouts, checkpoints, or a
+    merged trace; otherwise fanned out through
+    :func:`repro.parallel.verify.verify_parallel` (verdicts bit-identical
+    to serial, in the same order).
+
+    Returns a :class:`repro.parallel.verify.VerifySweep`.
+    """
+    targets = request.targets
+    for name in targets:
+        _check_criterion(name)
+    from ..parallel.verify import VerifySweep, verify_parallel
+
+    if (
+        request.jobs == 1
+        and request.timeout is None
+        and request.checkpoint is None
+        and request.jsonl is None
+    ):
+        verdicts = [
+            verify_experiment(request.replace(experiments=(name,)))
+            for name in targets
+        ]
+        return VerifySweep(verdicts=verdicts, metrics=None, jsonl_path=None)
+    return verify_parallel(
+        quick=request.quick,
+        seed=request.seed,
+        only=targets,
+        jobs=request.jobs,
+        timeout=request.timeout,
+        retries=request.retries,
+        checkpoint=request.checkpoint,
+        jsonl_path=request.jsonl,
+    )
+
+
 def verify_all(
+    request: Optional[RunRequest] = None,
     quick: bool = True,
     seed: int = 0,
     only: Optional[List[str]] = None,
@@ -172,32 +375,24 @@ def verify_all(
     retries: int = 1,
     checkpoint: Optional[str] = None,
 ) -> List[Verdict]:
-    """Run every experiment (or ``only`` the listed ones) and check all
-    reproduction criteria.
+    """Run every requested experiment and check its reproduction criterion.
 
-    With ``jobs > 1`` the sweep fans out across worker processes via
-    :mod:`repro.parallel`; verdicts are bit-identical to the serial run
-    and come back in the same order.  ``timeout``/``retries`` bound each
-    task (an exhausted task yields a
-    :class:`~repro.parallel.executor.TaskFailure` in its slot instead of
-    killing the sweep), and ``checkpoint`` names a JSONL file that lets
-    an interrupted sweep resume from its completed experiments.
+    Canonical form: ``verify_all(RunRequest(...))`` — a thin list-valued
+    view over :func:`verify_sweep`.  The flat keyword form
+    (``verify_all(quick=..., only=..., jobs=...)``) is a deprecation
+    shim.  Failed or timed-out tasks come back as
+    :class:`~repro.parallel.executor.TaskFailure` entries in their slots
+    instead of killing the sweep.
     """
-    targets = only if only is not None else list(ALL_EXPERIMENTS)
-    if jobs == 1 and timeout is None and checkpoint is None:
-        return [
-            verify_experiment(name, quick=quick, seed=seed)
-            for name in targets
-        ]
-    from ..parallel.verify import verify_parallel
-
-    sweep = verify_parallel(
-        quick=quick,
-        seed=seed,
-        only=targets,
-        jobs=jobs,
-        timeout=timeout,
-        retries=retries,
-        checkpoint=checkpoint,
-    )
-    return sweep.verdicts
+    if request is None:
+        request = _legacy_request(
+            "verify_all",
+            experiments=tuple(only) if only is not None else (),
+            quick=quick,
+            seed=seed,
+            jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+            checkpoint=checkpoint,
+        )
+    return verify_sweep(request).verdicts

@@ -25,6 +25,7 @@ boolean check on every hot path.
 
 from .events import (
     CHARGE,
+    COALESCE,
     DELIVER,
     EVENT_KINDS,
     FAULT,
@@ -32,6 +33,7 @@ from .events import (
     ROUND,
     SPAN,
     ChargeEvent,
+    CoalesceEvent,
     DeliverEvent,
     FaultEvent,
     QueryBatchEvent,
@@ -51,6 +53,7 @@ from .sinks import MemorySink, MetricsSink, Sink
 
 __all__ = [
     "CHARGE",
+    "COALESCE",
     "DELIVER",
     "EVENT_KINDS",
     "FAULT",
@@ -59,6 +62,7 @@ __all__ = [
     "SPAN",
     "SCHEMA",
     "ChargeEvent",
+    "CoalesceEvent",
     "DeliverEvent",
     "FaultEvent",
     "JSONLSink",

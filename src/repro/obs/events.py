@@ -1,6 +1,6 @@
 """Typed events carried by the observability spine.
 
-Every accounting mechanism in the repository speaks through these six
+Every accounting mechanism in the repository speaks through these seven
 event kinds (DESIGN.md §"Observability spine"):
 
 * ``round`` — one engine communication round (message count, payload bits),
@@ -8,7 +8,11 @@ event kinds (DESIGN.md §"Observability spine"):
 * ``fault`` — one injected fault (drop / corrupt / delay / crash / recover),
 * ``query_batch`` — one application of the parallel oracle O^{⊗p},
 * ``charge`` — one :class:`~repro.core.cost.RoundLedger` phase charge,
-* ``span`` — begin/end of a named phase opened on the recorder.
+* ``span`` — begin/end of a named phase opened on the recorder,
+* ``coalesce`` — one :mod:`repro.sched` scheduler action: a physical
+  coalesced batch executed on the shared oracle (``memo="miss"``) or a
+  submission served straight from the content-addressed result memo
+  (``memo="hit"``, zero rounds).
 
 Events are small frozen dataclasses.  Each carries a ``span`` string — the
 ``/``-joined path of recorder spans open when it was emitted — so any sink
@@ -23,15 +27,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, ClassVar, Dict
 
-#: The six event kinds, as they appear in JSONL ``type`` fields.
+#: The seven event kinds, as they appear in JSONL ``type`` fields.
 ROUND = "round"
 DELIVER = "deliver"
 FAULT = "fault"
 QUERY_BATCH = "query_batch"
 CHARGE = "charge"
 SPAN = "span"
+COALESCE = "coalesce"
 
-EVENT_KINDS = (ROUND, DELIVER, FAULT, QUERY_BATCH, CHARGE, SPAN)
+EVENT_KINDS = (ROUND, DELIVER, FAULT, QUERY_BATCH, CHARGE, SPAN, COALESCE)
 
 
 @dataclass(frozen=True)
@@ -116,6 +121,27 @@ class SpanEvent:
     span: str = ""
 
 
+@dataclass(frozen=True)
+class CoalesceEvent:
+    """One scheduler coalescing action (:mod:`repro.sched`).
+
+    ``memo="miss"`` marks a physical coalesced batch — ``size`` queries
+    from ``submissions`` caller submissions across ``callers`` distinct
+    callers, executed for ``rounds`` network rounds.  ``memo="hit"``
+    marks a submission answered from the content-addressed result memo
+    (``rounds == 0``, ``submissions == callers == 1``).
+    """
+
+    kind: ClassVar[str] = COALESCE
+
+    size: int
+    submissions: int
+    callers: int
+    rounds: int
+    memo: str = "miss"  # "hit" | "miss"
+    span: str = ""
+
+
 def _jsonable(value: Any) -> Any:
     """Coerce an arbitrary payload into a JSON-serializable shape."""
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -150,5 +176,10 @@ def to_json(event: Any) -> Dict[str, Any]:
                 "span": event.span}
     if kind == SPAN:
         return {"type": SPAN, "name": event.name, "phase": event.phase,
+                "span": event.span}
+    if kind == COALESCE:
+        return {"type": COALESCE, "size": event.size,
+                "submissions": event.submissions, "callers": event.callers,
+                "rounds": event.rounds, "memo": event.memo,
                 "span": event.span}
     raise ValueError(f"unknown event kind {kind!r}")

@@ -5,7 +5,7 @@ One record per line.  The first line is a header::
     {"type": "meta", "schema": "repro-trace/1"}
 
 and every subsequent line is one event record as produced by
-:func:`repro.obs.events.to_json` — its ``type`` is one of the six event
+:func:`repro.obs.events.to_json` — its ``type`` is one of the seven event
 kinds and its remaining fields are fixed per type (see ``_REQUIRED``).
 The CI ``trace-smoke`` job round-trips a real experiment through this
 schema with :func:`validate_jsonl`.
@@ -18,6 +18,7 @@ from typing import Dict, Iterable
 
 from .events import (
     CHARGE,
+    COALESCE,
     DELIVER,
     EVENT_KINDS,
     FAULT,
@@ -39,6 +40,8 @@ _REQUIRED = {
     QUERY_BATCH: {"size": int, "label": str, "span": str},
     CHARGE: {"phase": str, "rounds": int, "span": str},
     SPAN: {"name": str, "phase": str, "span": str},
+    COALESCE: {"size": int, "submissions": int, "callers": int,
+               "rounds": int, "memo": str, "span": str},
 }
 
 

@@ -24,6 +24,7 @@ from typing import Any, Iterable, List, Optional
 
 from .events import (
     ChargeEvent,
+    CoalesceEvent,
     DeliverEvent,
     FaultEvent,
     QueryBatchEvent,
@@ -98,6 +99,19 @@ class Recorder:
     def charge(self, phase: str, rounds: int) -> None:
         self.emit(ChargeEvent(phase, rounds, self._span_path))
 
+    def coalesce(
+        self,
+        size: int,
+        submissions: int,
+        callers: int,
+        rounds: int,
+        memo: str = "miss",
+    ) -> None:
+        self.emit(
+            CoalesceEvent(size, submissions, callers, rounds, memo,
+                          self._span_path)
+        )
+
     # -- spans ----------------------------------------------------------
 
     @property
@@ -151,6 +165,9 @@ class NullRecorder(Recorder):
         pass
 
     def charge(self, phase, rounds) -> None:
+        pass
+
+    def coalesce(self, size, submissions, callers, rounds, memo="miss") -> None:
         pass
 
     def span(self, name: str):

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from .events import CHARGE, DELIVER, FAULT, QUERY_BATCH, ROUND, SPAN
+from .events import CHARGE, COALESCE, DELIVER, FAULT, QUERY_BATCH, ROUND, SPAN
 
 
 class Sink:
@@ -65,6 +65,12 @@ class MetricsSink(Sink):
         self.phase_span: Dict[str, str] = {}
         self.charged_by_span: Dict[str, int] = {}
         self.span_names: List[str] = []
+        self.coalesced_batches = 0
+        self.coalesced_queries = 0
+        self.coalesced_submissions = 0
+        self.coalesce_rounds = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     def handle(self, event) -> None:
         kind = event.kind
@@ -98,6 +104,15 @@ class MetricsSink(Sink):
         elif kind == SPAN:
             if event.phase == "begin" and event.span not in self.span_names:
                 self.span_names.append(event.span)
+        elif kind == COALESCE:
+            if event.memo == "hit":
+                self.memo_hits += 1
+            else:
+                self.memo_misses += 1
+                self.coalesced_batches += 1
+                self.coalesced_queries += event.size
+                self.coalesced_submissions += event.submissions
+                self.coalesce_rounds += event.rounds
 
     # -- cross-process merge --------------------------------------------
 
@@ -144,6 +159,12 @@ class MetricsSink(Sink):
         for name in other.span_names:
             if name not in self.span_names:
                 self.span_names.append(name)
+        self.coalesced_batches += other.coalesced_batches
+        self.coalesced_queries += other.coalesced_queries
+        self.coalesced_submissions += other.coalesced_submissions
+        self.coalesce_rounds += other.coalesce_rounds
+        self.memo_hits += other.memo_hits
+        self.memo_misses += other.memo_misses
         return self
 
     # -- checkpoint serialization ---------------------------------------
@@ -172,6 +193,12 @@ class MetricsSink(Sink):
             "phase_span": dict(self.phase_span),
             "charged_by_span": dict(self.charged_by_span),
             "span_names": list(self.span_names),
+            "coalesced_batches": self.coalesced_batches,
+            "coalesced_queries": self.coalesced_queries,
+            "coalesced_submissions": self.coalesced_submissions,
+            "coalesce_rounds": self.coalesce_rounds,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
         }
 
     @classmethod
@@ -194,6 +221,14 @@ class MetricsSink(Sink):
         sink.phase_span = dict(state["phase_span"])
         sink.charged_by_span = dict(state["charged_by_span"])
         sink.span_names = list(state["span_names"])
+        # Coalesce counters arrived after repro-checkpoint/1 shipped;
+        # default to zero so pre-scheduler snapshots still load.
+        sink.coalesced_batches = state.get("coalesced_batches", 0)
+        sink.coalesced_queries = state.get("coalesced_queries", 0)
+        sink.coalesced_submissions = state.get("coalesced_submissions", 0)
+        sink.coalesce_rounds = state.get("coalesce_rounds", 0)
+        sink.memo_hits = state.get("memo_hits", 0)
+        sink.memo_misses = state.get("memo_misses", 0)
         return sink
 
     # -- derived --------------------------------------------------------
@@ -234,4 +269,8 @@ class MetricsSink(Sink):
             "charges_by_phase": dict(self.charges_by_phase),
             "charged_by_span": dict(self.charged_by_span),
             "spans": list(self.span_names),
+            "coalesced_batches": self.coalesced_batches,
+            "coalesced_queries": self.coalesced_queries,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
         }

@@ -74,20 +74,20 @@ def _verify_task(
     """
     from ..experiments.runner import (
         CRITERIA,
+        RunRequest,
         Verdict,
         run_instrumented,
         verify_experiment,
     )
 
+    request = RunRequest(experiments=(experiment,), quick=quick, seed=seed)
     if shard_path is None:
         return _TaskPayload(
-            verdict=verify_experiment(experiment, quick=quick, seed=seed),
+            verdict=verify_experiment(request),
             metrics=None,
             shard=None,
         )
-    run = run_instrumented(
-        experiment, quick=quick, seed=seed, jsonl_path=shard_path
-    )
+    run = run_instrumented(request.replace(jsonl=shard_path))
     passed, detail = CRITERIA[experiment](run.result)
     return _TaskPayload(
         verdict=Verdict(experiment=experiment, passed=passed, detail=detail),

@@ -14,7 +14,10 @@ Three workload families, matching the PR-2 optimization targets:
   <5% disabled-path budget),
 * :mod:`repro.perf.parallel_bench` — the :mod:`repro.parallel` sweep
   executor (serial vs multi-process ``verify_all`` on the quick
-  verification sweep; asserts verdict identity before timing).
+  verification sweep; asserts verdict identity before timing),
+* :mod:`repro.perf.sched_bench` — the :mod:`repro.sched` coalescing
+  scheduler (amortized rounds-per-query vs concurrent caller count at
+  fixed p; asserts bit-identical-to-serial equivalence before timing).
 
 ``python -m repro bench`` runs all of them and writes ``BENCH_PR2.json``
 (schema documented in ``benchmarks/perf/README.md``);
@@ -37,6 +40,7 @@ from .harness import (
 )
 from .obs_bench import OVERHEAD_BUDGET, obs_overhead_workload
 from .parallel_bench import parallel_verify_workload
+from .sched_bench import sched_coalescing_workload
 
 WORKLOADS = {
     "engine": engine_flooding_workload,
@@ -44,6 +48,7 @@ WORKLOADS = {
     "framework": framework_repeat_workload,
     "obs": obs_overhead_workload,
     "parallel": parallel_verify_workload,
+    "sched": sched_coalescing_workload,
 }
 
 
@@ -73,5 +78,6 @@ __all__ = [
     "obs_overhead_workload",
     "parallel_verify_workload",
     "run_all",
+    "sched_coalescing_workload",
     "write_report",
 ]

@@ -17,6 +17,7 @@ from ..congest import topologies
 from ..congest.network import Network
 from ..core.framework import (
     DistributedInput,
+    FrameworkConfig,
     FrameworkRun,
     invalidate_prepared,
     run_framework,
@@ -37,10 +38,10 @@ def _algorithm(oracle, _rng):
 
 
 def _invoke(net: Network, di: DistributedInput, reuse: bool) -> FrameworkRun:
-    return run_framework(
-        net, _algorithm, parallelism=2, dist_input=di, mode="engine",
-        seed=5, reuse_setup=reuse,
-    )
+    return run_framework(net, _algorithm, config=FrameworkConfig(
+        parallelism=2, dist_input=di, mode="engine", seed=5,
+        reuse_setup=reuse,
+    ))
 
 
 def framework_repeat_workload(quick: bool = False) -> WorkloadResult:

@@ -80,10 +80,11 @@ def _fanout_entry(jobs: int, nap_s: float = 0.2) -> dict:
 def parallel_verify_workload(quick: bool = False) -> WorkloadResult:
     """Time serial vs parallel ``verify_all`` on the quick-mode sweep."""
     from ..experiments import ALL_EXPERIMENTS
-    from ..experiments.runner import verify_all
+    from ..experiments.runner import RunRequest, verify_all
 
     targets = _QUICK_TARGETS if quick else list(ALL_EXPERIMENTS)
     job_counts = [2] if quick else [2, 4]
+    request = RunRequest(experiments=tuple(targets), quick=True)
 
     result = WorkloadResult(
         name="parallel_verify",
@@ -94,21 +95,21 @@ def parallel_verify_workload(quick: bool = False) -> WorkloadResult:
         ),
     )
 
-    serial = verify_all(quick=True, only=targets)
+    serial = verify_all(request)
     for jobs in job_counts:
-        parallel = verify_all(quick=True, only=targets, jobs=jobs)
+        parallel = verify_all(request.replace(jobs=jobs))
         if _verdict_tuples(serial) != _verdict_tuples(parallel):
             raise AssertionError(
                 f"parallel verdicts diverge from serial at jobs={jobs}: "
                 f"{_verdict_tuples(parallel)} vs {_verdict_tuples(serial)}"
             )
     t_serial = measure(
-        lambda: verify_all(quick=True, only=targets), reps=1, warmup=0
+        lambda: verify_all(request), reps=1, warmup=0
     )
     cpus = _cpus()
     for jobs in job_counts:
         t_parallel = measure(
-            lambda jobs=jobs: verify_all(quick=True, only=targets, jobs=jobs),
+            lambda jobs=jobs: verify_all(request.replace(jobs=jobs)),
             reps=1, warmup=0,
         )
         result.sweep.append({

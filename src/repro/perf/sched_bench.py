@@ -1,0 +1,211 @@
+"""Coalescing-scheduler throughput: amortized rounds-per-query vs callers.
+
+The :mod:`repro.sched` pitch is amortization: Theorem 8 charges a full
+width-p batch whether one caller fills it or eight do, so packing many
+callers' under-filled submissions into one physical
+distribute/convergecast divides the batch cost across all of their
+queries.  This workload measures exactly that claim.  Each synchronous
+caller submits a small burst of under-filled query sets and then redeems
+them (redemption is the execution barrier a real caller hits); with c
+concurrent callers, c bursts are pending at every barrier, so physical
+batches get fuller as c grows while the metered per-caller accounting —
+pinned by :func:`repro.sched.verify.verify_coalescing` before anything is
+timed — never changes.
+
+Reported per sweep point: physical and serial round totals (the
+hardware-independent "speedup" is their ratio), amortized
+rounds-per-query, and wall times.  The workload *asserts* that amortized
+rounds-per-query strictly decreases as the caller count grows at fixed p
+— that is the acceptance bar, not a hope.  A final sweep point replays
+the largest workload against a warm :class:`repro.sched.ResultMemo` and
+reports its hit rate and round cost (zero).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..congest import topologies
+from ..congest.network import Network
+from ..core.framework import DistributedInput, FrameworkConfig, run_framework
+from ..core.semigroup import sum_semigroup
+from ..sched import CoalescingScheduler, verify_coalescing
+from .harness import WorkloadResult, measure
+
+
+def _make_case(rows: int, cols: int, k: int) -> Tuple[Network, FrameworkConfig]:
+    net = topologies.grid(rows, cols)
+    rnd = random.Random(11)
+    vectors = {
+        v: [rnd.randint(0, 7) for _ in range(k)] for v in net.nodes()
+    }
+    di = DistributedInput(vectors=vectors, semigroup=sum_semigroup(8 * net.n))
+    return net, FrameworkConfig(parallelism=1, dist_input=di, seed=4, leader=0)
+
+
+def _burst_workload(
+    callers: int, bursts: int, subs_per_burst: int, sub_size: int, k: int
+) -> List[List[Tuple[str, List[int], str]]]:
+    """Per-burst arrival lists of (caller, indices, label) submissions."""
+    out = []
+    for r in range(bursts):
+        arrivals = []
+        for c in range(callers):
+            for s in range(subs_per_burst):
+                base = (c * 131 + r * 17 + s * 7) % k
+                indices = [(base + j * 3) % k for j in range(sub_size)]
+                arrivals.append((f"caller{c}", indices, f"burst{r}"))
+        out.append(arrivals)
+    return out
+
+
+def _run_coalesced(
+    net: Network,
+    cfg: FrameworkConfig,
+    bursts: List[List[Tuple[str, List[int], str]]],
+    memo=False,
+) -> CoalescingScheduler:
+    """Burst semantics: all callers submit, then every ticket is redeemed."""
+    sched = CoalescingScheduler(net, cfg, memo=memo)
+    for arrivals in bursts:
+        tickets = [
+            sched.submit(caller, indices, label=label)
+            for caller, indices, label in arrivals
+        ]
+        for ticket in tickets:
+            sched.result(ticket)
+    return sched
+
+
+def _run_serial(
+    net: Network,
+    cfg: FrameworkConfig,
+    bursts: List[List[Tuple[str, List[int], str]]],
+) -> int:
+    """Every caller on its own oracle; returns summed non-setup rounds."""
+    by_caller: Dict[str, List[Tuple[List[int], str]]] = {}
+    for arrivals in bursts:
+        for caller, indices, label in arrivals:
+            by_caller.setdefault(caller, []).append((indices, label))
+    total = 0
+    for items in by_caller.values():
+        def algorithm(oracle, _rng, items=items):
+            for indices, label in items:
+                oracle.query_batch(indices, label=label)
+
+        run = run_framework(net, algorithm, config=cfg)
+        total += sum(
+            rounds for phase, rounds in run.rounds.by_phase().items()
+            if not phase.startswith("setup")
+        )
+    return total
+
+
+def sched_coalescing_workload(quick: bool = False) -> WorkloadResult:
+    """Amortized rounds-per-query vs concurrent caller count at fixed p."""
+    if quick:
+        rows, cols, k, p = 4, 4, 64, 16
+        caller_counts, bursts_n, subs, size = [1, 2, 4], 2, 2, 2
+    else:
+        rows, cols, k, p = 5, 5, 128, 64
+        caller_counts, bursts_n, subs, size = [1, 2, 4, 8], 3, 2, 3
+
+    net, base = _make_case(rows, cols, k)
+    cfg = base.replace(parallelism=p)
+
+    result = WorkloadResult(
+        name="sched_coalescing",
+        description=(
+            "synchronous callers submitting under-filled query bursts "
+            "against one shared oracle: private run_framework per caller "
+            "(serial) vs the repro.sched coalescing scheduler; speedup is "
+            "the hardware-independent serial/coalesced round ratio "
+            "(bit-identical outputs and exact per-caller ledgers asserted "
+            "before timing)"
+        ),
+    )
+
+    amortized_trace: List[float] = []
+    for callers in caller_counts:
+        bursts = _burst_workload(callers, bursts_n, subs, size, k)
+        flat = [item for arrivals in bursts for item in arrivals]
+
+        verdict = verify_coalescing(net, cfg, flat)
+        if not verdict.identical:
+            raise AssertionError(
+                f"coalescing equivalence broken at callers={callers}: "
+                f"{verdict.detail}"
+            )
+
+        sched = _run_coalesced(net, cfg, bursts)
+        report = sched.report()
+        serial_rounds = _run_serial(net, cfg, bursts)
+        amortized = report.amortized_rounds_per_query
+        amortized_trace.append(amortized)
+
+        t_serial = measure(lambda: _run_serial(net, cfg, bursts), reps=3)
+        t_coal = measure(lambda: _run_coalesced(net, cfg, bursts), reps=3)
+        result.sweep.append({
+            "callers": callers,
+            "p": p,
+            "queries": report.total_queries,
+            "submissions": report.submissions,
+            "physical_batches": report.physical_batches,
+            "serial_rounds": serial_rounds,
+            "coalesced_rounds": report.physical_query_rounds,
+            "serial_rounds_per_query": serial_rounds / report.total_queries,
+            "amortized_rounds_per_query": amortized,
+            "round_saving": 1.0 - report.physical_query_rounds / serial_rounds,
+            "serial_s": t_serial,
+            "coalesced_s": t_coal,
+            "speedup": serial_rounds / report.physical_query_rounds,
+        })
+
+    for prev, cur in zip(amortized_trace, amortized_trace[1:]):
+        if not cur < prev:
+            raise AssertionError(
+                f"amortized rounds-per-query must strictly decrease with "
+                f"caller count at fixed p={p}, got {amortized_trace}"
+            )
+
+    # Memo replay: the same content-addressed submissions answered twice.
+    callers = caller_counts[-1]
+    bursts = _burst_workload(callers, bursts_n, subs, size, k)
+    warm = _run_coalesced(net, cfg, bursts, memo=True)
+    replay = CoalescingScheduler(net, cfg, memo=warm.memo)
+    tickets = [
+        replay.submit(caller, indices, label=label)
+        for arrivals in bursts for caller, indices, label in arrivals
+    ]
+    replay.drain()
+    for ticket, (_, indices, _label) in zip(
+        tickets, (item for arrivals in bursts for item in arrivals)
+    ):
+        sub_values = replay.result(ticket)
+        if len(sub_values) != len(indices):
+            raise AssertionError("memo replay returned a short submission")
+    replay_report = replay.report()
+    if replay_report.physical_query_rounds != 0:
+        raise AssertionError(
+            f"memo replay paid {replay_report.physical_query_rounds} rounds"
+        )
+    result.sweep.append({
+        "callers": callers,
+        "p": p,
+        "queries": replay_report.total_queries,
+        "memo_hits": replay_report.memo_hits,
+        "memo_misses": replay_report.memo_misses,
+        "memo_hit_rate": warm.memo.hit_rate,
+        "coalesced_rounds": replay_report.physical_query_rounds,
+        "amortized_rounds_per_query":
+            replay_report.amortized_rounds_per_query,
+    })
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual convenience
+    wl = sched_coalescing_workload()
+    for entry in wl.sweep:
+        print(entry)
+    print(f"best speedup {wl.best_speedup:.2f}x")

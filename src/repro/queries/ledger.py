@@ -80,6 +80,17 @@ class QueryLedger:
     def batches_labeled(self, label: str) -> int:
         return sum(1 for r in self.records if r.label == label)
 
+    def signature(self) -> tuple:
+        """The hashable ``((size, label), ...)`` record trace.
+
+        Two ledgers with equal signatures metered byte-for-byte the same
+        batch sequence.  The :mod:`repro.sched` equivalence verifier pins
+        coalesced-vs-serial runs on this: a caller's ledger under the
+        scheduler must carry the *exact* signature its private serial
+        oracle would have produced.
+        """
+        return tuple((r.size, r.label) for r in self.records)
+
     def reset(self) -> None:
         self.records.clear()
 

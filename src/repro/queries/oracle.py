@@ -16,7 +16,10 @@ Two faces, one contract:
   indices are always re-verified through metered queries.
 
 The CONGEST framework provides its own :class:`BatchOracle` implementation
-whose ``query_batch`` additionally charges network rounds (Theorem 8).
+whose ``query_batch`` additionally charges network rounds (Theorem 8), and
+:class:`repro.sched.CallerOracle` adapts one caller's slot on a shared
+query-batch coalescing scheduler to this same interface — algorithms never
+see which implementation answers them.
 """
 
 from __future__ import annotations

@@ -1,0 +1,131 @@
+"""Content-addressed result memo for the coalescing scheduler.
+
+Query values served by a :class:`~repro.core.framework.CongestBatchOracle`
+are deterministic functions of the oracle's *content*: the network
+topology, the semigroup, and the per-node input vectors (or the value
+computer).  Two submissions asking for the same index multiset against
+the same content therefore receive bit-identical answers — the second
+distribute/convergecast is pure waste.  The memo exploits this with a
+content address::
+
+    (oracle fingerprint) x (sorted index tuple)  ->  {index: value}
+
+The *oracle fingerprint* (:func:`oracle_fingerprint`) hashes everything
+the answer can depend on; a mutated input or a different topology yields
+a different fingerprint, so stale entries can never be served — there is
+no invalidation protocol, only addresses that stop being asked for.
+Index tuples are sorted (duplicates kept) so permuted submissions share
+one entry; values are stored per index and re-ordered to the submission
+order at serve time.
+
+Hit/miss counters feed the scheduler's ``coalesce`` events on the
+observability spine (:mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..congest.network import Network
+from ..core.framework import FrameworkConfig
+
+__all__ = ["ResultMemo", "oracle_fingerprint"]
+
+
+def oracle_fingerprint(
+    network: Network, config: FrameworkConfig
+) -> Optional[str]:
+    """Hash everything a query answer can depend on, or None.
+
+    Returns ``None`` when the content cannot be fingerprinted — an
+    on-the-fly :class:`~repro.core.framework.ValueComputer` without a
+    ``fingerprint()`` method — in which case the memo must stay disabled
+    for that oracle (serving would risk wrong answers across inputs).
+
+    The execution ``mode`` is deliberately excluded: formula and engine
+    mode answer queries with identical *values* (only the round charges
+    differ), and the memo stores values, never charges.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(b"congest-oracle/1;")
+    h.update(network.topology_fingerprint().encode())
+    if config.dist_input is not None:
+        di = config.dist_input
+        sg = di.semigroup
+        h.update(f";sg={sg.name}/{sg.bits};k={di.k}".encode())
+        for v in sorted(di.vectors):
+            h.update(f";{v}:".encode())
+            h.update(",".join(str(x) for x in di.vectors[v]).encode())
+        return h.hexdigest()
+    if config.computer is not None:
+        fp = getattr(config.computer, "fingerprint", None)
+        token = fp() if callable(fp) else None
+        if not isinstance(token, str) or not token:
+            return None
+        sg = config.semigroup
+        sg_token = f"{sg.name}/{sg.bits}" if sg is not None else "none"
+        h.update(f";computer={token};k={config.k};sg={sg_token}".encode())
+        return h.hexdigest()
+    return None
+
+
+class ResultMemo:
+    """The content-addressed store; shareable across schedulers.
+
+    One memo object may serve any number of schedulers (even over
+    different networks and inputs) because every entry is addressed by
+    the full oracle fingerprint — cross-oracle collisions are
+    cryptographically excluded rather than procedurally avoided.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive when set")
+        self._entries: Dict[Tuple[str, Tuple[int, ...]], Dict[int, Any]] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(fingerprint: str, indices: Sequence[int]) -> Tuple[str, Tuple[int, ...]]:
+        return (fingerprint, tuple(sorted(indices)))
+
+    def lookup(
+        self, fingerprint: str, indices: Sequence[int]
+    ) -> Optional[List[Any]]:
+        """Values in submission order on a hit, else None; counts either way."""
+        entry = self._entries.get(self._key(fingerprint, indices))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [entry[j] for j in indices]
+
+    def store(
+        self, fingerprint: str, indices: Sequence[int], values: Sequence[Any]
+    ) -> None:
+        """Record one answered submission (silently bounded by max_entries)."""
+        if len(indices) != len(values):
+            raise ValueError(
+                f"{len(indices)} indices but {len(values)} values"
+            )
+        if (
+            self.max_entries is not None
+            and len(self._entries) >= self.max_entries
+        ):
+            return
+        self._entries[self._key(fingerprint, indices)] = dict(
+            zip(indices, values)
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,148 @@
+"""ResultMemo: content addressing, hits, and invalidation-by-fingerprint."""
+
+import pytest
+
+from repro.congest import topologies
+from repro.core.framework import DistributedInput, FrameworkConfig
+from repro.core.semigroup import sum_semigroup
+from repro.sched import CoalescingScheduler, ResultMemo, oracle_fingerprint
+
+
+K = 16
+
+
+def make_config(network, bump=0):
+    # bump shifts node 0's whole vector, so every aggregate sum moves.
+    vectors = {
+        v: [(v + j) % 3 + (bump if v == 0 else 0) for j in range(K)]
+        for v in network.nodes()
+    }
+    di = DistributedInput(vectors, sum_semigroup(4 * network.n))
+    return FrameworkConfig(parallelism=4, dist_input=di, seed=1, leader=0)
+
+
+@pytest.fixture
+def network():
+    return topologies.grid(3, 3)
+
+
+class TestFingerprint:
+    def test_stable_for_same_content(self, network):
+        cfg = make_config(network)
+        assert oracle_fingerprint(network, cfg) == oracle_fingerprint(
+            network, make_config(network)
+        )
+
+    def test_changes_with_input_vectors(self, network):
+        assert oracle_fingerprint(network, make_config(network)) != (
+            oracle_fingerprint(network, make_config(network, bump=1))
+        )
+
+    def test_changes_with_topology(self, network):
+        cfg = make_config(network)
+        other = topologies.path(9)  # same n, different edges
+        other_cfg = make_config(other)
+        assert oracle_fingerprint(network, cfg) != oracle_fingerprint(
+            other, other_cfg
+        )
+
+    def test_unfingerprintable_computer_returns_none(self, network):
+        from repro.core.framework import ValueComputer
+
+        class Opaque(ValueComputer):
+            def compute(self, indices):
+                return {j: {0: 1} for j in indices}, 1
+
+            def alpha(self, p):
+                return 1
+
+        cfg = FrameworkConfig(
+            parallelism=2, computer=Opaque(), k=K,
+            semigroup=sum_semigroup(network.n),
+        )
+        assert oracle_fingerprint(network, cfg) is None
+        sched = CoalescingScheduler(network, cfg)  # memo requested...
+        assert sched.memo is None  # ...but safely disabled
+
+
+class TestMemoServing:
+    def test_identical_resubmission_hits(self, network):
+        cfg = make_config(network)
+        sched = CoalescingScheduler(network, cfg)
+        first = sched.result(sched.submit("a", [0, 3, 5]))
+        rounds_after_first = sched.report().physical_query_rounds
+        again = sched.result(sched.submit("b", [0, 3, 5]))
+        assert again == first
+        assert sched.report().physical_query_rounds == rounds_after_first
+        assert sched.memo.hits == 1
+
+    def test_permuted_indices_share_entry(self, network):
+        cfg = make_config(network)
+        sched = CoalescingScheduler(network, cfg)
+        fwd = sched.result(sched.submit("a", [1, 2, 4]))
+        rev = sched.result(sched.submit("a", [4, 2, 1]))
+        assert rev == list(reversed(fwd))
+        assert sched.memo.hits == 1
+
+    def test_memo_shared_across_schedulers(self, network):
+        cfg = make_config(network)
+        memo = ResultMemo()
+        warm = CoalescingScheduler(network, cfg, memo=memo)
+        warm.result(warm.submit("a", [0, 1]))
+        replay = CoalescingScheduler(network, cfg, memo=memo)
+        replay.result(replay.submit("b", [0, 1]))
+        assert replay.report().physical_query_rounds == 0
+        assert memo.hits == 1
+
+    def test_changed_oracle_never_served_stale(self, network):
+        """The invalidation story: a new fingerprint is a new address."""
+        memo = ResultMemo()
+        cfg_a = make_config(network)
+        cfg_b = make_config(network, bump=1)  # same indices, new content
+        a = CoalescingScheduler(network, cfg_a, memo=memo)
+        va = a.result(a.submit("x", [0, 1, 2]))
+        b = CoalescingScheduler(network, cfg_b, memo=memo)
+        vb = b.result(b.submit("x", [0, 1, 2]))
+        assert memo.hits == 0  # cfg_b's lookup missed despite same indices
+        assert b.report().physical_query_rounds > 0
+        assert va != vb  # and the fresh answer reflects the new content
+
+    def test_hit_counters_feed_accounts(self, network):
+        cfg = make_config(network)
+        sched = CoalescingScheduler(network, cfg)
+        sched.result(sched.submit("a", [0, 1]))
+        sched.result(sched.submit("a", [0, 1]))
+        assert sched.account("a").memo_hits == 1
+        report = sched.report()
+        assert (report.memo_hits, report.memo_misses) == (1, 1)
+
+
+class TestResultMemoStore:
+    def test_lookup_counts_both_ways(self):
+        memo = ResultMemo()
+        assert memo.lookup("fp", [1, 2]) is None
+        memo.store("fp", [1, 2], ["a", "b"])
+        assert memo.lookup("fp", [2, 1]) == ["b", "a"]
+        assert (memo.hits, memo.misses) == (1, 1)
+        assert memo.hit_rate == 0.5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ResultMemo().store("fp", [1, 2], ["only-one"])
+
+    def test_max_entries_bounds_growth(self):
+        memo = ResultMemo(max_entries=1)
+        memo.store("fp", [1], ["a"])
+        memo.store("fp", [2], ["b"])  # silently dropped
+        assert len(memo) == 1
+        assert memo.lookup("fp", [2]) is None
+
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            ResultMemo(max_entries=0)
+
+    def test_clear_empties_store(self):
+        memo = ResultMemo()
+        memo.store("fp", [1], ["a"])
+        memo.clear()
+        assert len(memo) == 0
