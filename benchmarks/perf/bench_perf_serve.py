@@ -1,0 +1,26 @@
+"""Quick-mode smoke wrapper: serving-daemon benchmark.
+
+The workload raises unless every accepted open-loop request completes
+and the daemon's amortized rounds-per-query is no worse than the
+synchronous scheduler's on the identical arrival sequence at equal
+width, so collecting it under pytest enforces the PR-6 acceptance bar.
+See DESIGN.md §6g.
+"""
+
+from repro.perf.serve_bench import serve_daemon_workload
+
+
+def test_serve_daemon_quick():
+    wl = serve_daemon_workload(quick=True)
+    assert len(wl.sweep) >= 2
+    modes = {e["mode"] for e in wl.sweep}
+    assert modes == {"formula", "engine"}  # both execution paths covered
+    for entry in wl.sweep:
+        # Stepping batches on an event loop must not cost rounds.
+        assert (
+            entry["serve_rounds_per_query"]
+            <= entry["sync_rounds_per_query"] * 1.02
+        ), entry
+        assert entry["qps"] > 0
+        assert entry["p99_ms"] >= entry["p50_ms"] >= 0
+        assert entry["batches"] > 0

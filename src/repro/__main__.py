@@ -20,6 +20,11 @@ Usage::
                                          # ... checkpointing completed
                                          # experiments so a killed sweep
                                          # resumes where it stopped
+    python -m repro serve --clients 1000 --tenants 4 --jsonl serve.jsonl
+                                         # run the multi-tenant serving
+                                         # daemon against a deterministic
+                                         # open-loop load, drain cleanly,
+                                         # print qps + latency percentiles
 """
 
 from __future__ import annotations
@@ -78,13 +83,55 @@ def main(argv=None) -> int:
         help="small instances; a correctness smoke check, not a perf claim",
     )
     bench_parser.add_argument(
-        "--out", default="BENCH_PR2.json", help="report output path"
+        "--out", default=None,
+        help="report output path (default BENCH_PR2.json; a serve-only "
+        "run defaults to BENCH_PR6.json)",
     )
     bench_parser.add_argument(
         "--workload", action="append", dest="workloads", default=None,
         metavar="NAME",
         help="run only this workload (repeatable): engine, gates, "
-        "framework, obs, parallel, sched",
+        "framework, obs, parallel, sched, serve",
+    )
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the multi-tenant query-serving daemon against a "
+        "deterministic open-loop synthetic load, drain on completion "
+        "(or SIGINT/SIGTERM), and print throughput and latency "
+        "percentiles",
+    )
+    serve_parser.add_argument("--clients", type=int, default=1000,
+                              help="simulated client requests to offer")
+    serve_parser.add_argument("--tenants", type=int, default=4)
+    serve_parser.add_argument("--rate-hz", type=float, default=2000.0,
+                              help="aggregate Poisson arrival rate")
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--rows", type=int, default=4)
+    serve_parser.add_argument("--cols", type=int, default=4)
+    serve_parser.add_argument("--k", type=int, default=64,
+                              help="query index domain size")
+    serve_parser.add_argument("--parallelism", type=int, default=8,
+                              help="oracle batch width p")
+    serve_parser.add_argument("--mode", choices=["formula", "engine"],
+                              default="formula")
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=1 << 16,
+        help="per-tenant queue bound (lower it to see backpressure)",
+    )
+    serve_parser.add_argument(
+        "--time-scale", type=float, default=0.0,
+        help="virtual-to-wall clock factor for arrivals (0 = as fast "
+        "as the loop allows)",
+    )
+    serve_parser.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="stream the session's serve.*/coalesce/charge events to "
+        "PATH in the repro-trace/1 schema (validated after the run)",
+    )
+    serve_parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the session report as pure JSON to PATH "
+        "(stdout mixes the report with human-readable summary lines)",
     )
     verify_parser = sub.add_parser(
         "verify",
@@ -157,11 +204,49 @@ def main(argv=None) -> int:
         from .perf import run_all, write_report
         from .perf.harness import format_summary
 
+        out = args.out
+        if out is None:
+            # The serving workload ships its own report file so the PR 2
+            # baseline report is never clobbered by a serve-only run.
+            out = (
+                "BENCH_PR6.json" if args.workloads == ["serve"]
+                else "BENCH_PR2.json"
+            )
         start = time.time()
         report = run_all(quick=args.quick, workloads=args.workloads)
-        write_report(report, args.out)
+        write_report(report, out)
         print(format_summary(report))
-        print(f"(wrote {args.out} in {time.time() - start:.1f}s)")
+        print(f"(wrote {out} in {time.time() - start:.1f}s)")
+        return 0
+
+    if args.command == "serve":
+        import json
+
+        from .serve import run_serve_session
+
+        start = time.time()
+        session = run_serve_session(
+            clients=args.clients, tenants=args.tenants,
+            rate_hz=args.rate_hz, seed=args.seed, rows=args.rows,
+            cols=args.cols, k=args.k, parallelism=args.parallelism,
+            mode=args.mode, max_pending=args.max_pending,
+            time_scale=args.time_scale, jsonl=args.jsonl,
+        )
+        load = session["load"]
+        if args.report is not None:
+            with open(args.report, "w") as fh:
+                json.dump(session, fh, indent=2, sort_keys=True, default=str)
+                fh.write("\n")
+        print(json.dumps(session, indent=2, sort_keys=True, default=str))
+        print(
+            f"(served {load['completed']}/{load['offered']} requests at "
+            f"{load['qps']:.0f} q/s, p50 {load['p50_ms']:.2f}ms, "
+            f"p99 {load['p99_ms']:.2f}ms, drained in "
+            f"{time.time() - start:.1f}s)"
+        )
+        if args.jsonl is not None:
+            total = sum(session["trace"]["records"].values())
+            print(f"wrote {args.jsonl}: {total} records valid")
         return 0
 
     if args.command == "verify":

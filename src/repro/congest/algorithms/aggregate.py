@@ -17,18 +17,33 @@ along every tree edge.
 
 Both run on the engine with real messages and return measured rounds,
 which benchmarks compare against the depth + t bound.
+
+Each transfer also exists as a *round generator* (:func:`upcast_steps`,
+:func:`downcast_steps`): one engine round per ``next()``, final value via
+``StopIteration``.  The blocking functions drive the same generators, so
+the stepwise path — which the :mod:`repro.serve` daemon interleaves on an
+event loop — is bit-identical to the monolithic one by construction.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..encoding import Field
-from ..engine import run_program
+from ..engine import Engine, run_program
 from ..messages import Inbox
 from ..network import Network
 from ..program import Context, NodeProgram
 from .bfs import BFSResult
+
+
+def drive(gen: Iterator) -> object:
+    """Drain a round generator and return its ``StopIteration`` value."""
+    while True:
+        try:
+            next(gen)
+        except StopIteration as stop:
+            return stop.value
 
 
 class UpcastProgram(NodeProgram):
@@ -189,6 +204,27 @@ def build_upcast_programs(
     }
 
 
+def upcast_steps(
+    network: Network,
+    tree: BFSResult,
+    values: Dict[int, Sequence[int]],
+    combine: Callable[[int, int], int],
+    domain: int,
+    seed: Optional[int] = None,
+) -> Iterator[int]:
+    """Stepwise convergecast: yields each engine round number as it runs.
+
+    The generator's return value is ``(combined vector at the root,
+    measured rounds)`` — the same tuple :func:`pipelined_upcast` returns.
+    """
+    programs = build_upcast_programs(network, tree, values, combine, domain)
+    stepper = Engine(network, programs, seed=seed).stepper()
+    while stepper.step():
+        yield stepper.rounds
+    result = stepper.result
+    return tuple(result.outputs[tree.root]), result.rounds
+
+
 def pipelined_upcast(
     network: Network,
     tree: BFSResult,
@@ -202,23 +238,20 @@ def pipelined_upcast(
     Returns:
         (combined vector at the root, measured rounds).
     """
-    programs = build_upcast_programs(network, tree, values, combine, domain)
-    result = run_program(network, programs, seed=seed)
-    root_output = result.outputs[tree.root]
-    return tuple(root_output), result.rounds
+    return drive(upcast_steps(network, tree, values, combine, domain, seed=seed))
 
 
-def pipelined_downcast(
+def downcast_steps(
     network: Network,
     tree: BFSResult,
     values: Sequence[int],
     domain: int,
     seed: Optional[int] = None,
-) -> Tuple[Dict[int, Tuple[int, ...]], int]:
-    """Broadcast a t-vector from the tree root to every node.
+) -> Iterator[int]:
+    """Stepwise broadcast: yields each engine round number as it runs.
 
-    Returns:
-        (per-node received vectors, measured rounds).
+    The generator's return value is ``(per-node received vectors,
+    measured rounds)`` — the same tuple :func:`pipelined_downcast` returns.
     """
     children = tree.children()
     length = len(values)
@@ -233,9 +266,27 @@ def pipelined_downcast(
         )
         for v in network.nodes()
     }
-    result = run_program(network, programs, seed=seed)
+    stepper = Engine(network, programs, seed=seed).stepper()
+    while stepper.step():
+        yield stepper.rounds
+    result = stepper.result
     received = {v: tuple(result.outputs[v]) for v in network.nodes()}
     return received, result.rounds
+
+
+def pipelined_downcast(
+    network: Network,
+    tree: BFSResult,
+    values: Sequence[int],
+    domain: int,
+    seed: Optional[int] = None,
+) -> Tuple[Dict[int, Tuple[int, ...]], int]:
+    """Broadcast a t-vector from the tree root to every node.
+
+    Returns:
+        (per-node received vectors, measured rounds).
+    """
+    return drive(downcast_steps(network, tree, values, domain, seed=seed))
 
 
 def aggregate_single(

@@ -28,13 +28,24 @@ traffic statistics — the determinism property tests pin this down):
 
 Round accounting and CONGEST semantics are unchanged by the scheduler: a
 skipped node is exactly a node whose execution would have been a no-op.
+
+Both loops are written as *round generators* (:meth:`Engine.steps`): each
+``next()`` executes exactly one communication round and the generator's
+return value is the :class:`RunResult`.  :meth:`Engine.run` simply drives
+the generator to exhaustion, so the monolithic and stepwise paths are the
+same code — bit-identity between ``run()`` and an :class:`EngineStepper`
+is structural, and the hypothesis pinning in
+``tests/congest/test_engine_step.py`` re-proves it end to end.  The
+stepper is what lets one event loop interleave many in-flight executions
+(the :mod:`repro.serve` daemon) and is the seam for live tracing and
+cooperative timeouts.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -193,18 +204,50 @@ class Engine:
         #: round it was handed to ``on_round``.
         self._inbox_buf: Dict[int, List[Message]] = {}
         self._inbox_touched: List[int] = []
+        #: Re-entrancy latch: True while a :meth:`steps` generator is live.
+        self._running = False
 
     def run(self) -> RunResult:
         """Execute until every node halts; return outputs and statistics."""
+        return self.stepper().run_to_completion()
+
+    def steps(self) -> Iterator[int]:
+        """The round generator behind both :meth:`run` and the stepper.
+
+        Each ``next()`` executes exactly one communication round (the
+        first also runs every program's round-0 ``on_start``) and yields
+        the round number just completed; the generator's ``return`` value
+        (``StopIteration.value``) is the :class:`RunResult`.  Contexts
+        mutate as rounds execute, so a second generator may only be
+        created once the first has finished (re-running a *completed*
+        engine remains the historical no-op); interleaving two live
+        generators over one engine would corrupt the round state and is
+        rejected.
+        """
+        if self._running:
+            raise RuntimeError(
+                "engine already mid-run; build a fresh Engine per execution"
+            )
+        self._running = True
         if self.schedule == "dense":
-            return self._run_dense()
-        return self._run_active()
+            return self._finishing(self._dense_steps())
+        return self._finishing(self._active_steps())
+
+    def _finishing(self, gen: Iterator[int]) -> Iterator[int]:
+        """Clear the re-entrancy latch when a round generator completes."""
+        result = yield from gen
+        self._running = False
+        return result
+
+    def stepper(self) -> "EngineStepper":
+        """A re-entrant handle that advances this engine one round at a time."""
+        return EngineStepper(self)
 
     # ------------------------------------------------------------------
     # dense loop (reference semantics)
     # ------------------------------------------------------------------
 
-    def _run_dense(self) -> RunResult:
+    def _dense_steps(self) -> Iterator[int]:
         """The reference loop: every non-halted node runs every round."""
         stats = TrafficStats()
         in_flight: List[Message] = []
@@ -257,6 +300,7 @@ class Engine:
                 if ctx.halted:
                     self._note_halt(v)
                 in_flight.extend(ctx._drain_outbox(rounds))
+            yield rounds
 
         outputs = {v: self.contexts[v].output for v in self.network.nodes()}
         return RunResult(rounds=rounds, outputs=outputs, stats=stats)
@@ -265,7 +309,7 @@ class Engine:
     # active-set loop (hot path)
     # ------------------------------------------------------------------
 
-    def _run_active(self) -> RunResult:
+    def _active_steps(self) -> Iterator[int]:
         """The hot-path loop: execute only nodes that can make progress.
 
         A node executes in round r iff at least one of:
@@ -380,6 +424,7 @@ class Engine:
                 wake = ctx._take_wakeup()
                 if wake is not None and not ctx.halted:
                     heapq.heappush(wake_heap, (max(wake, rounds + 1), v))
+            yield rounds
 
         outputs = {v: contexts[v].output for v in self.network.nodes()}
         return RunResult(rounds=rounds, outputs=outputs, stats=stats)
@@ -437,6 +482,66 @@ class Engine:
         """
         if self._recording:
             self.recorder.deliver(round_no, msg.src, msg.dst, msg.bits, msg.value)
+
+
+class EngineStepper:
+    """Re-entrant, one-round-at-a-time driver over an :class:`Engine`.
+
+    The stepper owns the engine's round generator; every :meth:`step`
+    executes exactly one communication round.  Because :meth:`Engine.run`
+    drives the *same* generator, a stepped execution is bit-identical to a
+    monolithic one — rounds, outputs, traffic statistics, and every
+    recorder event, in the same order.  Many steppers over *different*
+    engines interleave freely (no shared mutable state), which is what the
+    :mod:`repro.serve` event loop relies on.
+
+    Typical use::
+
+        stepper = Engine(net, programs, seed=0).stepper()
+        while stepper.step():
+            ...  # yield to other work between rounds
+        result = stepper.result
+    """
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._gen = engine.steps()
+        self._result: Optional[RunResult] = None
+        #: Rounds executed so far (mirrors the engine's round counter).
+        self.rounds = 0
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    @property
+    def result(self) -> RunResult:
+        """The finished :class:`RunResult`; raises until :attr:`done`."""
+        if self._result is None:
+            raise RuntimeError("engine still running; call step() until done")
+        return self._result
+
+    def step(self) -> bool:
+        """Execute one communication round; False once the run finished.
+
+        Raises whatever the round loop raises (:class:`RoundLimitExceeded`
+        on budget exhaustion) at the step where it happens, exactly as
+        :meth:`Engine.run` would.
+        """
+        if self._result is not None:
+            return False
+        try:
+            self.rounds = next(self._gen)
+            return True
+        except StopIteration as stop:
+            self._result = stop.value
+            return False
+
+    def run_to_completion(self) -> RunResult:
+        """Drive the remaining rounds without yielding; returns the result."""
+        while self.step():
+            pass
+        return self.result
 
 
 def run_program(

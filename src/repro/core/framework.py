@@ -33,12 +33,17 @@ from __future__ import annotations
 import dataclasses
 import warnings
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..congest.algorithms.aggregate import pipelined_downcast, pipelined_upcast
+from ..congest.algorithms.aggregate import (
+    downcast_steps,
+    drive,
+    upcast_steps,
+)
 from ..congest.algorithms.bfs import BFSResult, bfs_with_echo
 from ..congest.algorithms.leader import elect_leader
 from ..congest.network import Network
@@ -143,6 +148,22 @@ class CongestBatchOracle:
         return self._k
 
     def query_batch(self, indices: Sequence[int], label: str = "") -> List:
+        return drive(self.query_batch_steps(indices, label=label))
+
+    def query_batch_steps(
+        self, indices: Sequence[int], label: str = ""
+    ) -> Iterator[Tuple[str, int]]:
+        """Stepwise :meth:`query_batch`: one engine round per ``next()``.
+
+        Yields ``(phase, round_no)`` pairs — phase is ``distribute``,
+        ``convergecast``, or ``uncompute`` — while the real node programs
+        execute, and returns the batch values via ``StopIteration``.
+        Formula-mode batches have no engine rounds and return without
+        yielding.  :meth:`query_batch` drives this same generator, so the
+        stepwise path is bit-identical (values, charges, events) to the
+        blocking one; the :mod:`repro.serve` daemon interleaves many of
+        these generators on one event loop.
+        """
         indices = list(indices)
         for j in indices:
             if not 0 <= j < self._k:
@@ -176,14 +197,22 @@ class CongestBatchOracle:
             self.rounds.charge("alpha", alpha_rounds)
         # 1. distribute indices (downcast), then 4. its uncompute.
         with self.recorder.span("distribute"):
-            _, down_rounds = pipelined_downcast(
+            gen = downcast_steps(
                 self.network, self.tree, indices, domain=max(self._k, 2),
                 seed=self._seed,
             )
+            down_rounds = None
+            while down_rounds is None:
+                try:
+                    round_no = next(gen)
+                except StopIteration as stop:
+                    _, down_rounds = stop.value
+                else:
+                    yield ("distribute", round_no)
             self.rounds.charge("index-distribute", down_rounds)
         # 2. chunked pipelined ⊕-convergecast of the p values, and
         # 3. the send-back-down uncompute pass.
-        values = self._engine_aggregate(indices, semigroup)
+        values = yield from self._engine_aggregate_steps(indices, semigroup)
         # Uncompute passes mirror the forward passes round-for-round.
         with self.recorder.span("uncompute"):
             self.rounds.charge("index-uncompute", down_rounds)
@@ -244,9 +273,9 @@ class CongestBatchOracle:
             return self._full[j]
         return self._cache[j]
 
-    def _engine_aggregate(
+    def _engine_aggregate_steps(
         self, indices: Sequence[int], semigroup: Optional[Semigroup]
-    ) -> List[int]:
+    ) -> Iterator[Tuple[str, int]]:
         if semigroup is None:
             raise ValueError("engine mode requires a semigroup")
         if semigroup.identity is None:
@@ -269,7 +298,7 @@ class CongestBatchOracle:
                     row.append(self._cache_vectors[j].get(v, identity))
             per_node_vectors[v] = row
         with self.recorder.span("convergecast"):
-            combined, up_rounds = pipelined_upcast(
+            gen = upcast_steps(
                 self.network,
                 self.tree,
                 per_node_vectors,
@@ -277,17 +306,33 @@ class CongestBatchOracle:
                 domain=domain,
                 seed=self._seed,
             )
+            combined = None
+            while combined is None:
+                try:
+                    round_no = next(gen)
+                except StopIteration as stop:
+                    combined, up_rounds = stop.value
+                else:
+                    yield ("convergecast", round_no)
             self.rounds.charge("value-upcast", up_rounds)
         # Theorem 8's "sends the x^{(w)} back to the children, who
         # uncompute it": a mirrored downcast of the same volume.
         with self.recorder.span("uncompute"):
-            _, down_rounds = pipelined_downcast(
+            gen = downcast_steps(
                 self.network,
                 self.tree,
                 list(combined),
                 domain=domain,
                 seed=self._seed,
             )
+            down_rounds = None
+            while down_rounds is None:
+                try:
+                    round_no = next(gen)
+                except StopIteration as stop:
+                    _, down_rounds = stop.value
+                else:
+                    yield ("uncompute", round_no)
             self.rounds.charge("value-uncompute", down_rounds)
         values = [combined[i * words + (words - 1)] for i in range(len(indices))]
         return values
@@ -396,14 +441,134 @@ class StalePreparedNetworkError(RuntimeError):
     """
 
 
-# Keyed weakly by Network identity so dropping a topology frees its cache;
-# the inner dict maps (seed, designated leader, topology fingerprint) ->
-# PreparedNetwork.  The fingerprint keys the entry *and* acts as a
-# tripwire: a (seed, leader) hit whose stored fingerprint mismatches the
-# live topology raises instead of silently reusing a stale BFS tree.
-_PREPARED: "weakref.WeakKeyDictionary[Network, Dict[Tuple, PreparedNetwork]]" = (
-    weakref.WeakKeyDictionary()
-)
+#: Default entry bound of the process-wide setup cache.  Generous for
+#: interactive sweeps, and finite so a long-lived daemon serving a churn
+#: of topologies (:mod:`repro.serve`) cannot grow setup state without
+#: bound — the warm-pool satellite of ISSUE 6.
+DEFAULT_PREPARED_CACHE_ENTRIES = 256
+
+
+class PreparedCache:
+    """A bounded LRU of setup phases, keyed by topology fingerprint.
+
+    Keys are ``(topology fingerprint, seed, leader)``: the setup
+    protocols are deterministic in exactly those inputs, so two distinct
+    :class:`~repro.congest.network.Network` objects with identical edge
+    sets share one cached :class:`PreparedNetwork` — which is what lets
+    the :mod:`repro.serve` daemon keep a warm pool across reconnecting
+    tenants that each hand it their own Network instance.
+
+    Eviction is least-recently-*used* (a lookup hit refreshes the entry)
+    and only ever costs wall-time: a re-prepared setup is bit-identical
+    to the evicted one, and charges are replayed identically either way.
+    ``hits``/``misses``/``evictions`` counters feed
+    :func:`prepared_cache_stats` and the daemon's pool report.
+
+    The staleness tripwire survives the fingerprint keying: a weak side
+    table remembers which fingerprint each *Network object* was last
+    prepared with under each ``(seed, leader)``; preparing the same
+    object after an in-place graph mutation raises
+    :class:`StalePreparedNetworkError` instead of silently rebuilding,
+    because an in-place mutation is almost always an accounting bug in
+    the caller (see :func:`invalidate_prepared`).
+    """
+
+    def __init__(self, max_entries: Optional[int] = DEFAULT_PREPARED_CACHE_ENTRIES):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive when set")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, PreparedNetwork]" = OrderedDict()
+        self._seen: "weakref.WeakKeyDictionary[Network, Dict[Tuple, str]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def prepare(
+        self,
+        network: Network,
+        seed: Optional[int] = None,
+        leader: Optional[int] = None,
+    ) -> PreparedNetwork:
+        """Fetch the cached setup phase for ``network``, building on miss."""
+        fingerprint = network.topology_fingerprint()
+        seen = self._seen.get(network)
+        key = (seed, leader)
+        if seen is not None and seen.get(key) not in (None, fingerprint):
+            raise StalePreparedNetworkError(
+                f"network {network!r} was mutated in place after its setup "
+                f"phase was cached (fingerprint {seen[key]} -> "
+                f"{fingerprint}); call repro.core.framework."
+                f"invalidate_prepared(network) after mutating a topology"
+            )
+        cache_key = (fingerprint, seed, leader)
+        prepared = self._entries.get(cache_key)
+        if prepared is not None:
+            self._entries.move_to_end(cache_key)
+            self.hits += 1
+        else:
+            self.misses += 1
+            if leader is None:
+                election = elect_leader(network, seed=seed)
+                prepared_leader = election.leader
+                election_rounds: Optional[int] = election.rounds
+            else:
+                prepared_leader = leader
+                election_rounds = None
+            tree = bfs_with_echo(network, prepared_leader, seed=seed)
+            prepared = PreparedNetwork(
+                leader=prepared_leader,
+                election_rounds=election_rounds,
+                tree=tree,
+                seed=seed,
+                topology_fingerprint=fingerprint,
+            )
+            self._entries[cache_key] = prepared
+            if (
+                self.max_entries is not None
+                and len(self._entries) > self.max_entries
+            ):
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        if seen is None:
+            seen = {}
+            self._seen[network] = seen
+        seen[key] = fingerprint
+        return prepared
+
+    def invalidate(self, network: Optional[Network] = None) -> None:
+        """Drop cached setup state — for one network, or all of it."""
+        if network is None:
+            self._entries.clear()
+            # WeakKeyDictionary.clear() while other threads hold refs is
+            # fine; the tripwire table is advisory state only.
+            self._seen = weakref.WeakKeyDictionary()
+            return
+        seen = self._seen.pop(network, None)
+        stale = set(seen.values()) if seen else set()
+        stale.add(network.topology_fingerprint())
+        for cache_key in [
+            k for k in self._entries if k[0] in stale
+        ]:
+            del self._entries[cache_key]
+
+    def stats(self) -> Dict[str, Optional[int]]:
+        """Counters for observability: size, bound, hits/misses/evictions."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: The process-wide setup cache behind ``reuse_setup=True``.
+_PREPARED = PreparedCache()
 
 
 def prepare_network(
@@ -413,48 +578,15 @@ def prepare_network(
 ) -> PreparedNetwork:
     """Run (or fetch the cached) setup phase for a network.
 
-    The cache is per-``Network``-object and per ``(seed, leader,
-    topology fingerprint)``: the setup protocols are deterministic in
-    those inputs, so the cached tree is bit-identical to a recomputed
+    The process-wide :class:`PreparedCache` is keyed by ``(topology
+    fingerprint, seed, leader)``: the setup protocols are deterministic
+    in those inputs, so the cached tree is bit-identical to a recomputed
     one.  Mutating a network's graph in place without
     :func:`invalidate_prepared` raises
     :class:`StalePreparedNetworkError` on the next lookup — the cached
     tree describes an edge set that no longer exists.
     """
-    fingerprint = network.topology_fingerprint()
-    per_net = _PREPARED.get(network)
-    key = (seed, leader)
-    if per_net is not None and key in per_net:
-        prepared = per_net[key]
-        if prepared.topology_fingerprint != fingerprint:
-            raise StalePreparedNetworkError(
-                f"network {network!r} was mutated in place after its setup "
-                f"phase was cached (fingerprint "
-                f"{prepared.topology_fingerprint} -> {fingerprint}); call "
-                f"repro.core.framework.invalidate_prepared(network) after "
-                f"mutating a topology"
-            )
-        return prepared
-    if leader is None:
-        election = elect_leader(network, seed=seed)
-        prepared_leader = election.leader
-        election_rounds: Optional[int] = election.rounds
-    else:
-        prepared_leader = leader
-        election_rounds = None
-    tree = bfs_with_echo(network, prepared_leader, seed=seed)
-    prepared = PreparedNetwork(
-        leader=prepared_leader,
-        election_rounds=election_rounds,
-        tree=tree,
-        seed=seed,
-        topology_fingerprint=fingerprint,
-    )
-    if per_net is None:
-        per_net = {}
-        _PREPARED[network] = per_net
-    per_net[key] = prepared
-    return prepared
+    return _PREPARED.prepare(network, seed=seed, leader=leader)
 
 
 def invalidate_prepared(network: Optional[Network] = None) -> None:
@@ -463,10 +595,28 @@ def invalidate_prepared(network: Optional[Network] = None) -> None:
     Call this after mutating a network's graph in place; otherwise cached
     BFS trees would describe the old topology.
     """
-    if network is None:
-        _PREPARED.clear()
-    else:
-        _PREPARED.pop(network, None)
+    _PREPARED.invalidate(network)
+
+
+def prepared_cache_stats() -> Dict[str, Optional[int]]:
+    """Hit/miss/eviction counters of the process-wide setup cache."""
+    return _PREPARED.stats()
+
+
+def configure_prepared_cache(max_entries: Optional[int]) -> None:
+    """Re-bound the process-wide setup cache (None = unbounded).
+
+    Shrinking below the current population evicts oldest-first
+    immediately, so a daemon can tighten its memory ceiling live.
+    """
+    if max_entries is not None and max_entries < 1:
+        raise ValueError("max_entries must be positive when set")
+    _PREPARED.max_entries = max_entries
+    while (
+        max_entries is not None and len(_PREPARED._entries) > max_entries
+    ):
+        _PREPARED._entries.popitem(last=False)
+        _PREPARED.evictions += 1
 
 
 #: Legacy keyword parameters of :func:`run_framework`, in historical

@@ -31,6 +31,9 @@ from .events import (
     FAULT,
     QUERY_BATCH,
     ROUND,
+    SERVE_BATCH,
+    SERVE_DRAIN,
+    SERVE_REQUEST,
     SPAN,
     ChargeEvent,
     CoalesceEvent,
@@ -38,6 +41,9 @@ from .events import (
     FaultEvent,
     QueryBatchEvent,
     RoundEvent,
+    ServeBatchEvent,
+    ServeDrainEvent,
+    ServeRequestEvent,
     SpanEvent,
     to_json,
 )
@@ -59,6 +65,9 @@ __all__ = [
     "FAULT",
     "QUERY_BATCH",
     "ROUND",
+    "SERVE_BATCH",
+    "SERVE_DRAIN",
+    "SERVE_REQUEST",
     "SPAN",
     "SCHEMA",
     "ChargeEvent",
@@ -73,6 +82,9 @@ __all__ = [
     "QueryBatchEvent",
     "Recorder",
     "RoundEvent",
+    "ServeBatchEvent",
+    "ServeDrainEvent",
+    "ServeRequestEvent",
     "Sink",
     "SpanEvent",
     "current_recorder",

@@ -1,6 +1,6 @@
 """Typed events carried by the observability spine.
 
-Every accounting mechanism in the repository speaks through these seven
+Every accounting mechanism in the repository speaks through these ten
 event kinds (DESIGN.md §"Observability spine"):
 
 * ``round`` — one engine communication round (message count, payload bits),
@@ -10,9 +10,15 @@ event kinds (DESIGN.md §"Observability spine"):
 * ``charge`` — one :class:`~repro.core.cost.RoundLedger` phase charge,
 * ``span`` — begin/end of a named phase opened on the recorder,
 * ``coalesce`` — one :mod:`repro.sched` scheduler action: a physical
-  coalesced batch executed on the shared oracle (``memo="miss"``) or a
+  coalesced batch executed on the shared oracle (``memo="miss"``), a
   submission served straight from the content-addressed result memo
-  (``memo="hit"``, zero rounds).
+  (``memo="hit"``, zero rounds), or an LRU eviction from that memo
+  (``memo="evict"``),
+* ``serve.request`` — one request's admission verdict or completion in
+  the :mod:`repro.serve` daemon,
+* ``serve.batch`` — one physical batch executed by a daemon lane,
+* ``serve.drain`` — the daemon's shutdown handshake (what was flushed,
+  what was abandoned).
 
 Events are small frozen dataclasses.  Each carries a ``span`` string — the
 ``/``-joined path of recorder spans open when it was emitted — so any sink
@@ -27,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, ClassVar, Dict
 
-#: The seven event kinds, as they appear in JSONL ``type`` fields.
+#: The ten event kinds, as they appear in JSONL ``type`` fields.
 ROUND = "round"
 DELIVER = "deliver"
 FAULT = "fault"
@@ -35,8 +41,14 @@ QUERY_BATCH = "query_batch"
 CHARGE = "charge"
 SPAN = "span"
 COALESCE = "coalesce"
+SERVE_REQUEST = "serve.request"
+SERVE_BATCH = "serve.batch"
+SERVE_DRAIN = "serve.drain"
 
-EVENT_KINDS = (ROUND, DELIVER, FAULT, QUERY_BATCH, CHARGE, SPAN, COALESCE)
+EVENT_KINDS = (
+    ROUND, DELIVER, FAULT, QUERY_BATCH, CHARGE, SPAN, COALESCE,
+    SERVE_REQUEST, SERVE_BATCH, SERVE_DRAIN,
+)
 
 
 @dataclass(frozen=True)
@@ -138,7 +150,56 @@ class CoalesceEvent:
     submissions: int
     callers: int
     rounds: int
-    memo: str = "miss"  # "hit" | "miss"
+    memo: str = "miss"  # "hit" | "miss" | "evict"
+    span: str = ""
+
+
+@dataclass(frozen=True)
+class ServeRequestEvent:
+    """One request's life-cycle edge inside the serving daemon.
+
+    ``status`` is one of ``"accepted"`` (admitted to the tenant queue),
+    ``"rejected"`` (quota exceeded or queue full — backpressure),
+    ``"completed"`` (values delivered; ``wait_ms`` is submit-to-result
+    latency) or ``"abandoned"`` (daemon drained before execution).
+    """
+
+    kind: ClassVar[str] = SERVE_REQUEST
+
+    tenant: str
+    queries: int
+    status: str
+    wait_ms: float = 0.0
+    span: str = ""
+
+
+@dataclass(frozen=True)
+class ServeBatchEvent:
+    """One physical batch stepped to completion by a daemon lane."""
+
+    kind: ClassVar[str] = SERVE_BATCH
+
+    lane: str
+    size: int
+    tenants: int
+    rounds: int
+    span: str = ""
+
+
+@dataclass(frozen=True)
+class ServeDrainEvent:
+    """The daemon's shutdown handshake.
+
+    ``reason`` names the trigger (``"signal"``, ``"close"``); ``flushed``
+    counts requests completed during the drain window and ``abandoned``
+    those cancelled because their tenant queue never emptied.
+    """
+
+    kind: ClassVar[str] = SERVE_DRAIN
+
+    reason: str
+    flushed: int
+    abandoned: int
     span: str = ""
 
 
@@ -181,5 +242,17 @@ def to_json(event: Any) -> Dict[str, Any]:
         return {"type": COALESCE, "size": event.size,
                 "submissions": event.submissions, "callers": event.callers,
                 "rounds": event.rounds, "memo": event.memo,
+                "span": event.span}
+    if kind == SERVE_REQUEST:
+        return {"type": SERVE_REQUEST, "tenant": event.tenant,
+                "queries": event.queries, "status": event.status,
+                "wait_ms": event.wait_ms, "span": event.span}
+    if kind == SERVE_BATCH:
+        return {"type": SERVE_BATCH, "lane": event.lane, "size": event.size,
+                "tenants": event.tenants, "rounds": event.rounds,
+                "span": event.span}
+    if kind == SERVE_DRAIN:
+        return {"type": SERVE_DRAIN, "reason": event.reason,
+                "flushed": event.flushed, "abandoned": event.abandoned,
                 "span": event.span}
     raise ValueError(f"unknown event kind {kind!r}")

@@ -5,10 +5,15 @@ One record per line.  The first line is a header::
     {"type": "meta", "schema": "repro-trace/1"}
 
 and every subsequent line is one event record as produced by
-:func:`repro.obs.events.to_json` — its ``type`` is one of the seven event
+:func:`repro.obs.events.to_json` — its ``type`` is one of the ten event
 kinds and its remaining fields are fixed per type (see ``_REQUIRED``).
-The CI ``trace-smoke`` job round-trips a real experiment through this
-schema with :func:`validate_jsonl`.
+The CI ``trace-smoke`` and ``serve-smoke`` jobs round-trip real
+experiments through this schema with :func:`validate_jsonl`.
+
+The ``serve.*`` record types (``serve.request``, ``serve.batch``,
+``serve.drain``) were added by the serving daemon (PR 6).  They are a
+pure extension: every pre-existing record type is unchanged, so older
+``repro-trace/1`` streams still validate.
 """
 
 from __future__ import annotations
@@ -24,6 +29,9 @@ from .events import (
     FAULT,
     QUERY_BATCH,
     ROUND,
+    SERVE_BATCH,
+    SERVE_DRAIN,
+    SERVE_REQUEST,
     SPAN,
     to_json,
 )
@@ -31,7 +39,9 @@ from .sinks import Sink
 
 SCHEMA = "repro-trace/1"
 
-#: required field -> type, per record type ("value" is unconstrained).
+#: required field -> type (or tuple of types), per record type ("value"
+#: is unconstrained).  ``wait_ms`` admits int because JSON has one number
+#: type and a whole-millisecond latency serializes without a fraction.
 _REQUIRED = {
     ROUND: {"round": int, "messages": int, "bits": int, "span": str},
     DELIVER: {"round": int, "src": int, "dst": int, "bits": int, "span": str},
@@ -42,6 +52,12 @@ _REQUIRED = {
     SPAN: {"name": str, "phase": str, "span": str},
     COALESCE: {"size": int, "submissions": int, "callers": int,
                "rounds": int, "memo": str, "span": str},
+    SERVE_REQUEST: {"tenant": str, "queries": int, "status": str,
+                    "wait_ms": (int, float), "span": str},
+    SERVE_BATCH: {"lane": str, "size": int, "tenants": int, "rounds": int,
+                  "span": str},
+    SERVE_DRAIN: {"reason": str, "flushed": int, "abandoned": int,
+                  "span": str},
 }
 
 
@@ -143,9 +159,13 @@ def validate_jsonl(path: str) -> Dict[str, int]:
                 value = record[field]
                 # bool is an int subclass; trace integers are never bools.
                 if not isinstance(value, ftype) or isinstance(value, bool):
+                    expected = (
+                        "/".join(t.__name__ for t in ftype)
+                        if isinstance(ftype, tuple) else ftype.__name__
+                    )
                     raise ValueError(
                         f"{path}:{lineno}: field {field!r} should be "
-                        f"{ftype.__name__}, got {value!r}"
+                        f"{expected}, got {value!r}"
                     )
             counts[rtype] = counts.get(rtype, 0) + 1
     if counts.get("meta") != 1:

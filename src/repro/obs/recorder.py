@@ -29,6 +29,9 @@ from .events import (
     FaultEvent,
     QueryBatchEvent,
     RoundEvent,
+    ServeBatchEvent,
+    ServeDrainEvent,
+    ServeRequestEvent,
     SpanEvent,
 )
 
@@ -112,6 +115,22 @@ class Recorder:
                           self._span_path)
         )
 
+    def serve_request(
+        self, tenant: str, queries: int, status: str, wait_ms: float = 0.0
+    ) -> None:
+        self.emit(
+            ServeRequestEvent(tenant, queries, status, wait_ms,
+                              self._span_path)
+        )
+
+    def serve_batch(
+        self, lane: str, size: int, tenants: int, rounds: int
+    ) -> None:
+        self.emit(ServeBatchEvent(lane, size, tenants, rounds, self._span_path))
+
+    def serve_drain(self, reason: str, flushed: int, abandoned: int) -> None:
+        self.emit(ServeDrainEvent(reason, flushed, abandoned, self._span_path))
+
     # -- spans ----------------------------------------------------------
 
     @property
@@ -168,6 +187,15 @@ class NullRecorder(Recorder):
         pass
 
     def coalesce(self, size, submissions, callers, rounds, memo="miss") -> None:
+        pass
+
+    def serve_request(self, tenant, queries, status, wait_ms=0.0) -> None:
+        pass
+
+    def serve_batch(self, lane, size, tenants, rounds) -> None:
+        pass
+
+    def serve_drain(self, reason, flushed, abandoned) -> None:
         pass
 
     def span(self, name: str):

@@ -16,7 +16,18 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from .events import CHARGE, COALESCE, DELIVER, FAULT, QUERY_BATCH, ROUND, SPAN
+from .events import (
+    CHARGE,
+    COALESCE,
+    DELIVER,
+    FAULT,
+    QUERY_BATCH,
+    ROUND,
+    SERVE_BATCH,
+    SERVE_DRAIN,
+    SERVE_REQUEST,
+    SPAN,
+)
 
 
 class Sink:
@@ -71,6 +82,12 @@ class MetricsSink(Sink):
         self.coalesce_rounds = 0
         self.memo_hits = 0
         self.memo_misses = 0
+        self.memo_evictions = 0
+        self.serve_requests: Dict[str, int] = {}  # status -> count
+        self.serve_queries = 0
+        self.serve_batches = 0
+        self.serve_batch_rounds = 0
+        self.serve_drains = 0
 
     def handle(self, event) -> None:
         kind = event.kind
@@ -107,12 +124,25 @@ class MetricsSink(Sink):
         elif kind == COALESCE:
             if event.memo == "hit":
                 self.memo_hits += 1
+            elif event.memo == "evict":
+                self.memo_evictions += 1
             else:
                 self.memo_misses += 1
                 self.coalesced_batches += 1
                 self.coalesced_queries += event.size
                 self.coalesced_submissions += event.submissions
                 self.coalesce_rounds += event.rounds
+        elif kind == SERVE_REQUEST:
+            self.serve_requests[event.status] = (
+                self.serve_requests.get(event.status, 0) + 1
+            )
+            if event.status == "accepted":
+                self.serve_queries += event.queries
+        elif kind == SERVE_BATCH:
+            self.serve_batches += 1
+            self.serve_batch_rounds += event.rounds
+        elif kind == SERVE_DRAIN:
+            self.serve_drains += 1
 
     # -- cross-process merge --------------------------------------------
 
@@ -165,6 +195,15 @@ class MetricsSink(Sink):
         self.coalesce_rounds += other.coalesce_rounds
         self.memo_hits += other.memo_hits
         self.memo_misses += other.memo_misses
+        self.memo_evictions += other.memo_evictions
+        for status, count in other.serve_requests.items():
+            self.serve_requests[status] = (
+                self.serve_requests.get(status, 0) + count
+            )
+        self.serve_queries += other.serve_queries
+        self.serve_batches += other.serve_batches
+        self.serve_batch_rounds += other.serve_batch_rounds
+        self.serve_drains += other.serve_drains
         return self
 
     # -- checkpoint serialization ---------------------------------------
@@ -199,6 +238,12 @@ class MetricsSink(Sink):
             "coalesce_rounds": self.coalesce_rounds,
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
+            "memo_evictions": self.memo_evictions,
+            "serve_requests": dict(self.serve_requests),
+            "serve_queries": self.serve_queries,
+            "serve_batches": self.serve_batches,
+            "serve_batch_rounds": self.serve_batch_rounds,
+            "serve_drains": self.serve_drains,
         }
 
     @classmethod
@@ -229,6 +274,14 @@ class MetricsSink(Sink):
         sink.coalesce_rounds = state.get("coalesce_rounds", 0)
         sink.memo_hits = state.get("memo_hits", 0)
         sink.memo_misses = state.get("memo_misses", 0)
+        # Memo eviction and serve counters arrived with the serving
+        # daemon (PR 6); same backward-compat defaulting.
+        sink.memo_evictions = state.get("memo_evictions", 0)
+        sink.serve_requests = dict(state.get("serve_requests", {}))
+        sink.serve_queries = state.get("serve_queries", 0)
+        sink.serve_batches = state.get("serve_batches", 0)
+        sink.serve_batch_rounds = state.get("serve_batch_rounds", 0)
+        sink.serve_drains = state.get("serve_drains", 0)
         return sink
 
     # -- derived --------------------------------------------------------
@@ -273,4 +326,7 @@ class MetricsSink(Sink):
             "coalesced_queries": self.coalesced_queries,
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
+            "memo_evictions": self.memo_evictions,
+            "serve_requests": dict(self.serve_requests),
+            "serve_batches": self.serve_batches,
         }

@@ -17,7 +17,12 @@ Three workload families, matching the PR-2 optimization targets:
   verification sweep; asserts verdict identity before timing),
 * :mod:`repro.perf.sched_bench` — the :mod:`repro.sched` coalescing
   scheduler (amortized rounds-per-query vs concurrent caller count at
-  fixed p; asserts bit-identical-to-serial equivalence before timing).
+  fixed p; asserts bit-identical-to-serial equivalence before timing),
+* :mod:`repro.perf.serve_bench` — the :mod:`repro.serve` daemon under
+  open-loop Poisson load (sustained queries/sec and p50/p99 latency;
+  asserts amortized rounds-per-query is no worse than the synchronous
+  scheduler at equal width).  ``bench --workload serve`` writes
+  ``BENCH_PR6.json``.
 
 ``python -m repro bench`` runs all of them and writes ``BENCH_PR2.json``
 (schema documented in ``benchmarks/perf/README.md``);
@@ -41,6 +46,7 @@ from .harness import (
 from .obs_bench import OVERHEAD_BUDGET, obs_overhead_workload
 from .parallel_bench import parallel_verify_workload
 from .sched_bench import sched_coalescing_workload
+from .serve_bench import serve_daemon_workload
 
 WORKLOADS = {
     "engine": engine_flooding_workload,
@@ -49,6 +55,7 @@ WORKLOADS = {
     "obs": obs_overhead_workload,
     "parallel": parallel_verify_workload,
     "sched": sched_coalescing_workload,
+    "serve": serve_daemon_workload,
 }
 
 
@@ -79,5 +86,6 @@ __all__ = [
     "parallel_verify_workload",
     "run_all",
     "sched_coalescing_workload",
+    "serve_daemon_workload",
     "write_report",
 ]

@@ -1,0 +1,136 @@
+"""Serving-daemon throughput and tail latency (BENCH_PR6.json).
+
+The :mod:`repro.serve` pitch: PR 5's scheduler amortizes rounds across
+whoever is waiting, but only inside one blocking process; the daemon
+keeps that amortization under *sustained open-loop traffic* while
+reporting what a service owner actually watches — sustained queries/sec
+and p50/p99 latency (round counts alone hide queueing, the "Mind the Õ"
+critique).
+
+Each sweep point offers ``clients`` Poisson arrivals (deterministic via
+:func:`repro.parallel.derive_seed`) to a daemon, then replays the *exact
+same arrival sequence* through PR 5's synchronous
+:class:`~repro.sched.CoalescingScheduler` at equal width and asserts the
+daemon's amortized rounds-per-query is **no worse** — stepping batches on
+an event loop must not cost rounds; both run memo-off so the comparison
+is packing against packing, not cache against cache.  A final
+engine-mode point exercises the full stepwise distribute/convergecast
+interleaving rather than formula charging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict
+
+from ..sched import CoalescingScheduler
+from ..serve.daemon import QueryService
+from ..serve.loadgen import LoadSpec, generate_arrivals, run_load
+from ..serve.session import build_profile
+from ..serve.tenants import TenantQuota
+from .harness import WorkloadResult
+
+#: Round-identity tolerance: stride-order dispatch may pack tenants into
+#: batches in a different order than arrival-order FIFO, which in engine
+#: mode can shift a boundary batch by a round or two.
+ROUNDS_TOLERANCE = 1.02
+
+
+def _sync_baseline(
+    net, cfg, arrivals
+) -> Dict[str, Any]:
+    """The same offered sequence through PR 5's blocking scheduler."""
+    sched = CoalescingScheduler(net, cfg, memo=False)
+    start = time.perf_counter()
+    tickets = [
+        sched.submit(a.tenant, list(a.indices), label=a.label)
+        for a in arrivals
+    ]
+    sched.drain()
+    for ticket in tickets:
+        sched.result(ticket)
+    wall = time.perf_counter() - start
+    report = sched.report()
+    return {
+        "rounds_per_query": report.amortized_rounds_per_query,
+        "wall_s": wall,
+        "batches": report.physical_batches,
+    }
+
+
+def _serve_point(
+    clients: int, mode: str, parallelism: int, k: int, seed: int
+) -> Dict[str, Any]:
+    net, cfg = build_profile(k=k, parallelism=parallelism, mode=mode)
+    spec = LoadSpec(
+        clients=clients, tenants=4, rate_hz=2000.0, seed=seed,
+        queries_max=min(4, parallelism),
+    )
+    arrivals = generate_arrivals(spec, k)
+
+    # memo off on both sides: the acceptance claim is about batch
+    # packing, and memo-hit order would otherwise differ between
+    # arrival-order and stride-order serving.
+    service = QueryService(
+        default_quota=TenantQuota("default", max_pending=1 << 16),
+        flush_after_ms=250.0,  # under flood, only the tail flushes partial
+        memo=False,
+    )
+    service.add_profile(net, cfg)
+    start = time.perf_counter()
+    load = asyncio.run(run_load(service, spec))
+    serve_wall = time.perf_counter() - start
+    serve_report = service.pool.acquire("default").scheduler.report()
+
+    sync = _sync_baseline(net, cfg, arrivals)
+    serve_rpq = serve_report.amortized_rounds_per_query
+    assert load.completed == load.accepted == clients, (
+        f"open-loop run dropped work: {load.to_json()}"
+    )
+    assert serve_rpq <= sync["rounds_per_query"] * ROUNDS_TOLERANCE, (
+        f"daemon amortization regressed: {serve_rpq:.3f} rounds/query vs "
+        f"synchronous {sync['rounds_per_query']:.3f} at width {parallelism}"
+    )
+    return {
+        "clients": clients,
+        "mode": mode,
+        "parallelism": parallelism,
+        "k": k,
+        "qps": load.qps,
+        "p50_ms": load.p50_ms,
+        "p99_ms": load.p99_ms,
+        "wall_s": serve_wall,
+        "batches": serve_report.physical_batches,
+        "serve_rounds_per_query": serve_rpq,
+        "sync_rounds_per_query": sync["rounds_per_query"],
+        "sync_wall_s": sync["wall_s"],
+    }
+
+
+def serve_daemon_workload(quick: bool = False) -> WorkloadResult:
+    """Open-loop daemon throughput/latency vs the synchronous scheduler."""
+    if quick:
+        points = [
+            (200, "formula", 8, 64),
+            (100, "engine", 8, 32),
+        ]
+    else:
+        points = [
+            (1000, "formula", 8, 64),
+            (5000, "formula", 16, 128),
+            (400, "engine", 8, 64),
+        ]
+    result = WorkloadResult(
+        name="serve",
+        description=(
+            "open-loop Poisson clients served by the asyncio daemon "
+            "(stepwise batches, stride-fair tenants) vs the same arrival "
+            "sequence on the synchronous coalescing scheduler at equal "
+            "width; asserts amortized rounds-per-query is no worse"
+        ),
+    )
+    for clients, mode, parallelism, k in points:
+        entry = _serve_point(clients, mode, parallelism, k, seed=7)
+        result.sweep.append(entry)
+    return result

@@ -18,17 +18,23 @@ Index tuples are sorted (duplicates kept) so permuted submissions share
 one entry; values are stored per index and re-ordered to the submission
 order at serve time.
 
-Hit/miss counters feed the scheduler's ``coalesce`` events on the
-observability spine (:mod:`repro.obs`).
+The store is a bounded LRU (``max_entries``): inserting past capacity
+evicts the least-recently-used entry, and lookups refresh recency, so a
+long-lived serving daemon keeps the memo tracking its live traffic.
+Hit/miss/evict counters feed the scheduler's ``coalesce`` events on the
+observability spine (:mod:`repro.obs`) and :class:`~repro.obs.sinks.
+MetricsSink` roll-ups.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..congest.network import Network
 from ..core.framework import FrameworkConfig
+from ..obs.recorder import Recorder
 
 __all__ = ["ResultMemo", "oracle_fingerprint"]
 
@@ -79,13 +85,21 @@ class ResultMemo:
     cryptographically excluded rather than procedurally avoided.
     """
 
-    def __init__(self, max_entries: Optional[int] = None):
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+    ):
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive when set")
-        self._entries: Dict[Tuple[str, Tuple[int, ...]], Dict[int, Any]] = {}
+        self._entries: "OrderedDict[Tuple[str, Tuple[int, ...]], Dict[int, Any]]" = (
+            OrderedDict()
+        )
         self.max_entries = max_entries
+        self._recorder = recorder
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -97,30 +111,50 @@ class ResultMemo:
     def lookup(
         self, fingerprint: str, indices: Sequence[int]
     ) -> Optional[List[Any]]:
-        """Values in submission order on a hit, else None; counts either way."""
-        entry = self._entries.get(self._key(fingerprint, indices))
+        """Values in submission order on a hit, else None; counts either way.
+
+        A hit refreshes the entry's LRU recency: a daemon's hot addresses
+        stay resident while one-shot submissions age out.
+        """
+        key = self._key(fingerprint, indices)
+        entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             return None
+        self._entries.move_to_end(key)
         self.hits += 1
         return [entry[j] for j in indices]
 
     def store(
         self, fingerprint: str, indices: Sequence[int], values: Sequence[Any]
     ) -> None:
-        """Record one answered submission (silently bounded by max_entries)."""
+        """Record one answered submission, evicting the LRU entry if full.
+
+        Eviction (rather than refusing the insert) keeps a long-lived
+        daemon's memo tracking its *current* traffic instead of freezing
+        at whatever filled it during cold start.  Dropping an entry only
+        costs rounds on a future re-ask — values are recomputed
+        bit-identically — and is surfaced as a ``coalesce`` event with
+        ``memo="evict"`` when a recorder is attached.
+        """
         if len(indices) != len(values):
             raise ValueError(
                 f"{len(indices)} indices but {len(values)} values"
             )
+        key = self._key(fingerprint, indices)
+        self._entries[key] = dict(zip(indices, values))
+        self._entries.move_to_end(key)
         if (
             self.max_entries is not None
-            and len(self._entries) >= self.max_entries
+            and len(self._entries) > self.max_entries
         ):
-            return
-        self._entries[self._key(fingerprint, indices)] = dict(
-            zip(indices, values)
-        )
+            _, evicted = self._entries.popitem(last=False)
+            self.evictions += 1
+            if self._recorder is not None and self._recorder.active:
+                self._recorder.coalesce(
+                    size=len(evicted), submissions=0, callers=0,
+                    rounds=0, memo="evict",
+                )
 
     @property
     def hit_rate(self) -> float:

@@ -42,7 +42,7 @@ under-filled batches.  The scheduler coalesces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..congest.network import Network
 from ..core.cost import CostModel, RoundLedger
@@ -109,6 +109,7 @@ class SchedulerReport:
     setup_rounds: int
     memo_hits: int
     memo_misses: int
+    memo_evictions: int
     attributed_rounds: int  # sum over callers; == physical_query_rounds
 
     @property
@@ -196,6 +197,7 @@ class CoalescingScheduler:
         deadline_rounds: Optional[int] = None,
         memo: Any = True,
         recorder: Optional[Recorder] = None,
+        auto_flush: bool = True,
     ):
         if deadline_rounds is not None and deadline_rounds < 0:
             raise ValueError(
@@ -204,6 +206,11 @@ class CoalescingScheduler:
         self.network = network
         self.config = config
         self.deadline_rounds = deadline_rounds
+        #: With auto_flush off, ``submit`` only enqueues — execution is
+        #: the owner's job via :meth:`flush` / :meth:`execute_batch_steps`.
+        #: The serving daemon runs this way so a submission can never
+        #: block the event loop on a synchronous batch.
+        self.auto_flush = auto_flush
         self._recorder = (
             recorder if recorder is not None else current_recorder()
         )
@@ -229,7 +236,10 @@ class CoalescingScheduler:
             if self._fingerprint is None:
                 self._memo = None  # unfingerprintable content: stay safe
             else:
-                self._memo = memo if isinstance(memo, ResultMemo) else ResultMemo()
+                self._memo = (
+                    memo if isinstance(memo, ResultMemo)
+                    else ResultMemo(recorder=self._recorder)
+                )
 
         self._queue: List[_Submission] = []
         self._deferred_rounds = 0
@@ -318,8 +328,16 @@ class CoalescingScheduler:
         self._queue.append(sub)
         self._by_ticket[ticket.id] = sub
         self._deferred_rounds += estimate
-        self._maybe_flush()
+        if self.auto_flush:
+            self._maybe_flush()
         return ticket
+
+    def done(self, ticket: Ticket) -> bool:
+        """True when the submission's values are ready (no execution)."""
+        sub = self._by_ticket.get(ticket.id)
+        if sub is None:
+            raise KeyError(f"unknown ticket {ticket.id}")
+        return sub.done
 
     def result(self, ticket: Ticket) -> List[Any]:
         """The submission's values, forcing execution if still pending."""
@@ -366,6 +384,9 @@ class CoalescingScheduler:
             setup_rounds=self._setup_rounds,
             memo_hits=self._memo.hits if self._memo is not None else 0,
             memo_misses=self._memo.misses if self._memo is not None else 0,
+            memo_evictions=(
+                self._memo.evictions if self._memo is not None else 0
+            ),
             attributed_rounds=sum(
                 a.attributed_rounds for a in self._accounts.values()
             ),
@@ -383,7 +404,27 @@ class CoalescingScheduler:
             self._execute_batch()
 
     def _execute_batch(self) -> int:
-        """Pack one maximal physical batch FIFO and run it."""
+        """Pack one maximal physical batch FIFO and run it to completion."""
+        gen = self.execute_batch_steps()
+        while True:
+            try:
+                next(gen)
+            except StopIteration as stop:
+                return stop.value
+
+    def execute_batch_steps(self) -> Iterator[Tuple[str, int]]:
+        """Stepwise :meth:`flush`: yields ``(phase, round)`` per engine round.
+
+        The generator packs one maximal FIFO batch exactly like
+        :meth:`_execute_batch` (which drives this generator, so the two
+        paths are bit-identical by construction) but surrenders control
+        after every engine round of the distribute/convergecast/uncompute
+        passes.  This is the suspension point the :mod:`repro.serve`
+        daemon's lanes use to interleave many in-flight batches on one
+        event loop.  In formula mode there are no engine rounds, so the
+        generator returns without yielding.  Returns the batch size via
+        ``StopIteration.value`` (0 if the queue was empty).
+        """
         p = self.config.parallelism
         batch_indices: List[int] = []
         slots: List[Tuple[_Submission, int]] = []  # (submission, position)
@@ -407,7 +448,9 @@ class CoalescingScheduler:
         label = members[0].label if len(members) == 1 else "coalesced"
 
         before = self._rounds.total
-        values = self._oracle.query_batch(batch_indices, label=label)
+        values = yield from self._oracle.query_batch_steps(
+            batch_indices, label=label
+        )
         delta = self._rounds.total - before
 
         for (sub, pos), value in zip(slots, values):
@@ -436,6 +479,10 @@ class CoalescingScheduler:
                 callers=len(counts), rounds=delta, memo="miss",
             )
         return len(batch_indices)
+
+    def pack_would_be_empty(self) -> bool:
+        """True when a flush right now would execute nothing."""
+        return not self._queue
 
 
 class CallerOracle:

@@ -1,0 +1,128 @@
+"""The daemon's warm pool of prepared serving lanes.
+
+A *lane* is one (network, :class:`~repro.core.framework.FrameworkConfig`)
+profile with its own :class:`~repro.sched.CoalescingScheduler` — one
+physical oracle whose batches the daemon steps round-by-round.  The pool
+keeps lanes warm in an LRU bounded by ``max_lanes``: re-acquiring a
+profile reuses its scheduler (and therefore its memo and setup), while
+cold acquisition builds a scheduler whose setup phase hits the
+process-wide :class:`~repro.core.framework.PreparedCache` — the bounded
+LRU of BFS trees keyed by topology fingerprint — so even a freshly built
+lane over a previously seen topology skips leader election and tree
+construction.
+
+Only *idle* lanes are evictable; a lane with queued or in-flight work is
+pinned until it drains.  Evicting a lane costs nothing but warmth: the
+PreparedCache below it usually still holds the topology's setup.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..congest.network import Network
+from ..core.framework import FrameworkConfig, prepared_cache_stats
+from ..obs.recorder import Recorder, current_recorder
+from ..sched import CoalescingScheduler
+
+__all__ = ["Lane", "PreparedPool"]
+
+DEFAULT_MAX_LANES = 8
+
+
+@dataclass
+class Lane:
+    """One serving profile: a named scheduler over one prepared network."""
+
+    name: str
+    network: Network
+    config: FrameworkConfig
+    scheduler: CoalescingScheduler
+    in_flight: Dict[int, Any] = field(default_factory=dict)  # ticket id -> req
+    batches: int = 0
+
+    @property
+    def idle(self) -> bool:
+        return not self.in_flight and self.scheduler.pack_would_be_empty()
+
+
+class PreparedPool:
+    """Bounded LRU of warm serving lanes keyed by profile name."""
+
+    def __init__(
+        self,
+        max_lanes: int = DEFAULT_MAX_LANES,
+        recorder: Optional[Recorder] = None,
+        memo: Any = True,
+    ):
+        if max_lanes < 1:
+            raise ValueError(f"max_lanes must be >= 1, got {max_lanes}")
+        self.max_lanes = max_lanes
+        self.memo = memo
+        self._recorder = (
+            recorder if recorder is not None else current_recorder()
+        )
+        self._lanes: "OrderedDict[str, Lane]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._lanes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._lanes
+
+    def lanes(self) -> List[Lane]:
+        return list(self._lanes.values())
+
+    def acquire(
+        self,
+        name: str,
+        network: Optional[Network] = None,
+        config: Optional[FrameworkConfig] = None,
+    ) -> Lane:
+        """The warm lane for ``name``, building it on first acquisition.
+
+        ``network``/``config`` are required on a cold acquire and
+        ignored (the warm profile wins) afterwards.  Acquisition
+        refreshes LRU recency; building past ``max_lanes`` evicts the
+        least-recently-acquired *idle* lane — if every lane is busy the
+        pool temporarily exceeds its bound rather than dropping live
+        work.
+        """
+        lane = self._lanes.get(name)
+        if lane is not None:
+            self._lanes.move_to_end(name)
+            return lane
+        if network is None or config is None:
+            raise KeyError(
+                f"lane {name!r} is not warm; pass network and config to "
+                f"build it"
+            )
+        # Each lane forks the recorder so interleaved lanes never share a
+        # span stack; events still fan into the same sinks.
+        scheduler = CoalescingScheduler(
+            network, config, deadline_rounds=None, auto_flush=False,
+            memo=self.memo, recorder=self._recorder.fork(),
+        )
+        lane = Lane(
+            name=name, network=network, config=config, scheduler=scheduler
+        )
+        self._lanes[name] = lane
+        if len(self._lanes) > self.max_lanes:
+            for candidate in list(self._lanes):
+                if candidate != name and self._lanes[candidate].idle:
+                    del self._lanes[candidate]
+                    self.evictions += 1
+                    break
+        return lane
+
+    def stats(self) -> Dict[str, Any]:
+        """Pool occupancy plus the PreparedCache counters beneath it."""
+        return {
+            "lanes": len(self._lanes),
+            "max_lanes": self.max_lanes,
+            "lane_evictions": self.evictions,
+            "prepared_cache": prepared_cache_stats(),
+        }

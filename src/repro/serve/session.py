@@ -1,0 +1,123 @@
+"""One-shot serving sessions: the ``python -m repro serve`` back end.
+
+The daemon has no network protocol — clients are coroutines on the same
+loop (the repository reproduces round complexity, not RPC plumbing) — so
+"running the daemon" means: build a synthetic serving profile, start a
+:class:`~repro.serve.daemon.QueryService`, drive it with the deterministic
+open-loop generator, drain cleanly, and report.  CI's ``serve-smoke`` job
+and the ``serve`` bench workload both go through this module, so the CLI,
+CI, and BENCH_PR6.json all describe the same code path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Dict, Optional, Tuple
+
+from ..congest import topologies
+from ..congest.network import Network
+from ..core.framework import DistributedInput, FrameworkConfig
+from ..core.semigroup import sum_semigroup
+from ..obs import JSONLSink, MetricsSink, Recorder
+from ..obs.jsonl import validate_jsonl
+from .daemon import QueryService
+from .loadgen import LoadReport, LoadSpec, run_load
+from .tenants import TenantQuota
+
+__all__ = ["build_profile", "run_serve_session"]
+
+
+def build_profile(
+    rows: int = 4,
+    cols: int = 4,
+    k: int = 64,
+    parallelism: int = 8,
+    mode: str = "formula",
+    seed: int = 4,
+) -> Tuple[Network, FrameworkConfig]:
+    """A deterministic synthetic serving profile (grid + random vectors).
+
+    The same construction as the PR 5 scheduler bench, so serve numbers
+    are directly comparable to the synchronous-scheduler ones.
+    """
+    net = topologies.grid(rows, cols)
+    rnd = random.Random(11)
+    vectors = {
+        v: [rnd.randint(0, 7) for _ in range(k)] for v in net.nodes()
+    }
+    di = DistributedInput(vectors=vectors, semigroup=sum_semigroup(8 * net.n))
+    return net, FrameworkConfig(
+        parallelism=parallelism, dist_input=di, mode=mode, seed=seed,
+        leader=0,
+    )
+
+
+def run_serve_session(
+    clients: int = 1000,
+    tenants: int = 4,
+    rate_hz: float = 2000.0,
+    seed: int = 0,
+    rows: int = 4,
+    cols: int = 4,
+    k: int = 64,
+    parallelism: int = 8,
+    mode: str = "formula",
+    max_pending: int = 1 << 16,
+    flush_after_ms: float = 2.0,
+    time_scale: float = 0.0,
+    jsonl: Optional[str] = None,
+    queries_max: int = 4,
+    memo: Any = True,
+) -> Dict[str, Any]:
+    """Run one full daemon session and return its JSON-ready report.
+
+    ``max_pending`` defaults high because the canonical session measures
+    an *offered* open-loop workload end to end; lower it to exercise
+    backpressure.  When ``jsonl`` is set the whole session streams to a
+    ``repro-trace/1`` file which is validated before returning (the
+    ``serve-smoke`` CI contract).
+    """
+    net, cfg = build_profile(
+        rows=rows, cols=cols, k=k, parallelism=parallelism, mode=mode,
+    )
+    metrics = MetricsSink()
+    sinks: list = [metrics]
+    if jsonl is not None:
+        sinks.append(JSONLSink(jsonl))
+    recorder = Recorder(sinks)
+    service = QueryService(
+        default_quota=TenantQuota("default", max_pending=max_pending),
+        flush_after_ms=flush_after_ms,
+        recorder=recorder,
+        memo=memo,
+    )
+    service.add_profile(net, cfg)
+    spec = LoadSpec(
+        clients=clients, tenants=tenants, rate_hz=rate_hz, seed=seed,
+        time_scale=time_scale, queries_max=min(queries_max, parallelism),
+    )
+    report: LoadReport = asyncio.run(run_load(service, spec))
+    recorder.close()
+    out: Dict[str, Any] = {
+        "load": report.to_json(),
+        "service": service.report(),
+        "metrics": {
+            "serve_requests": dict(metrics.serve_requests),
+            "serve_batches": metrics.serve_batches,
+            "serve_batch_rounds": metrics.serve_batch_rounds,
+            "serve_drains": metrics.serve_drains,
+            "memo": {
+                "hits": metrics.memo_hits,
+                "misses": metrics.memo_misses,
+                "evictions": metrics.memo_evictions,
+            },
+        },
+    }
+    sched_report = service.pool.acquire("default").scheduler.report()
+    out["amortized_rounds_per_query"] = (
+        sched_report.amortized_rounds_per_query
+    )
+    if jsonl is not None:
+        out["trace"] = {"path": jsonl, "records": validate_jsonl(jsonl)}
+    return out

@@ -7,9 +7,12 @@ import pytest
 from repro.congest import topologies
 from repro.core.framework import (
     DistributedInput,
+    PreparedCache,
     PreparedNetwork,
+    configure_prepared_cache,
     invalidate_prepared,
     prepare_network,
+    prepared_cache_stats,
     run_framework,
 )
 from repro.core.semigroup import sum_semigroup
@@ -65,6 +68,91 @@ class TestPrepareNetwork:
         invalidate_prepared()
         assert prepare_network(net, seed=1) is not a
         assert prepare_network(other, seed=1) is not b
+
+    def test_equal_topologies_share_an_entry(self, case):
+        """Fingerprint keying: two Network objects, one cached setup.
+
+        This is what lets the serving daemon's warm pool survive tenants
+        that each construct their own Network for the same topology.
+        """
+        net, _ = case
+        twin = topologies.random_regular(20, 4, seed=2)
+        assert twin is not net
+        assert prepare_network(net, seed=7) is prepare_network(twin, seed=7)
+
+
+class TestPreparedCacheLRU:
+    def _nets(self, count):
+        return [topologies.cycle(3 + i) for i in range(count)]
+
+    def test_eviction_at_capacity(self):
+        cache = PreparedCache(max_entries=2)
+        n1, n2, n3 = self._nets(3)
+        p1 = cache.prepare(n1, seed=0)
+        cache.prepare(n2, seed=0)
+        cache.prepare(n3, seed=0)  # evicts n1 (least recently used)
+        assert cache.stats() == {
+            "entries": 2, "max_entries": 2,
+            "hits": 0, "misses": 3, "evictions": 1,
+        }
+        # n1 must be recomputed (deterministically identical, new object);
+        # that insert evicts n2 in turn.
+        again = cache.prepare(n1, seed=0)
+        assert again is not p1
+        assert again.tree.parent == p1.tree.parent
+        assert cache.evictions == 2
+
+    def test_lookup_hit_refreshes_recency(self):
+        cache = PreparedCache(max_entries=2)
+        n1, n2, n3 = self._nets(3)
+        p1 = cache.prepare(n1, seed=0)
+        cache.prepare(n2, seed=0)
+        assert cache.prepare(n1, seed=0) is p1  # refresh: n2 is now LRU
+        cache.prepare(n3, seed=0)  # evicts n2, not n1
+        assert cache.prepare(n1, seed=0) is p1
+        assert cache.hits == 2
+
+    def test_invalidate_single_hits_eviction_path(self):
+        """invalidate(network) drops exactly that topology's entries."""
+        cache = PreparedCache(max_entries=8)
+        n1, n2 = self._nets(2)
+        a = cache.prepare(n1, seed=0)
+        b = cache.prepare(n1, seed=1)
+        c = cache.prepare(n2, seed=0)
+        cache.invalidate(n1)
+        assert len(cache) == 1
+        assert cache.prepare(n2, seed=0) is c  # untouched entry survives
+        assert cache.prepare(n1, seed=0) is not a
+        assert cache.prepare(n1, seed=1) is not b
+
+    def test_unbounded_when_none(self):
+        cache = PreparedCache(max_entries=None)
+        for net in self._nets(5):
+            cache.prepare(net, seed=0)
+        assert len(cache) == 5 and cache.evictions == 0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError, match="positive"):
+            PreparedCache(max_entries=0)
+        with pytest.raises(ValueError, match="positive"):
+            configure_prepared_cache(-1)
+
+    def test_configure_shrinks_global_cache_live(self, case):
+        net, _ = case
+        try:
+            for i in range(4):
+                prepare_network(topologies.cycle(4 + i), seed=0)
+            stats = prepared_cache_stats()
+            assert stats["entries"] == 4
+            configure_prepared_cache(2)
+            stats = prepared_cache_stats()
+            assert stats["entries"] == 2
+            assert stats["evictions"] >= 2
+            assert stats["max_entries"] == 2
+        finally:
+            from repro.core.framework import DEFAULT_PREPARED_CACHE_ENTRIES
+
+            configure_prepared_cache(DEFAULT_PREPARED_CACHE_ENTRIES)
 
 
 class TestRunFrameworkCaching:

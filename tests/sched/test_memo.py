@@ -130,12 +130,48 @@ class TestResultMemoStore:
         with pytest.raises(ValueError):
             ResultMemo().store("fp", [1, 2], ["only-one"])
 
-    def test_max_entries_bounds_growth(self):
+    def test_max_entries_evicts_lru(self):
         memo = ResultMemo(max_entries=1)
         memo.store("fp", [1], ["a"])
-        memo.store("fp", [2], ["b"])  # silently dropped
+        memo.store("fp", [2], ["b"])  # evicts [1], keeps the new entry
         assert len(memo) == 1
+        assert memo.evictions == 1
+        assert memo.lookup("fp", [2]) == ["b"]
+        assert memo.lookup("fp", [1]) is None
+
+    def test_lookup_refreshes_lru_order(self):
+        memo = ResultMemo(max_entries=2)
+        memo.store("fp", [1], ["a"])
+        memo.store("fp", [2], ["b"])
+        assert memo.lookup("fp", [1]) == ["a"]  # [2] is now LRU
+        memo.store("fp", [3], ["c"])  # evicts [2]
+        assert memo.lookup("fp", [1]) == ["a"]
+        assert memo.lookup("fp", [3]) == ["c"]
         assert memo.lookup("fp", [2]) is None
+        assert memo.evictions == 1
+
+    def test_restore_refreshes_lru_order(self):
+        memo = ResultMemo(max_entries=2)
+        memo.store("fp", [1], ["a"])
+        memo.store("fp", [2], ["b"])
+        memo.store("fp", [1], ["a"])  # re-store refreshes, no growth
+        assert len(memo) == 2 and memo.evictions == 0
+        memo.store("fp", [3], ["c"])  # evicts [2]
+        assert memo.lookup("fp", [2]) is None
+        assert memo.lookup("fp", [1]) == ["a"]
+
+    def test_eviction_emits_coalesce_event(self):
+        from repro.obs import MemorySink, Recorder
+
+        sink = MemorySink()
+        memo = ResultMemo(max_entries=1, recorder=Recorder([sink]))
+        memo.store("fp", [1, 2], ["a", "b"])
+        memo.store("fp", [3], ["c"])
+        events = sink.events_of_kind("coalesce")
+        assert len(events) == 1
+        assert events[0].memo == "evict"
+        assert events[0].size == 2  # the evicted entry held two indices
+        assert events[0].rounds == 0
 
     def test_invalid_max_entries_rejected(self):
         with pytest.raises(ValueError):
