@@ -90,8 +90,9 @@ def main(argv=None) -> int:
     bench_parser.add_argument(
         "--workload", action="append", dest="workloads", default=None,
         metavar="NAME",
-        help="run only this workload (repeatable): engine, gates, "
-        "framework, obs, parallel, sched, serve",
+        help="run only this workload (repeatable): engine (alias "
+        "engine_flooding), gates, framework, obs, parallel, sched, "
+        "serve, scaling_ceiling",
     )
     serve_parser = sub.add_parser(
         "serve",
@@ -206,12 +207,15 @@ def main(argv=None) -> int:
 
         out = args.out
         if out is None:
-            # The serving workload ships its own report file so the PR 2
-            # baseline report is never clobbered by a serve-only run.
-            out = (
-                "BENCH_PR6.json" if args.workloads == ["serve"]
-                else "BENCH_PR2.json"
-            )
+            # The serving and scaling workloads ship their own report
+            # files so the PR 2 baseline report is never clobbered by a
+            # single-workload run.
+            if args.workloads == ["serve"]:
+                out = "BENCH_PR6.json"
+            elif args.workloads == ["scaling_ceiling"]:
+                out = "BENCH_PR7.json"
+            else:
+                out = "BENCH_PR2.json"
         start = time.time()
         report = run_all(quick=args.quick, workloads=args.workloads)
         write_report(report, out)

@@ -211,14 +211,19 @@ def upcast_steps(
     combine: Callable[[int, int], int],
     domain: int,
     seed: Optional[int] = None,
+    schedule: str = "active",
 ) -> Iterator[int]:
     """Stepwise convergecast: yields each engine round number as it runs.
 
     The generator's return value is ``(combined vector at the root,
     measured rounds)`` — the same tuple :func:`pipelined_upcast` returns.
+    ``schedule`` selects the engine's execution strategy;
+    ``"vectorized"`` bulk-executes the whole convergecast column-major
+    (bit-identical, falling back per-node if the combine has no
+    registered ufunc).
     """
     programs = build_upcast_programs(network, tree, values, combine, domain)
-    stepper = Engine(network, programs, seed=seed).stepper()
+    stepper = Engine(network, programs, seed=seed, schedule=schedule).stepper()
     while stepper.step():
         yield stepper.rounds
     result = stepper.result
@@ -232,13 +237,18 @@ def pipelined_upcast(
     combine: Callable[[int, int], int],
     domain: int,
     seed: Optional[int] = None,
+    schedule: str = "active",
 ) -> Tuple[Tuple[int, ...], int]:
     """Coordinatewise ⊕ of per-node t-vectors, collected at the tree root.
 
     Returns:
         (combined vector at the root, measured rounds).
     """
-    return drive(upcast_steps(network, tree, values, combine, domain, seed=seed))
+    return drive(
+        upcast_steps(
+            network, tree, values, combine, domain, seed=seed, schedule=schedule
+        )
+    )
 
 
 def downcast_steps(
@@ -247,11 +257,14 @@ def downcast_steps(
     values: Sequence[int],
     domain: int,
     seed: Optional[int] = None,
+    schedule: str = "active",
 ) -> Iterator[int]:
     """Stepwise broadcast: yields each engine round number as it runs.
 
     The generator's return value is ``(per-node received vectors,
     measured rounds)`` — the same tuple :func:`pipelined_downcast` returns.
+    ``schedule`` selects the engine's execution strategy (see
+    :class:`~repro.congest.engine.Engine`).
     """
     children = tree.children()
     length = len(values)
@@ -266,7 +279,7 @@ def downcast_steps(
         )
         for v in network.nodes()
     }
-    stepper = Engine(network, programs, seed=seed).stepper()
+    stepper = Engine(network, programs, seed=seed, schedule=schedule).stepper()
     while stepper.step():
         yield stepper.rounds
     result = stepper.result
@@ -280,13 +293,16 @@ def pipelined_downcast(
     values: Sequence[int],
     domain: int,
     seed: Optional[int] = None,
+    schedule: str = "active",
 ) -> Tuple[Dict[int, Tuple[int, ...]], int]:
     """Broadcast a t-vector from the tree root to every node.
 
     Returns:
         (per-node received vectors, measured rounds).
     """
-    return drive(downcast_steps(network, tree, values, domain, seed=seed))
+    return drive(
+        downcast_steps(network, tree, values, domain, seed=seed, schedule=schedule)
+    )
 
 
 def aggregate_single(
@@ -296,6 +312,7 @@ def aggregate_single(
     combine: Callable[[int, int], int],
     domain: int,
     seed: Optional[int] = None,
+    schedule: str = "active",
 ) -> Tuple[int, int]:
     """Convergecast a single bounded value per node to the root.
 
@@ -304,7 +321,7 @@ def aggregate_single(
     """
     vectors = {v: [values[v]] for v in network.nodes()}
     combined, rounds = pipelined_upcast(
-        network, tree, vectors, combine, domain, seed=seed
+        network, tree, vectors, combine, domain, seed=seed, schedule=schedule
     )
     return combined[0], rounds
 

@@ -11,11 +11,17 @@ computation is free and unbounded; only communication rounds count.  The
 reported ``rounds`` is the index of the last round in which any message was
 in flight or any program executed.
 
-Two scheduling strategies produce *identical* results (rounds, outputs,
+Three scheduling strategies produce *identical* results (rounds, outputs,
 traffic statistics — the determinism property tests pin this down):
 
 * ``"dense"`` — the textbook loop: every non-halted node executes every
   round, even with an empty inbox.
+* ``"vectorized"`` — the bulk loop: for audited structured program
+  families (BFS, multi-source BFS, the pipelined tree transfers) whole
+  rounds execute as numpy array operations over a CSR adjacency
+  (:mod:`repro.congest.vectorized`), removing per-node Python dispatch
+  entirely; anything unsupported transparently falls back to the active
+  loop, and fault-armed engine subclasses veto the bypass.
 * ``"active"`` (default) — the hot-path loop: a node executes a round only
   when it has deliveries, sent messages in its previous executed round
   (it may be mid-stream), has a due :meth:`~repro.congest.program.Context.
@@ -63,8 +69,11 @@ DEFAULT_MAX_ROUNDS_FLOOR = 10_000
 #: Shared immutable inbox handed to nodes executing a silent round.
 _EMPTY_INBOX = Inbox()
 
-#: Recognized scheduling strategies.
-SCHEDULES = ("active", "dense")
+#: Recognized scheduling strategies.  ``"vectorized"`` executes whole
+#: rounds as numpy array ops over a CSR adjacency for audited program
+#: families (:mod:`repro.congest.vectorized`) and transparently falls
+#: back to ``"active"`` for everything else.
+SCHEDULES = ("active", "dense", "vectorized")
 
 
 @dataclass
@@ -126,9 +135,11 @@ class Engine:
             share randomness — the model has no shared coins).
         max_rounds: execution budget; exceeded budgets raise
             :class:`RoundLimitExceeded`.
-        schedule: ``"active"`` (default, skip provably idle nodes) or
-            ``"dense"`` (execute every node every round).  Results are
-            identical; only wall time differs.
+        schedule: ``"active"`` (default, skip provably idle nodes),
+            ``"dense"`` (execute every node every round), or
+            ``"vectorized"`` (whole rounds as numpy array ops for
+            audited program families, per-node fallback otherwise).
+            Results are identical; only wall time differs.
         recorder: observability spine bus (:mod:`repro.obs`).  Defaults
             to the ambient :func:`~repro.obs.current_recorder`, which is
             the null recorder unless one is installed; recording never
@@ -172,18 +183,15 @@ class Engine:
         #: quiescence; a deployed version would add an O(D) termination-
         #: detection phase, which callers charge separately.
         self.stop_on_quiescence = stop_on_quiescence
-        seed_seq = np.random.SeedSequence(seed)
-        children = seed_seq.spawn(network.n)
-        self.contexts: Dict[int, Context] = {
-            v: Context(
-                node=v,
-                neighbors=network.neighbors(v),
-                n=network.n,
-                bandwidth=network.bandwidth,
-                rng=np.random.default_rng(children[v]),
-            )
-            for v in network.nodes()
-        }
+        #: Per-node Contexts (with their spawned RNG streams) are built
+        #: lazily on first access: the vectorized fast path never
+        #: executes per-node programs, and constructing n Contexts plus n
+        #: spawned Generators is a large fixed cost at large n (it
+        #: dominated vectorized wall time before PR 7 deferred it).
+        #: Construction is deterministic in ``seed`` alone, so a lazy
+        #: build is bit-identical to the historical eager one.
+        self._seed = seed
+        self._contexts: Optional[Dict[int, Context]] = None
         #: Number of halted nodes, so :meth:`_all_halted` is O(1) instead
         #: of an O(n) per-round scan.
         self._halted_count = 0
@@ -206,6 +214,33 @@ class Engine:
         self._inbox_touched: List[int] = []
         #: Re-entrancy latch: True while a :meth:`steps` generator is live.
         self._running = False
+        #: Rounds executed on the vectorized fast path (0 unless
+        #: ``schedule="vectorized"`` actually engaged; surfaced through
+        #: the obs spine as the ``vectorized_rounds`` metric).
+        self.vectorized_rounds = 0
+        #: Why a vectorized run fell back to the per-node path (None
+        #: when it did not): a program-mix reason from
+        #: :func:`repro.congest.vectorized.build_vectorized` or the
+        #: engine-subclass veto from :meth:`_vectorized_ok`.
+        self.vectorized_fallback: Optional[str] = None
+
+    @property
+    def contexts(self) -> Dict[int, Context]:
+        """node -> its :class:`Context`, built (deterministically) on demand."""
+        if self._contexts is None:
+            network = self.network
+            children = np.random.SeedSequence(self._seed).spawn(network.n)
+            self._contexts = {
+                v: Context(
+                    node=v,
+                    neighbors=network.neighbors(v),
+                    n=network.n,
+                    bandwidth=network.bandwidth,
+                    rng=np.random.default_rng(children[v]),
+                )
+                for v in network.nodes()
+            }
+        return self._contexts
 
     def run(self) -> RunResult:
         """Execute until every node halts; return outputs and statistics."""
@@ -231,6 +266,8 @@ class Engine:
         self._running = True
         if self.schedule == "dense":
             return self._finishing(self._dense_steps())
+        if self.schedule == "vectorized":
+            return self._finishing(self._vectorized_steps())
         return self._finishing(self._active_steps())
 
     def _finishing(self, gen: Iterator[int]) -> Iterator[int]:
@@ -274,6 +311,7 @@ class Engine:
             self._begin_round(rounds)
 
             delivered = self._transmit(in_flight, rounds)
+            self._canonicalize(delivered)
             inboxes: Dict[int, List[Message]] = {}
             bits = 0
             for msg in delivered:
@@ -371,6 +409,7 @@ class Engine:
             touched.clear()
 
             delivered = self._transmit(in_flight, rounds)
+            self._canonicalize(delivered)
             bits = 0
             for msg in delivered:
                 dst = msg.dst
@@ -430,8 +469,128 @@ class Engine:
         return RunResult(rounds=rounds, outputs=outputs, stats=stats)
 
     # ------------------------------------------------------------------
+    # vectorized loop (column-major fast path)
+    # ------------------------------------------------------------------
+
+    def _vectorized_steps(self) -> Iterator[int]:
+        """Whole-network rounds as array ops (see :mod:`.vectorized`).
+
+        Engages only when (a) this engine's fault/observation seam hooks
+        are the perfect-network base implementations (a fault-armed
+        subclass must see every message individually) and (b) the
+        program dict is an audited homogeneous family with a bulk port.
+        Anything else silently falls back to the active-set loop,
+        recording the reason on :attr:`vectorized_fallback` — results
+        are bit-identical either way, only wall time differs.
+        """
+        vp = None
+        if not self._vectorized_ok():
+            self.vectorized_fallback = "engine-overrides-round-hooks"
+        else:
+            from .vectorized import build_vectorized
+
+            vp, reason = build_vectorized(self)
+            if vp is None:
+                self.vectorized_fallback = reason
+        if vp is None:
+            result = yield from self._active_steps()
+            return result
+
+        stats = TrafficStats()
+        csr = vp.csr
+        order_arr = np.empty(self.network.n, dtype=np.int64)
+        for v, i in self._order.items():
+            order_arr[v] = i
+        active = np.ones(self.network.n, dtype=bool)
+
+        # Round 0: local initialization, no communication charged.
+        in_flight, halts = vp.start()
+        if halts.any():
+            for v in np.nonzero(halts)[0]:
+                self._note_halt(int(v))
+            active[halts] = False
+
+        rounds = 0
+        while True:
+            if len(in_flight) == 0 and (
+                self._all_halted() or self.stop_on_quiescence
+            ):
+                break
+            if rounds >= self.max_rounds:
+                raise RoundLimitExceeded(self.max_rounds)
+            rounds += 1
+            self._begin_round(rounds)
+
+            count = len(in_flight)
+            bits = count * vp.bits_per_message
+            if self._recording:
+                # Deliver events in the canonical (program order, dst)
+                # order the per-node loops emit.
+                src = csr.src[in_flight.edges]
+                dst = csr.indices[in_flight.edges]
+                for i in np.lexsort((dst, order_arr[src])):
+                    self.recorder.deliver(
+                        rounds,
+                        int(src[i]),
+                        int(dst[i]),
+                        vp.bits_per_message,
+                        (int(in_flight.a[i]), int(in_flight.b[i])),
+                    )
+            stats.record_round(count, bits)
+            if self._recording:
+                self.recorder.round(rounds, count, bits, mode="vectorized")
+
+            in_flight, halts = vp.step_all(vp.state, in_flight, active, rounds)
+            if halts.any():
+                for v in np.nonzero(halts)[0]:
+                    self._note_halt(int(v))
+                active[halts] = False
+            self.vectorized_rounds += 1
+            yield rounds
+
+        return RunResult(
+            rounds=rounds, outputs=vp.outputs(rounds), stats=stats
+        )
+
+    def _vectorized_ok(self) -> bool:
+        """Whether the fast path may bypass the per-message seam hooks.
+
+        True only when every fault/observation hook is the base
+        perfect-network implementation; :class:`repro.faults.
+        FaultyEngine` (or any subclass customizing the seam) fails this
+        identity check and takes the per-node fallback automatically.
+        """
+        cls = type(self)
+        return (
+            cls._begin_round is Engine._begin_round
+            and cls._transmit is Engine._transmit
+            and cls._channel_pending is Engine._channel_pending
+            and cls._node_active is Engine._node_active
+            and cls._on_deliver is Engine._on_deliver
+        )
+
+    # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
+
+    def _canonicalize(self, delivered: List[Message]) -> None:
+        """Sort a round's deliveries into canonical (sender, dst) order.
+
+        Senders already appear in program order (each node's sends are
+        appended as it executes); the stable sort additionally orders
+        each sender's block by destination, which is the order the
+        vectorized loop produces natively.  Applied *after*
+        :meth:`_transmit` so fault models consume their per-message
+        randomness in unsorted send order (streams stay compatible),
+        and stably, so a delayed message released this round still lands
+        ahead of a fresh same-edge one.  Per-node inbox contents are
+        unchanged (at most one message per (src, dst) pair per round per
+        channel event); only the deliver-event order all three schedules
+        share is fixed.
+        """
+        if len(delivered) > 1:
+            order = self._order
+            delivered.sort(key=lambda m: (order[m.src], m.dst))
 
     def _note_halt(self, v: int) -> None:
         """Record that node ``v`` halted (keeps :meth:`_all_halted` O(1))."""
@@ -439,7 +598,10 @@ class Engine:
         self._always_on.pop(v, None)
 
     def _all_halted(self) -> bool:
-        return self._halted_count >= len(self.contexts)
+        # network.n, not len(self.contexts): every node has a program
+        # (validated at construction), and touching ``contexts`` here
+        # would force the lazy per-node build the vectorized path avoids.
+        return self._halted_count >= self.network.n
 
     # ------------------------------------------------------------------
     # fault-injection / observation seam

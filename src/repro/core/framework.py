@@ -46,6 +46,8 @@ from ..congest.algorithms.aggregate import (
 )
 from ..congest.algorithms.bfs import BFSResult, bfs_with_echo
 from ..congest.algorithms.leader import elect_leader
+from ..congest.csr import CSRAdjacency, csr_for, invalidate_csr
+from ..congest.engine import SCHEDULES
 from ..congest.network import Network
 from ..obs.recorder import Recorder, current_recorder, install
 from ..queries.ledger import QueryLedger
@@ -118,9 +120,15 @@ class CongestBatchOracle:
         seed: Optional[int] = None,
         semigroup: Optional[Semigroup] = None,
         recorder: Optional[Recorder] = None,
+        engine_schedule: str = "active",
     ):
         if mode not in ("formula", "engine"):
             raise ValueError(f"unknown mode {mode!r}")
+        if engine_schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown engine_schedule {engine_schedule!r}; "
+                f"expected one of {SCHEDULES}"
+            )
         if dist_input is None and computer is None:
             raise ValueError("need either a DistributedInput or a ValueComputer")
         self.network = network
@@ -135,6 +143,11 @@ class CongestBatchOracle:
         self.computer = computer
         self._k = k if k is not None else dist_input.k
         self._seed = seed
+        #: Engine scheduling strategy for every per-batch protocol run
+        #: (downcast / upcast / uncompute).  ``"vectorized"`` bulk-executes
+        #: each of those protocols column-major; they are bit-identical to
+        #: the per-node schedules, so charges and values are unchanged.
+        self.engine_schedule = engine_schedule
         self._cache: Dict[int, int] = {}
         self._cache_vectors: Dict[int, Dict[int, int]] = {}
         self._full: Optional[List[int]] = (
@@ -199,7 +212,7 @@ class CongestBatchOracle:
         with self.recorder.span("distribute"):
             gen = downcast_steps(
                 self.network, self.tree, indices, domain=max(self._k, 2),
-                seed=self._seed,
+                seed=self._seed, schedule=self.engine_schedule,
             )
             down_rounds = None
             while down_rounds is None:
@@ -305,6 +318,7 @@ class CongestBatchOracle:
                 combine=semigroup.combine,
                 domain=domain,
                 seed=self._seed,
+                schedule=self.engine_schedule,
             )
             combined = None
             while combined is None:
@@ -324,6 +338,7 @@ class CongestBatchOracle:
                 list(combined),
                 domain=domain,
                 seed=self._seed,
+                schedule=self.engine_schedule,
             )
             down_rounds = None
             while down_rounds is None:
@@ -370,6 +385,11 @@ class FrameworkConfig:
     prepared: Optional["PreparedNetwork"] = None
     reuse_setup: bool = True
     recorder: Optional[Recorder] = None
+    #: Engine scheduling strategy for engine-mode batch protocols:
+    #: ``"active"`` (default), ``"dense"``, or ``"vectorized"``
+    #: (column-major bulk rounds; bit-identical results and charges).
+    #: Ignored in formula mode, which runs no engine rounds.
+    engine_schedule: str = "active"
 
     def __post_init__(self):
         if self.parallelism < 1:
@@ -378,6 +398,11 @@ class FrameworkConfig:
             )
         if self.mode not in ("formula", "engine"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.engine_schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown engine_schedule {self.engine_schedule!r}; "
+                f"expected one of {SCHEDULES}"
+            )
 
     def replace(self, **changes) -> "FrameworkConfig":
         """A copy with the given fields swapped (sweep-friendly)."""
@@ -423,6 +448,14 @@ class PreparedNetwork:
     #: Topology fingerprint of the network the tree was built on (the
     #: staleness tripwire); None for hand-built PreparedNetworks.
     topology_fingerprint: Optional[str] = None
+    #: Column-major adjacency of the same topology, shared with the
+    #: vectorized engine's CSR cache (PR 7).  Attached by
+    #: :class:`PreparedCache` so engine-mode batches under
+    #: ``engine_schedule="vectorized"`` never rebuild adjacency; ``None``
+    #: for hand-built PreparedNetworks (the engine then builds/caches its
+    #: own).  Carries no round charges — CSR is a simulator-side layout,
+    #: not a protocol.
+    csr: Optional[CSRAdjacency] = None
 
     def charge_setup(self, rounds: RoundLedger) -> None:
         """Replay the setup charges exactly as a fresh run would."""
@@ -526,6 +559,7 @@ class PreparedCache:
                 tree=tree,
                 seed=seed,
                 topology_fingerprint=fingerprint,
+                csr=csr_for(network, fingerprint=fingerprint),
             )
             self._entries[cache_key] = prepared
             if (
@@ -541,12 +575,18 @@ class PreparedCache:
         return prepared
 
     def invalidate(self, network: Optional[Network] = None) -> None:
-        """Drop cached setup state — for one network, or all of it."""
+        """Drop cached setup state — for one network, or all of it.
+
+        Also drops the matching CSR adjacency entries: both caches key on
+        the topology fingerprint, so a mutation that stales one stales
+        the other.
+        """
         if network is None:
             self._entries.clear()
             # WeakKeyDictionary.clear() while other threads hold refs is
             # fine; the tripwire table is advisory state only.
             self._seen = weakref.WeakKeyDictionary()
+            invalidate_csr(None)
             return
         seen = self._seen.pop(network, None)
         stale = set(seen.values()) if seen else set()
@@ -555,6 +595,7 @@ class PreparedCache:
             k for k in self._entries if k[0] in stale
         ]:
             del self._entries[cache_key]
+        invalidate_csr(network)
 
     def stats(self) -> Dict[str, Optional[int]]:
         """Counters for observability: size, bound, hits/misses/evictions."""
@@ -684,6 +725,7 @@ def build_oracle(
         seed=config.seed,
         semigroup=config.semigroup,
         recorder=recorder,
+        engine_schedule=config.engine_schedule,
     )
 
 

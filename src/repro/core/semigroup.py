@@ -53,11 +53,49 @@ def _bits_for(domain_size: int) -> int:
     return max(1, math.ceil(math.log2(max(domain_size, 2))))
 
 
+# Named combine operations.  These are module-level (rather than lambdas
+# inside the constructors below) so they have a stable identity: the
+# vectorized engine (:mod:`repro.congest.vectorized`) maps each combine
+# *callable* to its numpy ufunc, and a fresh lambda per Semigroup instance
+# would defeat that registry.  Two semigroups built from the same factory
+# now share one combine function.
+
+
+def combine_sum(a: int, b: int) -> int:
+    """⊕ = + (vectorizes as ``np.add``)."""
+    return a + b
+
+
+def combine_xor(a: int, b: int) -> int:
+    """⊕ = bitwise XOR (vectorizes as ``np.bitwise_xor``)."""
+    return a ^ b
+
+
+def combine_max(a: int, b: int) -> int:
+    """⊕ = max (vectorizes as ``np.maximum``)."""
+    return a if a >= b else b
+
+
+def combine_min(a: int, b: int) -> int:
+    """⊕ = min (vectorizes as ``np.minimum``)."""
+    return a if a <= b else b
+
+
+def combine_and(a: int, b: int) -> int:
+    """⊕ = bitwise AND (vectorizes as ``np.bitwise_and``)."""
+    return a & b
+
+
+def combine_or(a: int, b: int) -> int:
+    """⊕ = bitwise OR (vectorizes as ``np.bitwise_or``)."""
+    return a | b
+
+
 def sum_semigroup(max_total: int) -> Semigroup:
     """(ℕ∩[0,max_total], +).  Lemma 10 uses A = [n]; Lemma 12 uses A = [Nn]."""
     return Semigroup(
         name=f"sum[0,{max_total}]",
-        combine=lambda a, b: a + b,
+        combine=combine_sum,
         bits=_bits_for(max_total + 1),
         identity=0,
         domain_size=max_total + 1,
@@ -68,7 +106,7 @@ def xor_semigroup(width_bits: int) -> Semigroup:
     """({0,1}^w, ⊕) — Problem 16's elementwise XOR."""
     return Semigroup(
         name=f"xor{width_bits}",
-        combine=lambda a, b: a ^ b,
+        combine=combine_xor,
         bits=width_bits,
         identity=0,
         domain_size=1 << width_bits,
@@ -79,7 +117,7 @@ def max_semigroup(max_value: int) -> Semigroup:
     """([0, max_value], max) with identity 0."""
     return Semigroup(
         name=f"max[0,{max_value}]",
-        combine=max,
+        combine=combine_max,
         bits=_bits_for(max_value + 1),
         identity=0,
         domain_size=max_value + 1,
@@ -90,7 +128,7 @@ def min_semigroup(max_value: int) -> Semigroup:
     """Min with ``max_value`` doubling as +∞ (and the monoid identity)."""
     return Semigroup(
         name=f"min[0,{max_value}]",
-        combine=min,
+        combine=combine_min,
         bits=_bits_for(max_value + 1),
         identity=max_value,
         domain_size=max_value + 1,
@@ -100,12 +138,12 @@ def min_semigroup(max_value: int) -> Semigroup:
 def and_semigroup() -> Semigroup:
     """({0,1}, AND) with identity 1 — distributed all-zero tests (Lemma 27)."""
     return Semigroup(
-        name="and", combine=lambda a, b: a & b, bits=1, identity=1, domain_size=2
+        name="and", combine=combine_and, bits=1, identity=1, domain_size=2
     )
 
 
 def or_semigroup() -> Semigroup:
     """({0,1}, OR) with identity 0."""
     return Semigroup(
-        name="or", combine=lambda a, b: a | b, bits=1, identity=0, domain_size=2
+        name="or", combine=combine_or, bits=1, identity=0, domain_size=2
     )

@@ -104,6 +104,16 @@ class FaultyEngine(TracingEngine):
 
     # -- seam overrides -------------------------------------------------
 
+    def _vectorized_ok(self) -> bool:
+        """Never bulk-execute: fault models and crash schedules consume
+        per-message randomness and per-node liveness through the seam
+        hooks, which the column-major fast path bypasses.  (The base
+        hook-identity check already fails for this class; this override
+        documents the veto explicitly and keeps it even if the seam
+        implementation details change.)  A ``schedule="vectorized"``
+        request falls back to the active-set loop, bit-identically."""
+        return False
+
     def _begin_round(self, round_no: int) -> None:
         self._current_round = round_no
         self.fault_model.on_round(round_no)

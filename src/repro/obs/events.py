@@ -53,7 +53,15 @@ EVENT_KINDS = (
 
 @dataclass(frozen=True)
 class RoundEvent:
-    """One engine communication round: its delivery count and bit volume."""
+    """One engine communication round: its delivery count and bit volume.
+
+    ``mode`` names the execution path that ran the round: ``""`` for the
+    per-node loops (dense/active — indistinguishable by construction) or
+    ``"vectorized"`` for the column-major bulk loop.  The mode is
+    advisory metadata: schedule-equivalence comparisons exclude it, and
+    the JSONL record omits it when empty so per-node traces are
+    byte-identical to pre-vectorization ones.
+    """
 
     kind: ClassVar[str] = ROUND
 
@@ -61,6 +69,7 @@ class RoundEvent:
     messages: int
     bits: int
     span: str = ""
+    mode: str = ""
 
 
 @dataclass(frozen=True)
@@ -218,9 +227,12 @@ def to_json(event: Any) -> Dict[str, Any]:
     """The stable ``repro-trace/1`` JSONL record for one event."""
     kind = event.kind
     if kind == ROUND:
-        return {"type": ROUND, "round": event.round_no,
-                "messages": event.messages, "bits": event.bits,
-                "span": event.span}
+        record = {"type": ROUND, "round": event.round_no,
+                  "messages": event.messages, "bits": event.bits,
+                  "span": event.span}
+        if event.mode:
+            record["mode"] = event.mode
+        return record
     if kind == DELIVER:
         return {"type": DELIVER, "round": event.round_no, "src": event.src,
                 "dst": event.dst, "bits": event.bits,

@@ -77,8 +77,12 @@ class Recorder:
         for sink in self.sinks:
             sink.handle(event)
 
-    def round(self, round_no: int, messages: int, bits: int) -> None:
-        self.emit(RoundEvent(round_no, messages, bits, self._span_path))
+    def round(
+        self, round_no: int, messages: int, bits: int, mode: str = ""
+    ) -> None:
+        self.emit(
+            RoundEvent(round_no, messages, bits, self._span_path, mode)
+        )
 
     def deliver(
         self, round_no: int, src: int, dst: int, bits: int, value: Any = None
@@ -171,7 +175,7 @@ class NullRecorder(Recorder):
     def emit(self, event) -> None:
         pass
 
-    def round(self, round_no, messages, bits) -> None:
+    def round(self, round_no, messages, bits, mode="") -> None:
         pass
 
     def deliver(self, round_no, src, dst, bits, value=None) -> None:

@@ -64,6 +64,7 @@ class MetricsSink(Sink):
 
     def __init__(self):
         self.engine_rounds = 0
+        self.vectorized_rounds = 0
         self.messages = 0
         self.bits = 0
         self.edge_bits: Dict[Tuple[int, int], int] = {}
@@ -99,6 +100,10 @@ class MetricsSink(Sink):
         elif kind == ROUND:
             if event.round_no > self.engine_rounds:
                 self.engine_rounds = event.round_no
+            # getattr: tolerate pre-vectorization RoundEvents replayed
+            # from old traces (no ``mode`` field).
+            if getattr(event, "mode", "") == "vectorized":
+                self.vectorized_rounds += 1
         elif kind == CHARGE:
             self.charge_events += 1
             self.charges_by_phase[event.phase] = (
@@ -163,6 +168,9 @@ class MetricsSink(Sink):
         Returns ``self`` so merges chain/reduce.
         """
         self.engine_rounds = max(self.engine_rounds, other.engine_rounds)
+        # Unlike the high-water engine_rounds, fast-path rounds are a
+        # plain event count, so shards sum.
+        self.vectorized_rounds += other.vectorized_rounds
         self.messages += other.messages
         self.bits += other.bits
         for edge, bits in other.edge_bits.items():
@@ -217,6 +225,7 @@ class MetricsSink(Sink):
         """
         return {
             "engine_rounds": self.engine_rounds,
+            "vectorized_rounds": self.vectorized_rounds,
             "messages": self.messages,
             "bits": self.bits,
             "edge_bits": {
@@ -251,6 +260,9 @@ class MetricsSink(Sink):
         """Rebuild a sink from a :meth:`to_state` snapshot."""
         sink = cls()
         sink.engine_rounds = state["engine_rounds"]
+        # Vectorized-round accounting arrived with the bulk engine
+        # (PR 7); default so earlier snapshots still load.
+        sink.vectorized_rounds = state.get("vectorized_rounds", 0)
         sink.messages = state["messages"]
         sink.bits = state["bits"]
         sink.edge_bits = {
@@ -311,6 +323,7 @@ class MetricsSink(Sink):
         edge, edge_bits = self.busiest_edge()
         return {
             "engine_rounds": self.engine_rounds,
+            "vectorized_rounds": self.vectorized_rounds,
             "messages": self.messages,
             "bits": self.bits,
             "busiest_edge": edge,

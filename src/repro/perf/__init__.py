@@ -23,6 +23,13 @@ Three workload families, matching the PR-2 optimization targets:
   asserts amortized rounds-per-query is no worse than the synchronous
   scheduler at equal width).  ``bench --workload serve`` writes
   ``BENCH_PR6.json``.
+* :mod:`repro.perf.scaling_bench` — the PR-7 scaling ceiling: largest n
+  per topology family that a single vectorized engine run sustains
+  within a wall-clock budget, with points at n ≥ 10^5 fanned across
+  :mod:`repro.parallel` workers.  Assertion-only (no speedup race);
+  ``bench --workload scaling_ceiling`` writes ``BENCH_PR7.json``.
+  (The ``engine`` workload itself gained a vectorized column in PR 7:
+  its headline ``speedup`` is now vectorized-over-dense.)
 
 ``python -m repro bench`` runs all of them and writes ``BENCH_PR2.json``
 (schema documented in ``benchmarks/perf/README.md``);
@@ -45,23 +52,36 @@ from .harness import (
 )
 from .obs_bench import OVERHEAD_BUDGET, obs_overhead_workload
 from .parallel_bench import parallel_verify_workload
+from .scaling_bench import scaling_ceiling_workload
 from .sched_bench import sched_coalescing_workload
 from .serve_bench import serve_daemon_workload
 
 WORKLOADS = {
     "engine": engine_flooding_workload,
+    # The workload's report name; accepted as a CLI alias for "engine".
+    "engine_flooding": engine_flooding_workload,
     "gates": gate_throughput_workload,
     "framework": framework_repeat_workload,
     "obs": obs_overhead_workload,
     "parallel": parallel_verify_workload,
     "sched": sched_coalescing_workload,
     "serve": serve_daemon_workload,
+    "scaling_ceiling": scaling_ceiling_workload,
 }
 
 
+#: What a bare ``bench`` runs: one entry per workload (no aliases), and
+#: not ``scaling_ceiling`` — at full scale it builds 10^5..2·10^5-node
+#: graphs and ships its own report (BENCH_PR7.json); run it explicitly
+#: with ``--workload scaling_ceiling``.
+DEFAULT_WORKLOADS = [
+    "engine", "gates", "framework", "obs", "parallel", "sched", "serve",
+]
+
+
 def run_all(quick: bool = False, workloads=None) -> dict:
-    """Run the selected workloads (all by default) and build the report."""
-    selected = workloads or list(WORKLOADS)
+    """Run the selected workloads (defaults in DEFAULT_WORKLOADS)."""
+    selected = workloads or list(DEFAULT_WORKLOADS)
     results = []
     for name in selected:
         if name not in WORKLOADS:
@@ -73,6 +93,7 @@ def run_all(quick: bool = False, workloads=None) -> dict:
 
 
 __all__ = [
+    "DEFAULT_WORKLOADS",
     "OVERHEAD_BUDGET",
     "SPEEDUP_TARGET",
     "WORKLOADS",
@@ -85,6 +106,7 @@ __all__ = [
     "obs_overhead_workload",
     "parallel_verify_workload",
     "run_all",
+    "scaling_ceiling_workload",
     "sched_coalescing_workload",
     "serve_daemon_workload",
     "write_report",

@@ -52,21 +52,41 @@ def compare_reports(old: Dict[str, Any], new: Dict[str, Any]) -> str:
         if wl_old is None or wl_new is None:
             lines.append(f"{name}: only in {'new' if wl_old is None else 'old'}")
             continue
-        bo, bn = wl_old.get("best_speedup"), wl_new.get("best_speedup")
-        bo_s = f"{bo:.2f}x" if bo is not None else "n/a"
-        bn_s = f"{bn:.2f}x" if bn is not None else "n/a"
-        lines.append(f"{name}: best speedup {bo_s} -> {bn_s}")
+        if wl_old.get("assertion_only") and wl_new.get("assertion_only"):
+            lines.append(f"{name}: assertion-only workload")
+        else:
+            bo, bn = wl_old.get("best_speedup"), wl_new.get("best_speedup")
+            bo_s = f"{bo:.2f}x" if bo is not None else "n/a"
+            bn_s = f"{bn:.2f}x" if bn is not None else "n/a"
+            lines.append(f"{name}: best speedup {bo_s} -> {bn_s}")
         old_by_id = {_identity(e): e for e in wl_old["sweep"]}
         for entry in wl_new["sweep"]:
             match = old_by_id.get(_identity(entry))
             if match is None:
                 continue
             for key in entry:
-                if not key.endswith("_s") or key not in match:
+                # Wall-time keys only: `_per_s` rates also end in "_s"
+                # but are not millisecond quantities.
+                if (
+                    not key.endswith("_s")
+                    or key.endswith("_per_s")
+                    or key not in match
+                ):
                     continue
                 before, after = match[key], entry[key]
-                ratio = before / after if after else float("inf")
                 ident = {k: v for k, v in entry.items() if not _is_measured(k)}
+                # Reports serialize non-finite measurements as null
+                # (write_report forbids Infinity/NaN); a null on either
+                # side means "no comparable timing", not a crash.
+                if not isinstance(before, (int, float)) or not isinstance(
+                    after, (int, float)
+                ):
+                    lines.append(
+                        f"  {ident}: {key} not comparable "
+                        f"({before!r} -> {after!r})"
+                    )
+                    continue
+                ratio = before / after if after else float("inf")
                 lines.append(
                     f"  {ident}: {key} {before * 1e3:.1f}ms -> "
                     f"{after * 1e3:.1f}ms ({ratio:.2f}x)"

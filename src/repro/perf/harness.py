@@ -63,6 +63,19 @@ class WorkloadResult:
         ]
         return max(speedups) if speedups else None
 
+    @property
+    def assertion_only(self) -> bool:
+        """True when no sweep point measures a fast-vs-reference speedup.
+
+        Some workloads (``serve``, ``scaling_ceiling``) measure absolute
+        capacity and assert correctness rather than racing two paths.
+        They have no ``speedup`` entries by design; the summary reports
+        them separately instead of as a null best-speedup (the PR-6
+        report wrote ``"serve": null``, which read as a failed
+        measurement and crashed :mod:`repro.perf.compare`).
+        """
+        return not any("speedup" in entry for entry in self.sweep)
+
     def to_json(self) -> Dict[str, Any]:
         # Non-finite floats in raw sweep entries become null: JSON has
         # no Infinity/NaN, and write_report rejects them outright.
@@ -81,6 +94,7 @@ class WorkloadResult:
             "description": self.description,
             "sweep": sweep,
             "best_speedup": self.best_speedup,
+            "assertion_only": self.assertion_only,
         }
 
 
@@ -94,6 +108,9 @@ def build_report(
         for r in results
         if r.best_speedup is not None and r.best_speedup >= SPEEDUP_TARGET
     )
+    # Assertion-only workloads (no fast-vs-reference race) are listed
+    # separately: a null in best_speedups would read as a measurement
+    # that failed, and the speedup target simply does not apply to them.
     return {
         "schema": SCHEMA,
         "quick": quick,
@@ -101,8 +118,13 @@ def build_report(
         "summary": {
             "speedup_target": SPEEDUP_TARGET,
             "best_speedups": {
-                r.name: r.best_speedup for r in results
+                r.name: r.best_speedup
+                for r in results
+                if not r.assertion_only
             },
+            "assertion_only": sorted(
+                r.name for r in results if r.assertion_only
+            ),
             "workloads_meeting_target": met,
         },
     }
@@ -127,6 +149,10 @@ def format_summary(report: Dict[str, Any]) -> str:
     lines = [f"benchmark report ({report['schema']}"
              f"{', quick' if report.get('quick') else ''})"]
     for name, wl in sorted(report["workloads"].items()):
+        if wl.get("assertion_only"):
+            lines.append(f"  {name}: assertion-only "
+                         f"({len(wl['sweep'])} sweep points)")
+            continue
         best = wl.get("best_speedup")
         best_s = f"{best:.2f}x" if best is not None else "n/a"
         lines.append(f"  {name}: best speedup {best_s} "

@@ -1,0 +1,171 @@
+"""Scaling ceiling: how large a network one vectorized engine run sustains.
+
+``python -m repro bench --workload scaling_ceiling`` answers the PR-7
+capacity question: with column-major rounds over CSR adjacency, what is
+the largest n for which a full BFS-with-echo flood completes within a
+fixed wall-clock budget per topology family?  Points at n ≥ 10^5 are the
+headline — two orders of magnitude beyond what the per-node schedulers
+sustain interactively.
+
+This is an *assertion-only* workload (no fast-vs-reference race): each
+point runs the vectorized schedule once and records absolute throughput.
+Correctness is still pinned — the smallest rung of every family is run
+under both ``active`` and ``vectorized`` and asserted bit-identical
+(rounds, outputs, traffic stats) before any large point is timed, and
+every vectorized run is asserted to have taken the fast path.
+
+Points fan out across worker processes via :mod:`repro.parallel` — the
+graphs are built inside the workers (a 2·10^5-node networkx build is a
+significant fraction of a point's cost), and only small result dicts
+travel back, exactly the executor's intended shape.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Tuple
+
+from ..congest import topologies
+from ..congest.algorithms.bfs import BFSEchoProgram
+from ..congest.engine import Engine
+from ..parallel.executor import Task, run_parallel
+from .harness import WorkloadResult
+
+#: Wall-clock budget one point must fit in to count toward the ceiling.
+TIME_BUDGET_S = 30.0
+QUICK_TIME_BUDGET_S = 5.0
+
+
+def _build(family: str, n: int) -> Tuple[object, int]:
+    """Construct the family's ~n-node instance; returns (network, exact n)."""
+    if family == "random_regular(d=4)":
+        net = topologies.random_regular(n, 4, seed=7)
+    elif family == "grid":
+        side = max(2, round(n ** 0.5))
+        net = topologies.grid(side, side)
+    elif family == "star":
+        net = topologies.star(n)
+    else:
+        raise ValueError(f"unknown scaling family {family!r}")
+    return net, net.n
+
+
+def _flood(net, schedule: str):
+    programs = {v: BFSEchoProgram(v, 0) for v in net.nodes()}
+    engine = Engine(net, programs, seed=1, schedule=schedule)
+    return engine, engine.run()
+
+
+def scaling_point(family: str, n: int, check_identity: bool = False) -> Dict:
+    """One (family, n) measurement — module-level so workers can pickle it."""
+    net, exact_n = _build(family, n)
+    if check_identity:
+        _, active = _flood(net, "active")
+    start = time.perf_counter()
+    engine, vec = _flood(net, "vectorized")
+    wall_s = time.perf_counter() - start
+    if engine.vectorized_fallback is not None:
+        raise AssertionError(
+            f"vectorized fell back on {family} n={exact_n}: "
+            f"{engine.vectorized_fallback}"
+        )
+    if check_identity:
+        same = (
+            active.rounds == vec.rounds
+            and active.outputs == vec.outputs
+            and active.stats.messages == vec.stats.messages
+            and active.stats.bits == vec.stats.bits
+            and active.stats.per_round_messages == vec.stats.per_round_messages
+        )
+        if not same:
+            raise AssertionError(
+                f"active/vectorized mismatch on {family} n={exact_n}"
+            )
+    return {
+        "family": family,
+        "n": exact_n,
+        "rounds": vec.rounds,
+        "messages": vec.stats.messages,
+        "identity_checked": check_identity,
+        "wall_s": wall_s,
+        "rounds_per_s": vec.rounds / wall_s if wall_s else float("inf"),
+        "nodes_per_s": exact_n / wall_s if wall_s else float("inf"),
+        "messages_per_s": (
+            vec.stats.messages / wall_s if wall_s else float("inf")
+        ),
+    }
+
+
+def _ladders(quick: bool) -> Dict[str, List[int]]:
+    """family -> ascending target sizes (smallest rung is identity-checked)."""
+    if quick:
+        return {
+            "random_regular(d=4)": [500, 2000],
+            "grid": [500, 2000],
+            "star": [500, 2000],
+        }
+    return {
+        "random_regular(d=4)": [20_000, 100_000, 200_000],
+        "grid": [20_000, 100_000, 200_000],
+        "star": [20_000, 100_000, 200_000],
+    }
+
+
+def _jobs() -> int:
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        cpus = os.cpu_count() or 1
+    return max(1, min(4, cpus))
+
+
+def scaling_ceiling_workload(quick: bool = False) -> WorkloadResult:
+    """Largest sustainable n per topology family under vectorized rounds."""
+    budget = QUICK_TIME_BUDGET_S if quick else TIME_BUDGET_S
+    result = WorkloadResult(
+        name="scaling_ceiling",
+        description=(
+            "single-engine vectorized BFS-with-echo floods at increasing n "
+            "per topology family; absolute wall time and throughput, with "
+            "the smallest rung of each family asserted bit-identical to "
+            "the active-set schedule (assertion-only: no speedup race; "
+            f"ceiling = largest n finishing within {budget:.0f}s)"
+        ),
+    )
+    ladders = _ladders(quick)
+    tasks = []
+    for family, sizes in ladders.items():
+        for i, n in enumerate(sizes):
+            tasks.append(Task(
+                key=f"{family}/n={n}",
+                fn=scaling_point,
+                kwargs={
+                    "family": family,
+                    "n": n,
+                    "check_identity": i == 0,
+                },
+            ))
+    points = run_parallel(tasks, jobs=_jobs(), retries=0)
+    by_family: Dict[str, List[Dict]] = {}
+    for task, point in zip(tasks, points):
+        if not isinstance(point, dict):  # TaskFailure: surface, don't bury
+            raise AssertionError(f"scaling point {task.key} failed: {point}")
+        result.sweep.append(point)
+        by_family.setdefault(point["family"], []).append(point)
+    for family, sizes in ladders.items():
+        within = [p["n"] for p in by_family[family] if p["wall_s"] <= budget]
+        result.sweep.append({
+            "family": family,
+            "kind": "ceiling",
+            "time_budget_s_limit": budget,
+            "ceiling_n": max(within) if within else 0,
+            "largest_measured_n": max(p["n"] for p in by_family[family]),
+        })
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual convenience
+    wl = scaling_ceiling_workload(quick=True)
+    for entry in wl.sweep:
+        print(entry)

@@ -1,0 +1,261 @@
+"""The vectorized (column-major) engine schedule: fast path and fallbacks.
+
+``Engine(schedule="vectorized")`` must be observationally identical to the
+per-node schedules on the audited program families, and must fall back —
+with a recorded reason, still producing identical results — on anything
+it cannot bulk-execute.  The property-based twin of this file is
+``tests/property/test_prop_vectorized.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.congest import topologies
+from repro.congest.algorithms.aggregate import (
+    aggregate_single,
+    build_upcast_programs,
+    pipelined_downcast,
+    pipelined_upcast,
+)
+from repro.congest.algorithms.bfs import BFSEchoProgram, bfs_with_echo
+from repro.congest.algorithms.leader import MaxIdFloodProgram
+from repro.congest.algorithms.multibfs import MultiSourceBFSProgram
+from repro.congest.engine import Engine
+from repro.congest.vectorized import build_vectorized, register_vectorized_combine
+from repro.core.semigroup import combine_max, combine_sum, combine_xor
+
+
+def _assert_identical(res_a, res_b):
+    assert res_a.rounds == res_b.rounds
+    assert res_a.outputs == res_b.outputs
+    assert res_a.stats == res_b.stats
+
+
+def _run(net, programs, schedule, **kwargs):
+    engine = Engine(net, programs, seed=3, schedule=schedule, **kwargs)
+    return engine, engine.run()
+
+
+class TestFastPath:
+    def test_bfs_echo_identical_and_fully_vectorized(self):
+        net = topologies.grid(4, 5)
+        make = lambda: {v: BFSEchoProgram(v, 0) for v in net.nodes()}
+        _, active = _run(net, make(), "active")
+        engine, vec = _run(net, make(), "vectorized")
+        _assert_identical(active, vec)
+        assert engine.vectorized_fallback is None
+        assert engine.vectorized_rounds == vec.rounds
+
+    def test_multibfs_identical(self):
+        net = topologies.random_regular(14, 3, seed=5)
+        sources = [0, 7]
+        make = lambda: {
+            v: MultiSourceBFSProgram(v, sources) for v in net.nodes()
+        }
+        _, active = _run(net, make(), "active", stop_on_quiescence=True)
+        engine, vec = _run(net, make(), "vectorized", stop_on_quiescence=True)
+        _assert_identical(active, vec)
+        assert engine.vectorized_fallback is None
+        assert engine.vectorized_rounds == vec.rounds
+
+    def test_fast_path_never_builds_contexts(self):
+        # The whole point of the bulk schedule: no per-node Context objects
+        # (or their RNG streams) are ever constructed.
+        net = topologies.cycle(12)
+        engine = Engine(
+            net, {v: BFSEchoProgram(v, 0) for v in net.nodes()},
+            seed=0, schedule="vectorized",
+        )
+        engine.run()
+        assert engine.vectorized_fallback is None
+        assert engine._contexts is None
+
+    def test_lazy_contexts_are_bit_identical_to_eager(self):
+        # Laziness must not change the per-node RNG streams: two engines
+        # over the same seed draw identical values whether or not the
+        # contexts were forced early.
+        net = topologies.cycle(6)
+        make = lambda: {v: MaxIdFloodProgram(v) for v in net.nodes()}
+        a = Engine(net, make(), seed=9)
+        _ = a.contexts  # force before running
+        b = Engine(net, make(), seed=9)
+        assert [a.contexts[v].rng.integers(1 << 30) for v in net.nodes()] == [
+            b.contexts[v].rng.integers(1 << 30) for v in net.nodes()
+        ]
+
+    @pytest.mark.parametrize("combine,expected", [
+        (combine_sum, sum(range(20))),
+        (combine_max, 19),
+        (combine_xor, 0 ^ 1 ^ 2),
+    ])
+    def test_upcast_named_combines(self, combine, expected):
+        net = topologies.grid(4, 5)
+        tree = bfs_with_echo(net, 0)
+        if combine is combine_xor:
+            values = {v: [v & 3 if v < 3 else 0] for v in net.nodes()}
+            expected = 0
+            for v in net.nodes():
+                expected ^= v & 3 if v < 3 else 0
+        else:
+            values = {v: [v] for v in net.nodes()}
+        active = pipelined_upcast(
+            net, tree, values, combine, domain=1 << 16, schedule="active"
+        )
+        vec = pipelined_upcast(
+            net, tree, values, combine, domain=1 << 16, schedule="vectorized"
+        )
+        assert active == vec
+        assert vec[0] == (expected,)
+
+    def test_downcast_identical(self):
+        net = topologies.balanced_tree(2, 3)
+        tree = bfs_with_echo(net, 0)
+        payload = [5, 1, 4, 1]
+        active = pipelined_downcast(
+            net, tree, payload, domain=8, schedule="active"
+        )
+        vec = pipelined_downcast(
+            net, tree, payload, domain=8, schedule="vectorized"
+        )
+        assert active == vec
+        assert all(got == tuple(payload) for got in vec[0].values())
+
+    def test_aggregate_single_identical(self):
+        net = topologies.star(9)
+        tree = bfs_with_echo(net, 0)
+        values = {v: v for v in net.nodes()}
+        active = aggregate_single(
+            net, tree, values, combine_sum, domain=1 << 12, schedule="active"
+        )
+        vec = aggregate_single(
+            net, tree, values, combine_sum, domain=1 << 12,
+            schedule="vectorized",
+        )
+        assert active == vec
+
+
+class TestFallbacks:
+    """Unsupported shapes fall back per-node with identical results."""
+
+    def _expect_fallback(self, net, make, reason, **kwargs):
+        _, active = _run(net, make(), "active", **kwargs)
+        engine, vec = _run(net, make(), "vectorized", **kwargs)
+        _assert_identical(active, vec)
+        assert engine.vectorized_fallback == reason
+        assert engine.vectorized_rounds == 0
+        return engine
+
+    def test_unsupported_program_family(self):
+        net = topologies.cycle(9)
+        self._expect_fallback(
+            net,
+            lambda: {v: MaxIdFloodProgram(v) for v in net.nodes()},
+            "unsupported-program-MaxIdFloodProgram",
+            stop_on_quiescence=True,
+        )
+
+    def test_mixed_program_types(self):
+        # A mixed dict is semantically broken under every schedule (the
+        # families' wire formats differ), so only the audit verdict is
+        # checked — not a run.
+        net = topologies.cycle(6)
+        programs = {v: BFSEchoProgram(v, 0) for v in net.nodes()}
+        programs[5] = MaxIdFloodProgram(5)
+        vp, reason = build_vectorized(
+            Engine(net, programs, seed=0, schedule="vectorized")
+        )
+        assert vp is None and reason == "mixed-program-types"
+
+    def test_bfs_roots_disagree(self):
+        net = topologies.cycle(8)
+        engine, _ = _run(
+            net,
+            {v: BFSEchoProgram(v, root=v % 2) for v in net.nodes()},
+            "vectorized",
+        )
+        assert engine.vectorized_fallback == "bfs-roots-disagree"
+        assert engine.vectorized_rounds == 0
+
+    def test_multibfs_sources_disagree(self):
+        net = topologies.cycle(8)
+        programs = {
+            v: MultiSourceBFSProgram(v, [0] if v < 4 else [1])
+            for v in net.nodes()
+        }
+        vp, reason = build_vectorized(
+            Engine(net, programs, seed=0, schedule="vectorized",
+                   stop_on_quiescence=True)
+        )
+        assert vp is None and reason == "multibfs-sources-disagree"
+
+    def test_unregistered_combine_falls_back_correctly(self):
+        net = topologies.grid(3, 4)
+        tree = bfs_with_echo(net, 0)
+        values = {v: [v % 7] for v in net.nodes()}
+        anon = lambda a, b: max(a, b)  # noqa: E731 - deliberately unregistered
+        programs = build_upcast_programs(net, tree, values, anon, domain=8)
+        engine = Engine(net, programs, seed=0, schedule="vectorized")
+        vec = engine.run()
+        assert engine.vectorized_fallback == "upcast-combine-unregistered"
+        active = pipelined_upcast(
+            net, tree, values, anon, domain=8, seed=0, schedule="active"
+        )
+        assert (tuple(vec.outputs[tree.root]), vec.rounds) == active
+
+    def test_upcast_params_disagree(self):
+        net = topologies.cycle(5)
+        tree = bfs_with_echo(net, 0)
+        values = {v: [v] for v in net.nodes()}
+        programs = build_upcast_programs(
+            net, tree, values, combine_sum, domain=64
+        )
+        programs[2].domain = 128  # simulate a miswired batch
+        vp, reason = build_vectorized(
+            Engine(net, programs, seed=0, schedule="vectorized")
+        )
+        assert vp is None and reason == "upcast-params-disagree"
+
+    def test_faulty_engine_vetoes_vectorization(self):
+        from repro.congest.algorithms.leader import BoundedMaxIdFloodProgram
+        from repro.faults import BernoulliLoss, FaultyEngine
+
+        net = topologies.grid(3, 3)
+        make = lambda: {
+            v: BoundedMaxIdFloodProgram(v, horizon=net.n)
+            for v in net.nodes()
+        }
+        runs = []
+        for schedule in ("active", "vectorized"):
+            engine = FaultyEngine(
+                net, make(), fault_model=BernoulliLoss(0.2), fault_seed=4,
+                seed=4, schedule=schedule,
+            )
+            runs.append((engine, engine.run()))
+        (_, res_a), (b, res_b) = runs
+        _assert_identical(res_a, res_b)
+        assert b.vectorized_fallback == "engine-overrides-round-hooks"
+        assert b.vectorized_rounds == 0
+
+
+class TestCombineRegistry:
+    def test_register_custom_combine(self):
+        def combine_gcd(a, b):
+            import math
+            return math.gcd(a, b)
+
+        register_vectorized_combine(combine_gcd, np.gcd)
+        net = topologies.grid(3, 4)
+        tree = bfs_with_echo(net, 0)
+        values = {v: [(v + 1) * 6] for v in net.nodes()}
+        programs = build_upcast_programs(
+            net, tree, values, combine_gcd, domain=1 << 10
+        )
+        engine = Engine(net, programs, seed=0, schedule="vectorized")
+        vec = engine.run()
+        assert engine.vectorized_fallback is None
+        active = pipelined_upcast(
+            net, tree, values, combine_gcd, domain=1 << 10, seed=0,
+            schedule="active",
+        )
+        assert (tuple(vec.outputs[tree.root]), vec.rounds) == active
+        assert vec.outputs[tree.root] == (6,)

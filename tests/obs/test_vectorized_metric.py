@@ -1,0 +1,62 @@
+"""The ``vectorized_rounds`` metric: counting, merging, and state (PR 7)."""
+
+from repro.congest import topologies
+from repro.congest.algorithms.bfs import BFSEchoProgram
+from repro.congest.engine import Engine
+from repro.obs import MetricsSink, Recorder, install
+from repro.obs.events import RoundEvent
+
+
+def _run_metrics(schedule: str) -> MetricsSink:
+    net = topologies.grid(3, 4)
+    sink = MetricsSink()
+    with install(Recorder([sink])):
+        Engine(
+            net,
+            {v: BFSEchoProgram(v, 0) for v in net.nodes()},
+            seed=0,
+            schedule=schedule,
+        ).run()
+    return sink
+
+
+class TestVectorizedRoundsCounter:
+    def test_counts_only_vectorized_mode_rounds(self):
+        sink = MetricsSink()
+        sink.handle(RoundEvent(round_no=1, messages=2, bits=8))
+        sink.handle(RoundEvent(round_no=2, messages=2, bits=8,
+                               mode="vectorized"))
+        sink.handle(RoundEvent(round_no=3, messages=1, bits=4,
+                               mode="vectorized"))
+        assert sink.engine_rounds == 3
+        assert sink.vectorized_rounds == 2
+
+    def test_engine_runs_report_their_mode(self):
+        vec = _run_metrics("vectorized")
+        active = _run_metrics("active")
+        assert vec.engine_rounds == active.engine_rounds
+        assert vec.vectorized_rounds == vec.engine_rounds
+        assert active.vectorized_rounds == 0
+        # The advisory mode tag must not perturb the traffic counters.
+        assert (vec.messages, vec.bits) == (active.messages, active.bits)
+
+    def test_merge_sums(self):
+        a, b = _run_metrics("vectorized"), _run_metrics("vectorized")
+        total = a.vectorized_rounds + b.vectorized_rounds
+        assert a.merge(b).vectorized_rounds == total
+
+    def test_state_round_trip(self):
+        sink = _run_metrics("vectorized")
+        restored = MetricsSink.from_state(sink.to_state())
+        assert restored.vectorized_rounds == sink.vectorized_rounds
+        assert restored.summary() == sink.summary()
+
+    def test_from_state_tolerates_pre_vectorization_payloads(self):
+        state = _run_metrics("active").to_state()
+        del state["vectorized_rounds"]  # a payload written before PR 7
+        assert MetricsSink.from_state(state).vectorized_rounds == 0
+
+    def test_in_summary(self):
+        sink = _run_metrics("vectorized")
+        assert sink.summary()["vectorized_rounds"] == sink.vectorized_rounds
+        assert sink.summary()["vectorized_rounds"] > 0

@@ -1,0 +1,162 @@
+"""Property: the vectorized schedule is bit-identical to per-node runs.
+
+The column-major bulk loop (``Engine(schedule="vectorized")``) is an
+*oracle-checked optimization*: over random topologies, seeds, and program
+parameters it must reproduce the active-set schedule exactly — rounds,
+outputs, traffic statistics, observability events (delivery order
+included), and per-phase round-ledger charges.  ``mode`` on RoundEvents
+is the one sanctioned difference and is excluded by construction.
+"""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.congest import topologies
+from repro.congest.algorithms.aggregate import (
+    pipelined_downcast,
+    pipelined_upcast,
+)
+from repro.congest.algorithms.bfs import BFSEchoProgram, bfs_with_echo
+from repro.congest.algorithms.multibfs import MultiSourceBFSProgram
+from repro.congest.engine import Engine
+from repro.core.semigroup import (
+    combine_max,
+    combine_min,
+    combine_sum,
+    combine_xor,
+)
+from repro.obs import MemorySink, Recorder, install
+
+_SETTINGS = dict(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _make_network(draw):
+    kind = draw(st.sampled_from(["grid", "cycle", "regular", "star", "tree"]))
+    if kind == "grid":
+        return topologies.grid(draw(st.integers(2, 5)), draw(st.integers(2, 5)))
+    if kind == "cycle":
+        return topologies.cycle(draw(st.integers(3, 24)))
+    if kind == "regular":
+        n = draw(st.integers(4, 16).filter(lambda v: v % 2 == 0))
+        return topologies.random_regular(n, 3, seed=draw(st.integers(0, 5)))
+    if kind == "star":
+        return topologies.star(draw(st.integers(3, 20)))
+    return topologies.balanced_tree(2, draw(st.integers(1, 3)))
+
+
+def _make_program_factory(draw, net, family):
+    if family == "bfs":
+        root = draw(st.integers(0, net.n - 1))
+        return (
+            lambda: {v: BFSEchoProgram(v, root) for v in net.nodes()},
+            {},
+        )
+    count = draw(st.integers(1, min(3, net.n)))
+    sources = draw(
+        st.lists(st.integers(0, net.n - 1), min_size=count,
+                 max_size=count, unique=True)
+    )
+    return (
+        lambda: {v: MultiSourceBFSProgram(v, sources) for v in net.nodes()},
+        {"stop_on_quiescence": True},
+    )
+
+
+def _assert_identical(res_a, res_b):
+    assert res_a.rounds == res_b.rounds
+    assert res_a.outputs == res_b.outputs
+    assert res_a.stats == res_b.stats
+
+
+def _strip_mode(events):
+    return [
+        dataclasses.replace(e, mode="") if hasattr(e, "mode") else e
+        for e in events
+    ]
+
+
+class TestVectorizedEquivalence:
+    @settings(**_SETTINGS)
+    @given(data=st.data())
+    def test_flood_families(self, data):
+        net = _make_network(data.draw)
+        family = data.draw(st.sampled_from(["bfs", "multibfs"]))
+        seed = data.draw(st.integers(0, 100))
+        make, kwargs = _make_program_factory(data.draw, net, family)
+        active = Engine(
+            net, make(), seed=seed, schedule="active", **kwargs
+        ).run()
+        engine = Engine(net, make(), seed=seed, schedule="vectorized", **kwargs)
+        vec = engine.run()
+        _assert_identical(active, vec)
+        # The audited families never fall back, and every round of a
+        # fast-path run is a vectorized round.
+        assert engine.vectorized_fallback is None
+        assert engine.vectorized_rounds == vec.rounds
+
+    @settings(**_SETTINGS)
+    @given(data=st.data())
+    def test_obs_event_streams_identical(self, data):
+        net = _make_network(data.draw)
+        family = data.draw(st.sampled_from(["bfs", "multibfs"]))
+        seed = data.draw(st.integers(0, 100))
+        make, kwargs = _make_program_factory(data.draw, net, family)
+        streams = []
+        for schedule in ("active", "vectorized"):
+            sink = MemorySink()
+            with install(Recorder([sink])):
+                Engine(
+                    net, make(), seed=seed, schedule=schedule, **kwargs
+                ).run()
+            streams.append(sink)
+        active_sink, vec_sink = streams
+        # Deliveries: same events in the same canonical order.
+        assert (
+            active_sink.events_of_kind("deliver")
+            == vec_sink.events_of_kind("deliver")
+        )
+        # Rounds: identical up to the advisory `mode` tag.
+        assert _strip_mode(active_sink.events_of_kind("round")) == _strip_mode(
+            vec_sink.events_of_kind("round")
+        )
+        assert all(
+            e.mode == "vectorized" for e in vec_sink.events_of_kind("round")
+        )
+
+    @settings(**_SETTINGS)
+    @given(data=st.data())
+    def test_tree_transfers(self, data):
+        net = _make_network(data.draw)
+        root = data.draw(st.integers(0, net.n - 1))
+        tree = bfs_with_echo(net, root)
+        length = data.draw(st.integers(0, 3))
+        domain = 1 << 20  # roomy: a summed 255-per-node vector stays in range
+        combine = data.draw(st.sampled_from(
+            [combine_sum, combine_max, combine_min, combine_xor]
+        ))
+        values = {
+            v: [
+                data.draw(st.integers(0, 255)) for _ in range(length)
+            ]
+            for v in net.nodes()
+        }
+        up_active = pipelined_upcast(
+            net, tree, values, combine, domain, schedule="active"
+        )
+        up_vec = pipelined_upcast(
+            net, tree, values, combine, domain, schedule="vectorized"
+        )
+        assert up_active == up_vec
+        payload = [data.draw(st.integers(0, 255)) for _ in range(length)]
+        down_active = pipelined_downcast(
+            net, tree, payload, domain, schedule="active"
+        )
+        down_vec = pipelined_downcast(
+            net, tree, payload, domain, schedule="vectorized"
+        )
+        assert down_active == down_vec

@@ -70,3 +70,65 @@ class TestSerialization:
                 {"schema": "x", "oops": math.inf},
                 str(tmp_path / "bad.json"),
             )
+
+
+def _assertion_workload(name="cap"):
+    wl = WorkloadResult(name=name, description="capacity workload")
+    wl.sweep = [
+        {"family": "grid", "n": 100, "wall_s": 0.5},
+        {"family": "grid", "kind": "ceiling", "ceiling_n": 100},
+    ]
+    return wl
+
+
+class TestAssertionOnlyWorkloads:
+    """PR-6 regression: workloads with no speedup race must not read as
+    failed measurements (``"serve": null``) or crash the compare tool."""
+
+    def test_property(self):
+        assert _assertion_workload().assertion_only
+        assert not _workload([1.0]).assertion_only
+        # One measured speedup anywhere makes it a racing workload.
+        mixed = _assertion_workload()
+        mixed.sweep.append({"speedup": 2.0})
+        assert not mixed.assertion_only
+
+    def test_excluded_from_best_speedups_summary(self):
+        report = build_report([_workload([3.0]), _assertion_workload()])
+        assert report["summary"]["best_speedups"] == {"wl": 3.0}
+        assert report["summary"]["assertion_only"] == ["cap"]
+        assert report["workloads"]["cap"]["assertion_only"] is True
+
+    def test_format_summary_labels_it(self):
+        from repro.perf.harness import format_summary
+
+        report = build_report([_assertion_workload()])
+        assert "cap: assertion-only" in format_summary(report)
+
+    def test_compare_reports_handles_assertion_only(self):
+        from repro.perf.compare import compare_reports
+
+        report = build_report([_assertion_workload()])
+        out = compare_reports(report, report)
+        assert "cap: assertion-only workload" in out
+        assert "n/a" not in out
+
+    def test_compare_reports_survives_null_timings(self):
+        from repro.perf.compare import compare_reports
+
+        old = build_report([_workload([2.0])])
+        new = build_report([_workload([2.5])])
+        # Simulate a serialized non-finite: to_json turned it into null.
+        old["workloads"]["wl"]["sweep"][0]["wall_s"] = None
+        new["workloads"]["wl"]["sweep"][0]["wall_s"] = 0.25
+        out = compare_reports(old, new)
+        assert "not comparable" in out
+
+    def test_compare_reports_skips_rate_keys(self):
+        from repro.perf.compare import compare_reports
+
+        report = build_report([_assertion_workload()])
+        report["workloads"]["cap"]["sweep"][0]["nodes_per_s"] = 1e6
+        out = compare_reports(report, report)
+        assert "nodes_per_s" not in out
+        assert "wall_s" in out
