@@ -2,8 +2,10 @@
 
 from . import (
     amplitude_apps,
+    apsp,
     cycles,
     deutsch_jozsa,
+    diameter,
     eccentricity,
     element_distinctness,
     even_cycles,
@@ -14,8 +16,10 @@ from . import (
 
 __all__ = [
     "amplitude_apps",
+    "apsp",
     "cycles",
     "deutsch_jozsa",
+    "diameter",
     "eccentricity",
     "element_distinctness",
     "even_cycles",

@@ -28,6 +28,7 @@ verified); with probability ≤ 1/3 an existing cycle may be missed.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -277,4 +278,10 @@ def _subgraph_network(network: Network, sub: nx.Graph) -> Optional[Network]:
         comp = max(nx.connected_components(sub), key=len)
         sub = sub.subgraph(comp)
     mapping = {v: i for i, v in enumerate(sorted(sub.nodes()))}
-    return Network(nx.relabel_nodes(sub, mapping), bandwidth=network.bandwidth)
+    # Inherit the parent's communication model, pinning its *resolved*
+    # bandwidth: CONGEST budgets are set by the global n, so a halo must
+    # not re-derive a smaller cap from its own size.
+    model = network.model
+    if network.bandwidth is not None and getattr(model, "bandwidth", None) is None:
+        model = dataclasses.replace(model, bandwidth=network.bandwidth)
+    return Network(nx.relabel_nodes(sub, mapping), comm_model=model)

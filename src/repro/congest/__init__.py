@@ -17,12 +17,20 @@ from .errors import (
     BandwidthExceeded,
     CongestError,
     DuplicateSend,
+    MessageTooLargeError,
     ModelViolation,
     NotANeighbor,
     RoundLimitExceeded,
 )
 from .messages import Inbox, Message
-from .network import Network
+from .models import (
+    CommModel,
+    CongestCliqueModel,
+    CongestModel,
+    LocalModel,
+    resolve_model,
+)
+from .network import CompleteNetwork, Network
 from .program import Context, IdleProgram, NodeProgram
 
 __all__ = [
@@ -35,11 +43,18 @@ __all__ = [
     "BandwidthExceeded",
     "CongestError",
     "DuplicateSend",
+    "MessageTooLargeError",
     "ModelViolation",
     "NotANeighbor",
     "RoundLimitExceeded",
     "Inbox",
     "Message",
+    "CommModel",
+    "CongestModel",
+    "CongestCliqueModel",
+    "LocalModel",
+    "resolve_model",
+    "CompleteNetwork",
     "Network",
     "Context",
     "IdleProgram",

@@ -87,9 +87,37 @@ class CSRAdjacency:
         return e
 
 
+def _build_csr_complete(
+    network: Network, fingerprint: Optional[str]
+) -> CSRAdjacency:
+    """CSR of a complete graph, fully vectorized (no Python edge loop).
+
+    Every row is ``0..n-1`` minus the diagonal, so ``indices`` is a
+    masked broadcast and ``rev`` is the closed form
+    ``id(v→u) = v·(n−1) + (u − [u > v])`` — no lexsort over the 2m
+    directed edges.  This is what makes CLIQUE benches usable at
+    n ≥ 2·10³ (the generic path's per-node Python loop is O(n²) there).
+    """
+    n = network.n
+    a = np.arange(n, dtype=np.int64)
+    indptr = np.arange(n + 1, dtype=np.int64) * (n - 1)
+    mat = np.broadcast_to(a, (n, n))
+    indices = mat[~np.eye(n, dtype=bool)]
+    src = np.repeat(a, n - 1)
+    rev = indices * (n - 1) + src - (src > indices)
+    if fingerprint is None:
+        fingerprint = network.topology_fingerprint()
+    return CSRAdjacency(
+        n=n, indptr=indptr, indices=indices, src=src, rev=rev,
+        fingerprint=fingerprint,
+    )
+
+
 def build_csr(network: Network, fingerprint: Optional[str] = None) -> CSRAdjacency:
     """Build the CSR arrays from a network's adjacency (uncached)."""
     n = network.n
+    if getattr(network, "is_complete", False) and n > 1:
+        return _build_csr_complete(network, fingerprint)
     degrees = np.fromiter(
         (len(network.neighbors(v)) for v in range(n)), dtype=np.int64, count=n
     )
@@ -124,8 +152,12 @@ class CSRCache:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive when set")
         self.max_entries = max_entries
-        #: network object -> (n, m, bandwidth, csr); the cheap-recheck keys
-        #: catch any in-place mutation that changes the edge count.
+        #: network object -> (n, m, bandwidth, model_key, csr); the
+        #: cheap-recheck keys catch any in-place mutation that changes
+        #: the edge count *and* any communication-model swap — two
+        #: models over the same graph must never share a CSR entry
+        #: (their fingerprints differ, so the LRU already separates
+        #: them; the model key keeps the object fast path honest too).
         self._weak: "weakref.WeakKeyDictionary[Network, Tuple]" = (
             weakref.WeakKeyDictionary()
         )
@@ -148,11 +180,15 @@ class CSRCache:
         """
         entry = self._weak.get(network)
         if entry is not None:
-            n, m, bw, csr = entry
-            if (n, m, bw) == (network.n, network.m, network.bandwidth):
+            n, m, bw, model_key, csr = entry
+            if (n, m, bw, model_key) == (
+                network.n, network.m, network.bandwidth,
+                network.model.cache_key,
+            ):
                 self.hits += 1
                 return csr
-            # In-place mutation changed the shape: drop the stale entry.
+            # In-place mutation changed the shape (or the model was
+            # swapped): drop the stale entry.
             del self._weak[network]
         if fingerprint is None:
             fingerprint = network.topology_fingerprint()
@@ -167,7 +203,10 @@ class CSRCache:
             if self.max_entries is not None and len(self._lru) > self.max_entries:
                 self._lru.popitem(last=False)
                 self.evictions += 1
-        self._weak[network] = (network.n, network.m, network.bandwidth, csr)
+        self._weak[network] = (
+            network.n, network.m, network.bandwidth,
+            network.model.cache_key, csr,
+        )
         return csr
 
     def invalidate(self, network: Optional[Network] = None) -> None:
@@ -178,7 +217,7 @@ class CSRCache:
             return
         entry = self._weak.pop(network, None)
         if entry is not None:
-            self._lru.pop(entry[3].fingerprint, None)
+            self._lru.pop(entry[-1].fingerprint, None)
         self._lru.pop(network.topology_fingerprint(), None)
 
     def stats(self) -> Dict[str, Optional[int]]:

@@ -206,6 +206,14 @@ class Engine:
             for v, p in programs.items()
             if getattr(p, "always_active", True)
         }
+        #: Communication-model seam, cached once: the token stamped on
+        #: round events ("" for the default CONGEST model, so default
+        #: traces stay byte-identical), and the optional per-round
+        #: routing biller (CONGEST-CLIQUE charges logical links routed
+        #: over the physical graph; CONGEST/LOCAL attach none and the
+        #: hot loops pay a single ``is not None`` check).
+        self._model_token = network.model.event_token
+        self._router = network.model.router(network)
         #: Reusable inbox buffer: node -> list of this round's deliveries.
         #: Lists are cleared and reused round to round (dict churn was a
         #: measurable cost at large n); an Inbox is only valid during the
@@ -233,10 +241,11 @@ class Engine:
             self._contexts = {
                 v: Context(
                     node=v,
-                    neighbors=network.neighbors(v),
+                    neighbors=network.peers(v),
                     n=network.n,
                     bandwidth=network.bandwidth,
                     rng=np.random.default_rng(children[v]),
+                    model=self._model_token,
                 )
                 for v in network.nodes()
             }
@@ -318,9 +327,13 @@ class Engine:
                 inboxes.setdefault(msg.dst, []).append(msg)
                 bits += msg.bits
                 self._on_deliver(msg, rounds)
+            if self._router is not None:
+                bits += self._router.extra_bits(delivered)
             stats.record_round(len(delivered), bits)
             if self._recording:
-                self.recorder.round(rounds, len(delivered), bits)
+                self.recorder.round(
+                    rounds, len(delivered), bits, model=self._model_token
+                )
             in_flight = []
 
             for v, program in self.programs.items():
@@ -421,9 +434,13 @@ class Engine:
                 lst.append(msg)
                 bits += msg.bits
                 self._on_deliver(msg, rounds)
+            if self._router is not None:
+                bits += self._router.extra_bits(delivered)
             stats.record_round(len(delivered), bits)
             if self._recording:
-                self.recorder.round(rounds, len(delivered), bits)
+                self.recorder.round(
+                    rounds, len(delivered), bits, model=self._model_token
+                )
             in_flight = []
 
             # Build this round's execution set in dense-loop order.
@@ -484,7 +501,15 @@ class Engine:
         are bit-identical either way, only wall time differs.
         """
         vp = None
-        if not self._vectorized_ok():
+        if not self.network.model.csr_port:
+            # The bulk loop assumes physical-edge delivery with uniform
+            # per-message bits; models that route over logical links
+            # (CLIQUE) or meter differently (LOCAL's unbounded messages)
+            # take the per-node path.
+            self.vectorized_fallback = (
+                f"model-{self.network.model.name}-lacks-csr-port"
+            )
+        elif not self._vectorized_ok():
             self.vectorized_fallback = "engine-overrides-round-hooks"
         else:
             from .vectorized import build_vectorized
@@ -538,7 +563,10 @@ class Engine:
                     )
             stats.record_round(count, bits)
             if self._recording:
-                self.recorder.round(rounds, count, bits, mode="vectorized")
+                self.recorder.round(
+                    rounds, count, bits,
+                    mode="vectorized", model=self._model_token,
+                )
 
             in_flight, halts = vp.step_all(vp.state, in_flight, active, rounds)
             if halts.any():

@@ -39,6 +39,28 @@ class BandwidthExceeded(ModelViolation):
         )
 
 
+class MessageTooLargeError(BandwidthExceeded):
+    """A message exceeded the communication model's per-link budget.
+
+    Subclass of :class:`BandwidthExceeded` so code written against the
+    historical CONGEST-only hierarchy keeps catching it; the extra
+    ``model`` attribute names the communication model whose admission
+    rule rejected the message (e.g. ``"congest-clique"`` when a logical
+    clique pair went over its per-round O(log n) allowance).
+    """
+
+    def __init__(
+        self, src: int, dst: int, bits: int, bandwidth: int, model: str = ""
+    ):
+        super().__init__(src, dst, bits, bandwidth)
+        self.model = model
+        if model:
+            self.args = (
+                f"message {src}->{dst} of {bits} bits exceeds the "
+                f"{bandwidth}-bit per-link budget of the {model} model",
+            )
+
+
 class NotANeighbor(ModelViolation):
     """A node tried to send a message to a node it is not adjacent to."""
 

@@ -12,33 +12,59 @@ from __future__ import annotations
 import hashlib
 import math
 from functools import cached_property
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
 from .encoding import bits_for_domain
 from .errors import CongestError
+from .models import (
+    DEFAULT_LOG_FACTOR,
+    DEFAULT_TAG_BITS,
+    CommModel,
+    CongestModel,
+    resolve_model,
+)
 
-#: Default bandwidth allowance, as a multiple of ceil(log2 n).  CONGEST
-#: messages are O(log n) bits; proofs in the paper pack a constant number of
-#: identifiers/distances per message, so we allow 4 log-n-sized fields plus
-#: a small tag budget by default.
-DEFAULT_LOG_FACTOR = 4
-DEFAULT_TAG_BITS = 16
+__all__ = [
+    "Network",
+    "CompleteNetwork",
+    "DEFAULT_LOG_FACTOR",
+    "DEFAULT_TAG_BITS",
+]
 
 
 class Network:
-    """An n-node CONGEST network over an undirected connected graph.
+    """An n-node network over an undirected connected graph.
+
+    The *physical* topology is always the given graph; the communication
+    rules — who may message whom, how many bits fit per link per round —
+    come from the attached :class:`~repro.congest.models.CommModel`.
+    The default is the classical CONGEST model, byte-for-byte the
+    behavior this class had before models existed.
 
     Args:
         graph: a connected undirected networkx graph whose nodes are the
             integers ``0..n-1`` (use :func:`repro.congest.topologies`
             generators, or :meth:`Network.from_edges`).
-        bandwidth: per-edge per-round message size limit in bits.  Defaults
-            to ``DEFAULT_LOG_FACTOR * ceil(log2 n) + DEFAULT_TAG_BITS``.
+        bandwidth: legacy shim — per-edge per-round message size limit in
+            bits under the default CONGEST model.  ``Network(g, bandwidth=b)``
+            is exactly ``Network(g, comm_model=CongestModel(bandwidth=b))``;
+            new code should pass ``comm_model=``.  Mutually exclusive with
+            ``comm_model``.
+        comm_model: a :class:`~repro.congest.models.CommModel` instance or
+            registered model name (``"congest"``, ``"congest-clique"``,
+            ``"local"``).  Defaults to ``CongestModel()``:
+            ``DEFAULT_LOG_FACTOR * ceil(log2 n) + DEFAULT_TAG_BITS`` bits
+            per physical edge per round.
     """
 
-    def __init__(self, graph: nx.Graph, bandwidth: int | None = None):
+    def __init__(
+        self,
+        graph: nx.Graph,
+        bandwidth: int | None = None,
+        comm_model: "CommModel | str | None" = None,
+    ):
         if graph.number_of_nodes() == 0:
             raise CongestError("network must have at least one node")
         expected = set(range(graph.number_of_nodes()))
@@ -52,14 +78,22 @@ class Network:
         self.graph = graph
         self.n = graph.number_of_nodes()
         self.m = graph.number_of_edges()
-        if bandwidth is None:
-            bandwidth = (
-                DEFAULT_LOG_FACTOR * bits_for_domain(max(self.n, 2))
-                + DEFAULT_TAG_BITS
+        if bandwidth is not None:
+            if comm_model is not None:
+                raise CongestError(
+                    "pass either bandwidth= (legacy CONGEST shorthand) or "
+                    "comm_model=, not both; use "
+                    "CongestModel(bandwidth=...) to set both at once"
+                )
+            # Legacy shim: Network(g, bandwidth=b) predates the model
+            # layer and means "CONGEST with an explicit per-edge cap".
+            comm_model = CongestModel(bandwidth=bandwidth)
+        self.model: CommModel = resolve_model(comm_model)
+        self.bandwidth: Optional[int] = self.model.resolve_bandwidth(self.n)
+        if self.bandwidth is not None and self.bandwidth < 1:
+            raise CongestError(
+                f"bandwidth must be positive, got {self.bandwidth}"
             )
-        if bandwidth < 1:
-            raise CongestError(f"bandwidth must be positive, got {bandwidth}")
-        self.bandwidth = bandwidth
         self._adj: Dict[int, Tuple[int, ...]] = {
             v: tuple(sorted(graph.neighbors(v))) for v in range(self.n)
         }
@@ -70,7 +104,9 @@ class Network:
 
     @staticmethod
     def from_edges(
-        edges: Iterable[Tuple[int, int]], bandwidth: int | None = None
+        edges: Iterable[Tuple[int, int]],
+        bandwidth: int | None = None,
+        comm_model: "CommModel | str | None" = None,
     ) -> "Network":
         """Build a network from an edge list over integer nodes.
 
@@ -79,23 +115,55 @@ class Network:
         g = nx.Graph()
         g.add_edges_from(edges)
         mapping = {v: i for i, v in enumerate(sorted(g.nodes()))}
-        return Network(nx.relabel_nodes(g, mapping), bandwidth=bandwidth)
+        return Network(
+            nx.relabel_nodes(g, mapping),
+            bandwidth=bandwidth,
+            comm_model=comm_model,
+        )
+
+    #: Structural hint consumed by the CSR builder: ``True`` only on
+    #: :class:`CompleteNetwork`, whose adjacency admits a closed-form
+    #: (loop-free) CSR construction.
+    is_complete = False
 
     # ------------------------------------------------------------------
     # adjacency
     # ------------------------------------------------------------------
 
     def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Physical neighbors of ``v``, ascending (the graph's adjacency)."""
         return self._adj[v]
 
     def degree(self, v: int) -> int:
+        """Physical degree of ``v``."""
         return len(self._adj[v])
 
     def nodes(self) -> range:
+        """The node ids, ``0..n-1``."""
         return range(self.n)
 
     def has_edge(self, u: int, v: int) -> bool:
+        """Whether the *physical* edge ``{u, v}`` exists."""
         return self.graph.has_edge(u, v)
+
+    def peers(self, v: int) -> Tuple[int, ...]:
+        """The nodes ``v`` may message under the communication model.
+
+        For CONGEST and LOCAL this is :meth:`neighbors` (same tuple
+        object — no copy); for CONGEST-CLIQUE it is every other node.
+        The engine builds node :class:`~repro.congest.program.Context`
+        objects from this, not from the raw adjacency.
+        """
+        return self.model.peers(self, v)
+
+    def admit(self, src: int, dst: int, bits: int) -> None:
+        """Validate one message against the model's admission rules.
+
+        Raises :class:`~repro.congest.errors.NotANeighbor` or
+        :class:`~repro.congest.errors.MessageTooLargeError`; returns
+        None when the message is admissible.
+        """
+        self.model.admit(self, src, dst, bits)
 
     # ------------------------------------------------------------------
     # cached graph metrics (ground truth for tests and cost models)
@@ -138,6 +206,13 @@ class Network:
         """
         h = hashlib.blake2b(digest_size=16)
         h.update(f"n={self.n};bw={self.bandwidth};".encode())
+        # Non-default communication models contribute a token so the
+        # same physical graph under two models never shares prepared
+        # state, CSR entries, or memo addresses.  The default CONGEST
+        # model contributes nothing, keeping pre-model fingerprints
+        # byte-identical (they key persisted memo/checkpoint state).
+        if self.model.event_token:
+            h.update(f"model={self.model.cache_key};".encode())
         for u, v in sorted(
             (u, v) if u <= v else (v, u) for u, v in self.graph.edges()
         ):
@@ -153,11 +228,140 @@ class Network:
         """Number of CONGEST rounds needed to push ``bits`` over one edge.
 
         This is the ``ceil(q / log n)`` factor appearing throughout the
-        paper, evaluated against this network's actual bandwidth.
+        paper, evaluated against this network's actual bandwidth.  Under
+        an unbounded model (LOCAL) every transfer fits in one round.
         """
+        if self.bandwidth is None:
+            return 1
         return max(1, math.ceil(bits / self.bandwidth))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        model = f", model={self.model.name}" if self.model.event_token else ""
         return (
-            f"Network(n={self.n}, m={self.m}, bandwidth={self.bandwidth} bits)"
+            f"Network(n={self.n}, m={self.m}, "
+            f"bandwidth={self.bandwidth} bits{model})"
+        )
+
+
+class CompleteNetwork(Network):
+    """K_n without the O(n²) networkx object graph.
+
+    ``topologies.complete`` used to build ``nx.complete_graph(n)`` and
+    eagerly materialize every node's neighbor tuple — tens of millions
+    of Python objects at n ≥ 2·10³, which made CONGEST-CLIQUE benches
+    unusable.  A complete graph's structure is fully determined by
+    ``n``, so this subclass answers every :class:`Network` query in
+    closed form and materializes per-node tuples (and the networkx
+    graph, for the few callers that want one) lazily.
+
+    Behavioral contract: observationally identical to
+    ``Network(nx.complete_graph(n), ...)`` — same neighbors, degrees,
+    metrics, and a byte-identical :meth:`topology_fingerprint` — so
+    fast-built and nx-built K_n share prepared/CSR/memo cache entries.
+    The fingerprint *is* cached here (unlike the base class, which
+    recomputes to catch in-place graph mutation): a CompleteNetwork has
+    no caller-supplied graph to mutate, and its lazily-built one is a
+    derived view, not the source of truth.
+    """
+
+    is_complete = True
+
+    def __init__(
+        self,
+        n: int,
+        bandwidth: int | None = None,
+        comm_model: "CommModel | str | None" = None,
+    ):
+        if n < 1:
+            raise CongestError("network must have at least one node")
+        if bandwidth is not None:
+            if comm_model is not None:
+                raise CongestError(
+                    "pass either bandwidth= (legacy CONGEST shorthand) or "
+                    "comm_model=, not both; use "
+                    "CongestModel(bandwidth=...) to set both at once"
+                )
+            comm_model = CongestModel(bandwidth=bandwidth)
+        self.n = n
+        self.m = n * (n - 1) // 2
+        self.model = resolve_model(comm_model)
+        self.bandwidth = self.model.resolve_bandwidth(n)
+        if self.bandwidth is not None and self.bandwidth < 1:
+            raise CongestError(
+                f"bandwidth must be positive, got {self.bandwidth}"
+            )
+        self._adj_lazy: Dict[int, Tuple[int, ...]] = {}
+        self._fingerprint: Optional[str] = None
+
+    @cached_property
+    def graph(self) -> nx.Graph:
+        """The networkx view, materialized only if someone asks for it."""
+        return nx.complete_graph(self.n)
+
+    @property
+    def _adj(self) -> Dict[int, Tuple[int, ...]]:
+        """Whole-adjacency view (forces every node's tuple; rarely used)."""
+        for v in range(self.n):
+            if v not in self._adj_lazy:
+                self.neighbors(v)
+        return self._adj_lazy
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Every other node, ascending; built once per node on demand."""
+        nbrs = self._adj_lazy.get(v)
+        if nbrs is None:
+            if not 0 <= v < self.n:
+                raise KeyError(v)
+            nbrs = tuple(range(v)) + tuple(range(v + 1, self.n))
+            self._adj_lazy[v] = nbrs
+        return nbrs
+
+    def degree(self, v: int) -> int:
+        """n-1, in closed form."""
+        if not 0 <= v < self.n:
+            raise KeyError(v)
+        return self.n - 1
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Every distinct in-range pair is an edge of K_n."""
+        return u != v and 0 <= u < self.n and 0 <= v < self.n
+
+    @cached_property
+    def eccentricities(self) -> Dict[int, int]:
+        """All 1 (all 0 for the single-node graph), in closed form."""
+        if self.n == 1:
+            return {0: 0}
+        return {v: 1 for v in range(self.n)}
+
+    def distances_from(self, source: int) -> Dict[int, int]:
+        """Everything is one hop away, in closed form."""
+        if not 0 <= source < self.n:
+            raise CongestError(f"source {source} out of range [0, {self.n})")
+        dist = {v: 1 for v in range(self.n)}
+        dist[source] = 0
+        return dist
+
+    def topology_fingerprint(self) -> str:
+        """Byte-identical to the nx-built K_n's fingerprint, cached.
+
+        Caching is safe here (and only here): the structure is a pure
+        function of ``n``, so there is no in-place mutation to detect.
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(f"n={self.n};bw={self.bandwidth};".encode())
+            if self.model.event_token:
+                h.update(f"model={self.model.cache_key};".encode())
+            for u in range(self.n):
+                h.update(
+                    "".join(f"{u},{v};" for v in range(u + 1, self.n)).encode()
+                )
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        model = f", model={self.model.name}" if self.model.event_token else ""
+        return (
+            f"CompleteNetwork(n={self.n}, "
+            f"bandwidth={self.bandwidth} bits{model})"
         )

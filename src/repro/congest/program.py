@@ -31,16 +31,19 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from .encoding import payload_bits
-from .errors import BandwidthExceeded, DuplicateSend, NotANeighbor
+from .errors import DuplicateSend, MessageTooLargeError, NotANeighbor
 from .messages import Inbox, Message
 
 
 class Context:
     """Per-node view of the network handed to programs each round.
 
-    Exposes exactly what a CONGEST node is allowed to know initially: its
-    own id, its neighbors' ids, and the network size ``n`` (knowledge of n,
-    or a polynomial upper bound, is standard in CONGEST algorithms).
+    Exposes exactly what a node is allowed to know initially: its own id,
+    the ids of the peers it may message (physical neighbors under
+    CONGEST/LOCAL, all other nodes under CONGEST-CLIQUE), and the network
+    size ``n`` (knowledge of n, or a polynomial upper bound, is standard
+    in CONGEST algorithms).  ``bandwidth`` is the model's per-link
+    per-round bit cap, or ``None`` when unbounded (LOCAL).
     """
 
     def __init__(
@@ -48,13 +51,15 @@ class Context:
         node: int,
         neighbors: Tuple[int, ...],
         n: int,
-        bandwidth: int,
+        bandwidth: Optional[int],
         rng: np.random.Generator,
+        model: str = "",
     ):
         self.node = node
         self.neighbors = neighbors
         self.n = n
         self.bandwidth = bandwidth
+        self.model = model
         self.rng = rng
         self.round: int = 0
         self.output: Any = None
@@ -73,8 +78,10 @@ class Context:
         if dst in self._outbox:
             raise DuplicateSend(self.node, dst, self.round)
         bits = payload_bits(payload)
-        if bits > self.bandwidth:
-            raise BandwidthExceeded(self.node, dst, bits, self.bandwidth)
+        if self.bandwidth is not None and bits > self.bandwidth:
+            raise MessageTooLargeError(
+                self.node, dst, bits, self.bandwidth, model=self.model
+            )
         self._outbox[dst] = payload
 
     def broadcast(self, payload: Any) -> None:

@@ -16,7 +16,7 @@ from typing import Optional
 import networkx as nx
 import numpy as np
 
-from .network import Network
+from .network import CompleteNetwork, Network
 
 
 def path(n: int, bandwidth: Optional[int] = None) -> Network:
@@ -34,9 +34,33 @@ def star(n: int, bandwidth: Optional[int] = None) -> Network:
     return Network(nx.star_graph(n - 1), bandwidth=bandwidth)
 
 
-def complete(n: int, bandwidth: Optional[int] = None) -> Network:
-    """The complete graph K_n — diameter 1."""
-    return Network(nx.complete_graph(n), bandwidth=bandwidth)
+def complete(n: int, bandwidth: Optional[int] = None, comm_model=None) -> Network:
+    """The complete graph K_n — diameter 1.
+
+    Returns a :class:`~repro.congest.network.CompleteNetwork`: closed-form
+    adjacency/metrics instead of networkx's O(n²) object graph, and a CSR
+    fast path, which is what makes CONGEST-CLIQUE benches usable at
+    n ≥ 2·10³.  Observationally identical (fingerprint included) to the
+    historical ``Network(nx.complete_graph(n))``.
+    """
+    return CompleteNetwork(n, bandwidth=bandwidth, comm_model=comm_model)
+
+
+def clique(n: int, bandwidth: Optional[int] = None) -> Network:
+    """K_n under the CONGEST-CLIQUE model — the Izumi–Le Gall setting.
+
+    Shorthand for ``complete(n, comm_model="congest-clique")`` with an
+    optional per-pair ``bandwidth`` override: every pair of nodes shares
+    a logical O(log n)-bit link, and (the physical graph being complete)
+    routing charges nothing extra.
+    """
+    from .models import CongestCliqueModel
+
+    model = (
+        CongestCliqueModel() if bandwidth is None
+        else CongestCliqueModel(bandwidth=bandwidth)
+    )
+    return CompleteNetwork(n, comm_model=model)
 
 
 def grid(rows: int, cols: int, bandwidth: Optional[int] = None) -> Network:

@@ -107,14 +107,20 @@ class RoundLedger:
 
     charges: List[Tuple[str, int]] = field(default_factory=list)
     recorder: Optional[Recorder] = field(default=None, compare=False, repr=False)
+    #: Communication-model tag stamped on every emitted charge event
+    #: ("" for the default CONGEST model, so pre-model charge streams
+    #: are byte-identical; see :class:`repro.obs.events.ChargeEvent`).
+    #: The list-of-charges semantics ignore it entirely.
+    model: str = field(default="", compare=False)
 
     def charge(self, phase: str, rounds: int) -> None:
+        """Record ``rounds`` against ``phase`` and emit a charge event."""
         if rounds < 0:
             raise ValueError(f"negative round charge for phase {phase!r}")
         self.charges.append((phase, rounds))
         rec = self.recorder if self.recorder is not None else current_recorder()
         if rec.active:
-            rec.charge(phase, rounds)
+            rec.charge(phase, rounds, self.model)
 
     @property
     def total(self) -> int:

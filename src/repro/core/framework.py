@@ -48,6 +48,8 @@ from ..congest.algorithms.bfs import BFSResult, bfs_with_echo
 from ..congest.algorithms.leader import elect_leader
 from ..congest.csr import CSRAdjacency, csr_for, invalidate_csr
 from ..congest.engine import SCHEDULES
+from ..congest.errors import CongestError
+from ..congest.models import CommModel, resolve_model
 from ..congest.network import Network
 from ..obs.recorder import Recorder, current_recorder, install
 from ..queries.ledger import QueryLedger
@@ -390,6 +392,15 @@ class FrameworkConfig:
     #: (column-major bulk rounds; bit-identical results and charges).
     #: Ignored in formula mode, which runs no engine rounds.
     engine_schedule: str = "active"
+    #: Communication model this run is declared for: a
+    #: :class:`~repro.congest.models.CommModel` instance, a registered
+    #: model name (``"congest"``, ``"congest-clique"``, ``"local"``), or
+    #: ``None`` (the default) to accept whatever model the network
+    #: carries.  When set, :func:`build_oracle` rejects a network whose
+    #: model differs — a sweep config can't silently run under the wrong
+    #: rules.  Names are normalized to model instances at construction,
+    #: so two configs naming the same model compare equal.
+    comm_model: "CommModel | str | None" = None
 
     def __post_init__(self):
         if self.parallelism < 1:
@@ -402,6 +413,11 @@ class FrameworkConfig:
             raise ValueError(
                 f"unknown engine_schedule {self.engine_schedule!r}; "
                 f"expected one of {SCHEDULES}"
+            )
+        if self.comm_model is not None:
+            # Normalize (and validate) once, under frozen semantics.
+            object.__setattr__(
+                self, "comm_model", resolve_model(self.comm_model)
             )
 
     def replace(self, **changes) -> "FrameworkConfig":
@@ -712,6 +728,13 @@ def build_oracle(
     recorder: Recorder,
 ) -> CongestBatchOracle:
     """The shared-oracle constructor both execution paths use."""
+    if config.comm_model is not None and config.comm_model != network.model:
+        raise CongestError(
+            f"config declares comm_model={config.comm_model.name!r} but the "
+            f"network runs {network.model.name!r} "
+            f"({network.model!r}); build the network with "
+            f"comm_model={config.comm_model.name!r} or drop the declaration"
+        )
     return CongestBatchOracle(
         network=network,
         dist_input=config.dist_input,
@@ -785,7 +808,7 @@ def run_framework(
         config.recorder if config.recorder is not None else current_recorder()
     )
     with install(rec):
-        rounds = RoundLedger(recorder=rec)
+        rounds = RoundLedger(recorder=rec, model=network.model.event_token)
         rng = np.random.default_rng(config.seed)
 
         with rec.span("setup"):

@@ -27,6 +27,8 @@ from . import (
     e17_triangles,
     e18_boosting,
     e19_resilience,
+    e20_diameter,
+    e21_apsp,
 )
 
 ALL_EXPERIMENTS = {
@@ -49,6 +51,8 @@ ALL_EXPERIMENTS = {
     "E17": e17_triangles,
     "E18": e18_boosting,
     "E19": e19_resilience,
+    "E20": e20_diameter,
+    "E21": e21_apsp,
 }
 
 # Imported after ALL_EXPERIMENTS exists: runner reads the registry at

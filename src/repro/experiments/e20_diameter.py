@@ -1,0 +1,63 @@
+"""E20 — diameter duel: quantum √(nD) slope vs the classical Θ(n) slope.
+
+E10 fits the quantum side alone; E20 (PR 8) runs the
+:mod:`repro.apps.diameter` workload family head-to-head and fits *both*
+log–log exponents on the same sweep.  Claims under test: the measured
+quantum slope beats the measured classical slope (≈ 1/2 vs ≈ 1 at fixed
+D), and the duel stays exact on every trial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.fitting import fit_power_law
+from ..analysis.report import ExperimentTable
+from ..apps.diameter import crossover_n, sweep_diameter
+
+
+@dataclass
+class E20Result:
+    """Sweep table plus the two fitted log–log slopes."""
+
+    table: ExperimentTable
+    quantum_exponent: float    # fitted quantum rounds ~ n^x; paper ≈ 1/2
+    classical_exponent: float  # fitted classical rounds ~ n^x; ≈ 1
+    min_accuracy: float        # worst per-n exactness across trials
+
+
+def run(quick: bool = True, seed: int = 0) -> E20Result:
+    """Run the duel sweep; quick mode keeps it under a minute."""
+    diameter = 6
+    ns = [100, 400, 1600] if quick else [100, 400, 1600, 6400]
+    trials = 3 if quick else 8
+
+    duels = sweep_diameter(ns, diameter=diameter, trials=trials, seed=seed)
+
+    table = ExperimentTable(
+        "E20",
+        "Diameter duel: quantum sqrt(nD) slope vs classical Theta(n) slope",
+        ["n", "D", "quantum rounds", "classical rounds",
+         "bound sqrt(nD)", "bound 2n+3D", "accuracy"],
+    )
+    for duel in duels:
+        table.add_row(
+            duel.n, duel.diameter, duel.quantum_rounds,
+            duel.classical_rounds, duel.quantum_bound,
+            duel.classical_bound, duel.accuracy,
+        )
+
+    q_fit = fit_power_law(ns, [d.quantum_rounds for d in duels])
+    c_fit = fit_power_law(ns, [float(d.classical_rounds) for d in duels])
+    cross = crossover_n(duels)
+    table.add_note(
+        f"quantum rounds ~ n^{q_fit.exponent:.2f} (paper: 0.5, "
+        f"R²={q_fit.r_squared:.3f}); classical ~ n^{c_fit.exponent:.2f} "
+        f"(≈ 1); crossover at n={cross}"
+    )
+    return E20Result(
+        table=table,
+        quantum_exponent=q_fit.exponent,
+        classical_exponent=c_fit.exponent,
+        min_accuracy=min(d.accuracy for d in duels),
+    )

@@ -94,6 +94,20 @@ CRITERIA: Dict[str, Callable] = {
                       f"p=0 identical={r.zero_loss_identical}, "
                       f"outputs intact={r.all_correct}, overhead at max p "
                       f"= {max(r.overheads.values()):.1f}x"),
+    "E20": lambda r: (r.quantum_exponent < r.classical_exponent
+                      and 0.3 <= r.quantum_exponent <= 0.7
+                      and r.classical_exponent >= 0.8
+                      and r.min_accuracy == 1.0,
+                      f"q ~ n^{r.quantum_exponent:.2f} < "
+                      f"c ~ n^{r.classical_exponent:.2f}, "
+                      f"accuracy={r.min_accuracy:.2f}"),
+    "E21": lambda r: (r.quantum_exponent < r.classical_exponent
+                      and 0.15 <= r.quantum_exponent <= 0.4
+                      and 0.25 <= r.classical_exponent <= 0.5
+                      and r.all_validated,
+                      f"q ~ n^{r.quantum_exponent:.2f} < "
+                      f"c ~ n^{r.classical_exponent:.2f}, "
+                      f"engine validated={r.all_validated}"),
 }
 
 

@@ -61,6 +61,11 @@ class RoundEvent:
     advisory metadata: schedule-equivalence comparisons exclude it, and
     the JSONL record omits it when empty so per-node traces are
     byte-identical to pre-vectorization ones.
+
+    ``model`` names the communication model the round ran under —
+    ``""`` for the default CONGEST model (omitted from the JSONL record,
+    keeping pre-model traces byte-identical), else the model name
+    (``"congest-clique"``, ``"local"``).
     """
 
     kind: ClassVar[str] = ROUND
@@ -70,6 +75,7 @@ class RoundEvent:
     bits: int
     span: str = ""
     mode: str = ""
+    model: str = ""
 
 
 @dataclass(frozen=True)
@@ -118,13 +124,19 @@ class QueryBatchEvent:
 
 @dataclass(frozen=True)
 class ChargeEvent:
-    """One phase charge on a :class:`~repro.core.cost.RoundLedger`."""
+    """One phase charge on a :class:`~repro.core.cost.RoundLedger`.
+
+    ``model`` tags the communication model whose rounds were charged —
+    ``""`` for the default CONGEST model (omitted from the JSONL record)
+    so pre-model trace streams stay byte-identical.
+    """
 
     kind: ClassVar[str] = CHARGE
 
     phase: str
     rounds: int
     span: str = ""
+    model: str = ""
 
 
 @dataclass(frozen=True)
@@ -232,6 +244,8 @@ def to_json(event: Any) -> Dict[str, Any]:
                   "span": event.span}
         if event.mode:
             record["mode"] = event.mode
+        if event.model:
+            record["model"] = event.model
         return record
     if kind == DELIVER:
         return {"type": DELIVER, "round": event.round_no, "src": event.src,
@@ -245,8 +259,11 @@ def to_json(event: Any) -> Dict[str, Any]:
         return {"type": QUERY_BATCH, "size": event.size,
                 "label": event.label, "span": event.span}
     if kind == CHARGE:
-        return {"type": CHARGE, "phase": event.phase, "rounds": event.rounds,
-                "span": event.span}
+        record = {"type": CHARGE, "phase": event.phase,
+                  "rounds": event.rounds, "span": event.span}
+        if event.model:
+            record["model"] = event.model
+        return record
     if kind == SPAN:
         return {"type": SPAN, "name": event.name, "phase": event.phase,
                 "span": event.span}

@@ -14,6 +14,12 @@ The ``serve.*`` record types (``serve.request``, ``serve.batch``,
 ``serve.drain``) were added by the serving daemon (PR 6).  They are a
 pure extension: every pre-existing record type is unchanged, so older
 ``repro-trace/1`` streams still validate.
+
+The optional ``model`` field on ``round`` and ``charge`` records was
+added by the communication-model layer (PR 8), following the precedent
+of ``round``'s optional ``mode`` (PR 7): omitted under the default
+CONGEST model, so pre-model streams are byte-identical and still
+validate; present (and type-checked) for non-default models.
 """
 
 from __future__ import annotations
@@ -58,6 +64,17 @@ _REQUIRED = {
                   "span": str},
     SERVE_DRAIN: {"reason": str, "flushed": int, "abandoned": int,
                   "span": str},
+}
+
+#: optional field -> type, per record type.  Optional fields are omitted
+#: from the record when they hold their default (so pre-extension streams
+#: stay byte-identical and older validators keep passing), but when
+#: present they must type-check.  ``mode`` (PR 7) marks vectorized
+#: rounds; ``model`` (PR 8) names a non-default communication model on
+#: round/charge records.
+_OPTIONAL = {
+    ROUND: {"mode": str, "model": str},
+    CHARGE: {"model": str},
 }
 
 
@@ -166,6 +183,12 @@ def validate_jsonl(path: str) -> Dict[str, int]:
                     raise ValueError(
                         f"{path}:{lineno}: field {field!r} should be "
                         f"{expected}, got {value!r}"
+                    )
+            for field, ftype in _OPTIONAL.get(rtype, {}).items():
+                if field in record and not isinstance(record[field], ftype):
+                    raise ValueError(
+                        f"{path}:{lineno}: optional field {field!r} should "
+                        f"be {ftype.__name__}, got {record[field]!r}"
                     )
             counts[rtype] = counts.get(rtype, 0) + 1
     if counts.get("meta") != 1:

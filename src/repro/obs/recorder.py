@@ -78,10 +78,15 @@ class Recorder:
             sink.handle(event)
 
     def round(
-        self, round_no: int, messages: int, bits: int, mode: str = ""
+        self,
+        round_no: int,
+        messages: int,
+        bits: int,
+        mode: str = "",
+        model: str = "",
     ) -> None:
         self.emit(
-            RoundEvent(round_no, messages, bits, self._span_path, mode)
+            RoundEvent(round_no, messages, bits, self._span_path, mode, model)
         )
 
     def deliver(
@@ -103,8 +108,8 @@ class Recorder:
     def query_batch(self, size: int, label: str = "") -> None:
         self.emit(QueryBatchEvent(size, label, self._span_path))
 
-    def charge(self, phase: str, rounds: int) -> None:
-        self.emit(ChargeEvent(phase, rounds, self._span_path))
+    def charge(self, phase: str, rounds: int, model: str = "") -> None:
+        self.emit(ChargeEvent(phase, rounds, self._span_path, model))
 
     def coalesce(
         self,
@@ -175,7 +180,7 @@ class NullRecorder(Recorder):
     def emit(self, event) -> None:
         pass
 
-    def round(self, round_no, messages, bits, mode="") -> None:
+    def round(self, round_no, messages, bits, mode="", model="") -> None:
         pass
 
     def deliver(self, round_no, src, dst, bits, value=None) -> None:
@@ -187,7 +192,7 @@ class NullRecorder(Recorder):
     def query_batch(self, size, label="") -> None:
         pass
 
-    def charge(self, phase, rounds) -> None:
+    def charge(self, phase, rounds, model="") -> None:
         pass
 
     def coalesce(self, size, submissions, callers, rounds, memo="miss") -> None:

@@ -65,6 +65,13 @@ class MetricsSink(Sink):
     def __init__(self):
         self.engine_rounds = 0
         self.vectorized_rounds = 0
+        #: rounds executed under a *non-default* communication model,
+        #: keyed by model name (``"congest-clique"``, ``"local"``);
+        #: default-CONGEST rounds carry no model tag and are not counted
+        #: here (they are the pre-model baseline).
+        self.rounds_by_model: Dict[str, int] = {}
+        #: ledger rounds charged under a non-default model, per model.
+        self.charged_by_model: Dict[str, int] = {}
         self.messages = 0
         self.bits = 0
         self.edge_bits: Dict[Tuple[int, int], int] = {}
@@ -104,8 +111,19 @@ class MetricsSink(Sink):
             # from old traces (no ``mode`` field).
             if getattr(event, "mode", "") == "vectorized":
                 self.vectorized_rounds += 1
+            # Same tolerance for pre-model events (no ``model`` field).
+            model = getattr(event, "model", "")
+            if model:
+                self.rounds_by_model[model] = (
+                    self.rounds_by_model.get(model, 0) + 1
+                )
         elif kind == CHARGE:
             self.charge_events += 1
+            model = getattr(event, "model", "")
+            if model:
+                self.charged_by_model[model] = (
+                    self.charged_by_model.get(model, 0) + event.rounds
+                )
             self.charges_by_phase[event.phase] = (
                 self.charges_by_phase.get(event.phase, 0) + event.rounds
             )
@@ -171,6 +189,14 @@ class MetricsSink(Sink):
         # Unlike the high-water engine_rounds, fast-path rounds are a
         # plain event count, so shards sum.
         self.vectorized_rounds += other.vectorized_rounds
+        for model, count in other.rounds_by_model.items():
+            self.rounds_by_model[model] = (
+                self.rounds_by_model.get(model, 0) + count
+            )
+        for model, rounds in other.charged_by_model.items():
+            self.charged_by_model[model] = (
+                self.charged_by_model.get(model, 0) + rounds
+            )
         self.messages += other.messages
         self.bits += other.bits
         for edge, bits in other.edge_bits.items():
@@ -226,6 +252,8 @@ class MetricsSink(Sink):
         return {
             "engine_rounds": self.engine_rounds,
             "vectorized_rounds": self.vectorized_rounds,
+            "rounds_by_model": dict(self.rounds_by_model),
+            "charged_by_model": dict(self.charged_by_model),
             "messages": self.messages,
             "bits": self.bits,
             "edge_bits": {
@@ -263,6 +291,10 @@ class MetricsSink(Sink):
         # Vectorized-round accounting arrived with the bulk engine
         # (PR 7); default so earlier snapshots still load.
         sink.vectorized_rounds = state.get("vectorized_rounds", 0)
+        # Per-model accounting arrived with the communication-model
+        # layer (PR 8); same backward-compat defaulting.
+        sink.rounds_by_model = dict(state.get("rounds_by_model", {}))
+        sink.charged_by_model = dict(state.get("charged_by_model", {}))
         sink.messages = state["messages"]
         sink.bits = state["bits"]
         sink.edge_bits = {
@@ -324,6 +356,7 @@ class MetricsSink(Sink):
         return {
             "engine_rounds": self.engine_rounds,
             "vectorized_rounds": self.vectorized_rounds,
+            "rounds_by_model": dict(self.rounds_by_model),
             "messages": self.messages,
             "bits": self.bits,
             "busiest_edge": edge,

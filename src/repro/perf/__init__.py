@@ -23,6 +23,12 @@ Three workload families, matching the PR-2 optimization targets:
   asserts amortized rounds-per-query is no worse than the synchronous
   scheduler at equal width).  ``bench --workload serve`` writes
   ``BENCH_PR6.json``.
+* :mod:`repro.perf.models_bench` — the PR-8 communication-model layer:
+  closed-form :class:`~repro.congest.network.CompleteNetwork`
+  build/fingerprint/CSR vs the historical nx-built K_n (identity
+  asserted before timing), plus the E20 diameter-duel and E21
+  CONGEST-CLIQUE APSP exponent fits.  ``bench --workload models``
+  writes ``BENCH_PR8.json``.
 * :mod:`repro.perf.scaling_bench` — the PR-7 scaling ceiling: largest n
   per topology family that a single vectorized engine run sustains
   within a wall-clock budget, with points at n ≥ 10^5 fanned across
@@ -50,6 +56,7 @@ from .harness import (
     measure,
     write_report,
 )
+from .models_bench import models_workload
 from .obs_bench import OVERHEAD_BUDGET, obs_overhead_workload
 from .parallel_bench import parallel_verify_workload
 from .scaling_bench import scaling_ceiling_workload
@@ -62,6 +69,7 @@ WORKLOADS = {
     "engine_flooding": engine_flooding_workload,
     "gates": gate_throughput_workload,
     "framework": framework_repeat_workload,
+    "models": models_workload,
     "obs": obs_overhead_workload,
     "parallel": parallel_verify_workload,
     "sched": sched_coalescing_workload,
@@ -76,6 +84,7 @@ WORKLOADS = {
 #: with ``--workload scaling_ceiling``.
 DEFAULT_WORKLOADS = [
     "engine", "gates", "framework", "obs", "parallel", "sched", "serve",
+    "models",
 ]
 
 

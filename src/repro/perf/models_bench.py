@@ -1,0 +1,121 @@
+"""Communication-model layer benchmarks (PR 8): clique fast paths + duels.
+
+``python -m repro bench --workload models`` writes ``BENCH_PR8.json``
+with three sections in one workload sweep:
+
+* **complete-topology race** — building K_n (network + fingerprint +
+  CSR) via :class:`~repro.congest.network.CompleteNetwork`'s closed
+  forms vs the historical ``Network(nx.complete_graph(n))`` path, with
+  fingerprint and CSR-array identity asserted before timing.  This is
+  the fast-vs-reference speedup that makes CONGEST-CLIQUE sweeps usable.
+* **diameter duel fit** — the E20 workload family's measured log–log
+  exponents (quantum √(nD) slope vs classical Θ(n) slope), embedded so
+  the PR 8 report carries the separation headline.
+* **APSP duel fit** — E21's charged Õ(n^{1/4}) vs Õ(n^{1/3}) exponents
+  plus one engine-mode clique row-broadcast validation point
+  (assertion: distances exact).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..congest.csr import build_csr
+from ..congest.network import CompleteNetwork, Network
+from .harness import WorkloadResult, measure
+
+
+def _reference_complete(n: int) -> Network:
+    """The pre-PR-8 path: a generic Network over nx.complete_graph."""
+    return Network(nx.complete_graph(n))
+
+
+def _build_and_touch(net: Network) -> str:
+    """Force the expensive parts: adjacency, fingerprint, CSR."""
+    fp = net.topology_fingerprint()
+    build_csr(net)
+    return fp
+
+
+def _assert_identical(n: int) -> None:
+    """CompleteNetwork must be observationally identical to the nx build."""
+    fast, ref = CompleteNetwork(n), _reference_complete(n)
+    if fast.topology_fingerprint() != ref.topology_fingerprint():
+        raise AssertionError(f"fingerprint mismatch for K_{n}")
+    for v in (0, n // 2, n - 1):
+        if fast.neighbors(v) != ref.neighbors(v):
+            raise AssertionError(f"neighbor mismatch for K_{n} at node {v}")
+    a, b = build_csr(fast), build_csr(ref)
+    same = (
+        np.array_equal(a.indptr, b.indptr)
+        and np.array_equal(a.indices, b.indices)
+        and np.array_equal(a.rev, b.rev)
+    )
+    if not same:
+        raise AssertionError(f"CSR mismatch for K_{n}")
+
+
+def models_workload(quick: bool = False) -> WorkloadResult:
+    """Race the clique fast paths and embed the E20/E21 duel fits."""
+    result = WorkloadResult(
+        name="models",
+        description=(
+            "PR 8 communication-model layer: CompleteNetwork closed-form "
+            "build+fingerprint+CSR vs Network(nx.complete_graph) "
+            "(identity asserted before timing), plus the E20 diameter and "
+            "E21 CONGEST-CLIQUE APSP duel exponent fits"
+        ),
+    )
+
+    sizes = [200, 600] if quick else [500, 2000, 5000]
+    reps = 3 if quick else 5
+    for n in sizes:
+        _assert_identical(n)
+        t_fast = measure(
+            lambda n=n: _build_and_touch(CompleteNetwork(n)), reps=reps
+        )
+        t_ref = measure(
+            lambda n=n: _build_and_touch(_reference_complete(n)), reps=reps
+        )
+        result.sweep.append({
+            "section": "complete_topology",
+            "n": n,
+            "fast_s": t_fast,
+            "reference_s": t_ref,
+            "speedup": t_ref / t_fast if t_fast else float("inf"),
+        })
+
+    # Duel fits: reuse the experiments so the report and EXPERIMENTS.md
+    # can never disagree about the measured exponents.
+    from ..experiments import e20_diameter, e21_apsp
+
+    e20 = e20_diameter.run(quick=True, seed=0)
+    if not (e20.quantum_exponent < e20.classical_exponent
+            and e20.min_accuracy == 1.0):
+        raise AssertionError(
+            f"diameter duel regressed: q n^{e20.quantum_exponent:.2f} vs "
+            f"c n^{e20.classical_exponent:.2f}, acc={e20.min_accuracy}"
+        )
+    result.sweep.append({
+        "section": "diameter_duel",
+        "quantum_exponent": e20.quantum_exponent,
+        "classical_exponent": e20.classical_exponent,
+        "min_accuracy": e20.min_accuracy,
+    })
+
+    e21 = e21_apsp.run(quick=True, seed=0)
+    if not (e21.quantum_exponent < e21.classical_exponent
+            and e21.all_validated):
+        raise AssertionError(
+            f"APSP duel regressed: q n^{e21.quantum_exponent:.2f} vs "
+            f"c n^{e21.classical_exponent:.2f}, "
+            f"validated={e21.all_validated}"
+        )
+    result.sweep.append({
+        "section": "apsp_duel",
+        "quantum_exponent": e21.quantum_exponent,
+        "classical_exponent": e21.classical_exponent,
+        "engine_validated": e21.all_validated,
+    })
+    return result

@@ -129,6 +129,73 @@ class TestCSRCache:
             CSRCache(max_entries=0)
 
 
+class TestModelKeying:
+    """PR 8: the communication model is part of both cache keys."""
+
+    def test_same_topology_different_model_not_conflated(self):
+        from repro.congest.network import Network
+
+        cache = CSRCache()
+        import networkx as nx
+
+        g = nx.path_graph(6)
+        congest = Network(g)
+        local = Network(g, comm_model="local")
+        a = cache.get(congest)
+        b = cache.get(local)
+        # Same edges, but the fingerprints (and so the entries) differ:
+        # a LOCAL network must never satisfy a CONGEST lookup, whose
+        # arrays could outlive a later bandwidth-dependent consumer.
+        assert cache.stats()["misses"] == 2
+        assert np.array_equal(a.indices, b.indices)
+        assert a.fingerprint != b.fingerprint
+
+    def test_weak_path_rechecks_model(self):
+        cache = CSRCache()
+        clique = topologies.clique(7)
+        a = cache.get(clique)
+        assert cache.get(clique) is a
+        assert cache.stats()["hits"] == 1
+
+    def test_model_entries_participate_in_lru_eviction(self):
+        import networkx as nx
+
+        from repro.congest.network import Network
+
+        cache = CSRCache(max_entries=2)
+        g = nx.cycle_graph(8)
+        variants = [
+            Network(g),
+            Network(g, comm_model="local"),
+            Network(g, comm_model="congest-clique"),
+        ]
+        for net in variants:
+            cache.get(net)
+        assert cache.stats()["evictions"] == 1
+        # The default-model entry (oldest) was evicted; re-reading it
+        # through a *fresh* equivalent object is a miss, while the
+        # clique entry is still warm.
+        misses = cache.stats()["misses"]
+        cache.get(Network(nx.cycle_graph(8)))
+        assert cache.stats()["misses"] == misses + 1
+        cache.get(Network(nx.cycle_graph(8), comm_model="congest-clique"))
+        assert cache.stats()["misses"] == misses + 1
+
+    def test_complete_network_analytic_build_shares_cache_entry(self):
+        import networkx as nx
+
+        from repro.congest.network import Network
+
+        cache = CSRCache()
+        fast = topologies.complete(12)
+        via_fast = cache.get(fast)
+        # The nx-built K_12 fingerprints identically, so the analytic
+        # arrays satisfy its lookup without a second build.
+        via_ref = cache.get(Network(nx.complete_graph(12)))
+        assert via_ref is via_fast
+        assert cache.stats()["misses"] == 1
+
+
 class TestModuleLevelCache:
     def test_csr_for_and_invalidate(self):
         invalidate_csr()

@@ -1,0 +1,109 @@
+"""PR 8: FrameworkConfig.comm_model declaration and ledger model tags."""
+
+import networkx as nx
+import pytest
+
+from repro.congest.errors import CongestError
+from repro.congest.models import CongestCliqueModel, CongestModel
+from repro.congest.network import Network
+from repro.core.framework import (
+    DistributedInput,
+    FrameworkConfig,
+    run_framework,
+)
+from repro.core.semigroup import sum_semigroup
+from repro.obs import MemorySink, Recorder, install
+
+
+def _grid(comm_model=None):
+    g = nx.grid_2d_graph(4, 5)
+    mapping = {node: i for i, node in enumerate(sorted(g.nodes()))}
+    return Network(nx.relabel_nodes(g, mapping), comm_model=comm_model)
+
+
+def _input(net):
+    vectors = {v: [v % 3, (v + 1) % 3] for v in net.nodes()}
+    return DistributedInput(vectors, sum_semigroup(net.n))
+
+
+def _algorithm(oracle, rng):
+    return oracle.query_batch([0, 1])
+
+
+class TestConfigNormalization:
+    def test_string_model_resolved_at_construction(self):
+        cfg = FrameworkConfig(parallelism=2, comm_model="congest-clique")
+        assert cfg.comm_model == CongestCliqueModel()
+
+    def test_instance_passes_through(self):
+        model = CongestModel(bandwidth=9)
+        cfg = FrameworkConfig(parallelism=2, comm_model=model)
+        assert cfg.comm_model is model
+
+    def test_unknown_model_rejected_at_construction(self):
+        with pytest.raises(CongestError, match="unknown communication model"):
+            FrameworkConfig(parallelism=2, comm_model="telepathy")
+
+    def test_replace_preserves_model(self):
+        cfg = FrameworkConfig(parallelism=2, comm_model="local")
+        assert cfg.replace(seed=7).comm_model == cfg.comm_model
+
+
+class TestModelDeclarationCheck:
+    def test_matching_declaration_accepted(self):
+        net = _grid()
+        cfg = FrameworkConfig(
+            parallelism=2, dist_input=_input(net), seed=1,
+            comm_model=CongestModel(),
+        )
+        run = run_framework(net, _algorithm, config=cfg)
+        assert run.result is not None
+
+    def test_mismatched_declaration_rejected(self):
+        net = _grid()  # default CONGEST
+        cfg = FrameworkConfig(
+            parallelism=2, dist_input=_input(net), seed=1,
+            comm_model="congest-clique",
+        )
+        with pytest.raises(CongestError, match="comm_model"):
+            run_framework(net, _algorithm, config=cfg)
+
+    def test_undeclared_config_accepts_any_network(self):
+        net = _grid(comm_model="local")
+        cfg = FrameworkConfig(parallelism=2, dist_input=_input(net), seed=1)
+        run = run_framework(net, _algorithm, config=cfg)
+        assert run.result is not None
+
+    def test_declared_run_matches_undeclared_bit_for_bit(self):
+        net = _grid()
+        base = dict(parallelism=2, dist_input=_input(net), seed=1)
+        plain = run_framework(net, _algorithm, config=FrameworkConfig(**base))
+        declared = run_framework(
+            net, _algorithm,
+            config=FrameworkConfig(**base, comm_model=CongestModel()),
+        )
+        assert plain.result == declared.result
+        assert plain.total_rounds == declared.total_rounds
+        assert plain.rounds.by_phase() == declared.rounds.by_phase()
+
+
+class TestLedgerModelTag:
+    def test_default_model_charges_untagged(self):
+        net = _grid()
+        cfg = FrameworkConfig(parallelism=2, dist_input=_input(net), seed=1)
+        sink = MemorySink()
+        with install(Recorder([sink])):
+            run_framework(net, _algorithm, config=cfg)
+        charges = sink.events_of_kind("charge")
+        assert charges
+        assert all(e.model == "" for e in charges)
+
+    def test_non_default_model_tags_charges(self):
+        net = _grid(comm_model="local")
+        cfg = FrameworkConfig(parallelism=2, dist_input=_input(net), seed=1)
+        sink = MemorySink()
+        with install(Recorder([sink])):
+            run_framework(net, _algorithm, config=cfg)
+        charges = sink.events_of_kind("charge")
+        assert charges
+        assert all(e.model == "local" for e in charges)

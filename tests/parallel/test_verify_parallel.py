@@ -134,12 +134,12 @@ class TestRunnerValidation:
         from repro.experiments import ALL_EXPERIMENTS
         from repro.experiments.runner import verify_experiment
 
-        # An "E20" registered without a criterion: the drift this guards
+        # An "E98" registered without a criterion: the drift this guards
         # against.  The stub has no .run, so reaching it would raise
         # AttributeError — the KeyError proves validation is up front.
-        monkeypatch.setitem(ALL_EXPERIMENTS, "E20", object())
+        monkeypatch.setitem(ALL_EXPERIMENTS, "E98", object())
         with pytest.raises(KeyError, match="no reproduction criterion"):
-            verify_experiment("E20")
+            verify_experiment("E98")
 
     def test_unknown_experiment_names_the_registry(self):
         from repro.experiments.runner import verify_experiment
