@@ -6,6 +6,15 @@ network; the :class:`RoundLedger` accumulates charges phase by phase so
 applications can report a per-phase breakdown (setup / index distribution
 / aggregation / on-the-fly computation) and benchmarks can compare each
 phase to its formula.
+
+:class:`LinkCostModel` (PR 9) is the practicality overlay — the "Mind
+the Õ" critique of Kerger et al. made chargeable: a round is not a unit,
+it costs per-message latency plus serialization time plus the constant
+factors the Õ hides, and quantum links are priced separately from
+classical ones.  :meth:`RoundLedger.wall_clock_us` re-denominates any
+ledger from rounds into microseconds, which is how the scenario matrix
+(:mod:`repro.scenarios`) turns every quantum-vs-classical round duel
+into a wall-clock crossover curve.
 """
 
 from __future__ import annotations
@@ -16,6 +25,111 @@ from typing import Dict, List, Optional, Tuple
 
 from ..congest.network import Network
 from ..obs.recorder import Recorder, current_recorder
+
+
+@dataclass(frozen=True)
+class LinkCostModel:
+    """Wall-clock price of one CONGEST message on a concrete link.
+
+    The paper (and E20/E21) count *rounds*; Kerger et al. point out that
+    a quantum CONGEST round is not the same animal as a classical one —
+    entanglement distribution, transduction, and error correction all
+    hide inside the Õ.  This model charges them explicitly:
+
+        message_time_us(bits) = constant_factor
+                                · (latency_us + bits / bandwidth + overhead_us)
+
+    ``latency_us`` is the per-message propagation/handshake latency,
+    ``bandwidth_bits_per_us`` the serialization rate, ``overhead_us`` a
+    fixed per-message processing cost (e.g. entanglement-swap bookkeeping
+    on a quantum link), and ``constant_factor`` the dimensionless
+    multiplier the asymptotic analysis suppressed.  In a synchronous
+    round every edge fires in parallel, so one round costs one message
+    time at the round's word size.
+    """
+
+    name: str
+    latency_us: float
+    bandwidth_bits_per_us: float
+    overhead_us: float = 0.0
+    constant_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency_us < 0:
+            raise ValueError("latency_us must be >= 0")
+        if self.bandwidth_bits_per_us <= 0:
+            raise ValueError("bandwidth_bits_per_us must be > 0")
+        if self.overhead_us < 0:
+            raise ValueError("overhead_us must be >= 0")
+        if self.constant_factor <= 0:
+            raise ValueError("constant_factor must be > 0")
+
+    def message_time_us(self, bits: int) -> float:
+        """Wall-clock microseconds to push one ``bits``-bit message."""
+        if bits < 0:
+            raise ValueError("bits must be >= 0")
+        return self.constant_factor * (
+            self.latency_us + bits / self.bandwidth_bits_per_us + self.overhead_us
+        )
+
+    def round_time_us(self, word_bits: int) -> float:
+        """One synchronous round at the model's word size (all edges in
+        parallel ⇒ a round costs exactly one message time)."""
+        return self.message_time_us(word_bits)
+
+    def wall_clock_us(self, rounds: float, word_bits: int) -> float:
+        """Total wall clock for ``rounds`` synchronous rounds."""
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        return rounds * self.round_time_us(word_bits)
+
+
+#: Reference link presets for scenario sweeps.  Absolute values are
+#: order-of-magnitude placeholders (a metro fiber link and a
+#: repeater-based quantum link); what the crossover analysis consumes is
+#: their *ratio* — the per-round premium a quantum message pays.
+CLASSICAL_DATACENTER = LinkCostModel(
+    name="classical-datacenter",
+    latency_us=5.0,
+    bandwidth_bits_per_us=10_000.0,  # ~10 Gbit/s
+)
+CLASSICAL_METRO = LinkCostModel(
+    name="classical-metro",
+    latency_us=250.0,
+    bandwidth_bits_per_us=1_000.0,  # ~1 Gbit/s
+)
+QUANTUM_MATURE = LinkCostModel(
+    name="quantum-mature",
+    latency_us=250.0,
+    bandwidth_bits_per_us=1.0,  # ~1 Mqubit/s effective
+    overhead_us=150.0,
+    constant_factor=1.0,
+)
+QUANTUM_OPTIMISTIC = LinkCostModel(
+    name="quantum-optimistic",
+    latency_us=250.0,
+    bandwidth_bits_per_us=1.0,  # ~1 Mqubit/s effective
+    overhead_us=100.0,
+    constant_factor=10.0,
+)
+QUANTUM_NEAR_TERM = LinkCostModel(
+    name="quantum-near-term",
+    latency_us=250.0,
+    bandwidth_bits_per_us=0.01,  # ~10 kqubit/s effective
+    overhead_us=1_000.0,
+    constant_factor=100.0,
+)
+
+LINK_PRESETS: Dict[str, LinkCostModel] = {
+    m.name: m
+    for m in (
+        CLASSICAL_DATACENTER,
+        CLASSICAL_METRO,
+        QUANTUM_MATURE,
+        QUANTUM_OPTIMISTIC,
+        QUANTUM_NEAR_TERM,
+    )
+}
 
 
 @dataclass
@@ -82,6 +196,18 @@ class CostModel:
     # Cited subroutine costs (substitutions; see DESIGN.md §2)
     # ------------------------------------------------------------------
 
+    # ------------------------------------------------------------------
+    # Wall-clock re-denomination ("Mind the Õ")
+    # ------------------------------------------------------------------
+
+    def round_time_us(self, link: LinkCostModel) -> float:
+        """One round of this model's ⌈log n⌉-bit words on ``link``."""
+        return link.round_time_us(self.word_bits)
+
+    def wall_clock_us(self, rounds: float, link: LinkCostModel) -> float:
+        """Re-denominate a round count into microseconds on ``link``."""
+        return link.wall_clock_us(rounds, self.word_bits)
+
     def clustering_rounds(self, d: int) -> int:
         """Lemma 24 [EFFKO21]: O(d log² n)."""
         log_n = max(1, math.ceil(math.log2(max(self.n, 2))))
@@ -131,6 +257,19 @@ class RoundLedger:
         for phase, rounds in self.charges:
             out[phase] = out.get(phase, 0) + rounds
         return out
+
+    def wall_clock_us(self, link: LinkCostModel, word_bits: int) -> float:
+        """Total charged rounds re-denominated into microseconds."""
+        return link.wall_clock_us(self.total, word_bits)
+
+    def wall_clock_by_phase(
+        self, link: LinkCostModel, word_bits: int
+    ) -> Dict[str, float]:
+        """Per-phase wall-clock breakdown on ``link``."""
+        return {
+            phase: link.wall_clock_us(rounds, word_bits)
+            for phase, rounds in self.by_phase().items()
+        }
 
     def merge(
         self,

@@ -401,6 +401,14 @@ class FrameworkConfig:
     #: rules.  Names are normalized to model instances at construction,
     #: so two configs naming the same model compare equal.
     comm_model: "CommModel | str | None" = None
+    #: Declared scenario (:class:`repro.scenarios.Scenario`) or ``None``
+    #: (the default, and the paper's perfect-unit-cost setting).  When
+    #: set, :func:`run_framework` additionally prices the run's charged
+    #: rounds on the scenario's classical and quantum links
+    #: (:attr:`FrameworkRun.wall_clock_us`) and emits ``scenario``
+    #: events on the spine — pure annotation: round accounting, results,
+    #: and scenario-free traces are byte-identical with or without it.
+    scenario: "object | None" = None
 
     def __post_init__(self):
         if self.parallelism < 1:
@@ -419,6 +427,17 @@ class FrameworkConfig:
             object.__setattr__(
                 self, "comm_model", resolve_model(self.comm_model)
             )
+        if self.scenario is not None:
+            # Deferred import: repro.scenarios imports this module's
+            # siblings, so validating here with a top-level import would
+            # be circular.
+            from ..scenarios.spec import Scenario
+
+            if not isinstance(self.scenario, Scenario):
+                raise TypeError(
+                    f"scenario must be a repro.scenarios.Scenario, got "
+                    f"{type(self.scenario).__name__}"
+                )
 
     def replace(self, **changes) -> "FrameworkConfig":
         """A copy with the given fields swapped (sweep-friendly)."""
@@ -427,7 +446,13 @@ class FrameworkConfig:
 
 @dataclass
 class FrameworkRun:
-    """Everything a framework execution produced."""
+    """Everything a framework execution produced.
+
+    ``wall_clock_us`` is populated only when the config declared a
+    :class:`~repro.scenarios.Scenario`: the charged rounds priced on the
+    scenario's links, keyed by link name ("Mind the Õ" annotation; the
+    round ledger itself is unchanged).
+    """
 
     result: object
     rounds: RoundLedger
@@ -435,6 +460,7 @@ class FrameworkRun:
     leader: int
     tree_depth: int
     mode: str
+    wall_clock_us: Optional[Dict[str, float]] = None
 
     @property
     def total_rounds(self) -> int:
@@ -818,6 +844,22 @@ def run_framework(
         oracle = build_oracle(network, config, tree, rounds, rec)
         with rec.span("query"):
             result = algorithm(oracle, rng)
+
+        wall_clock: Optional[Dict[str, float]] = None
+        if config.scenario is not None:
+            # "Mind the Õ": price the charged rounds on the scenario's
+            # links and annotate the spine.  Quantum links carry the
+            # framework's quantum traffic; the classical link prices the
+            # same round count as the commodity-network control.
+            scenario = config.scenario
+            word_bits = network.log_n_bits
+            total = rounds.total
+            wall_clock = {}
+            for link in (scenario.classical_link, scenario.quantum_link):
+                us = rounds.wall_clock_us(link, word_bits)
+                wall_clock[link.name] = us
+                if rec.active:
+                    rec.scenario(scenario.name, link.name, total, us)
     return FrameworkRun(
         result=result,
         rounds=rounds,
@@ -825,6 +867,7 @@ def run_framework(
         leader=prepared.leader,
         tree_depth=tree.eccentricity,
         mode=config.mode,
+        wall_clock_us=wall_clock,
     )
 
 

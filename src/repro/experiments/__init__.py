@@ -29,6 +29,7 @@ from . import (
     e19_resilience,
     e20_diameter,
     e21_apsp,
+    e22_scenarios,
 )
 
 ALL_EXPERIMENTS = {
@@ -53,6 +54,7 @@ ALL_EXPERIMENTS = {
     "E19": e19_resilience,
     "E20": e20_diameter,
     "E21": e21_apsp,
+    "E22": e22_scenarios,
 }
 
 # Imported after ALL_EXPERIMENTS exists: runner reads the registry at

@@ -108,6 +108,20 @@ CRITERIA: Dict[str, Callable] = {
                       f"q ~ n^{r.quantum_exponent:.2f} < "
                       f"c ~ n^{r.classical_exponent:.2f}, "
                       f"engine validated={r.all_validated}"),
+    "E22": lambda r: (r.rounds_crossover_n is not None
+                      and r.mature_crossover_known
+                      and r.near_term.latency_dominated
+                      and r.break_even_exponent >= 0.2
+                      and r.fidelity_monotone
+                      and r.honest_cells_correct,
+                      f"rounds crossover n={r.rounds_crossover_n}, "
+                      f"mature wall-clock n="
+                      f"{r.mature.wall_clock_crossover_n or r.mature.predicted_crossover_n}, "
+                      f"near-term latency-dominated="
+                      f"{r.near_term.latency_dominated}, "
+                      f"f* ~ n^{r.break_even_exponent:.2f}, "
+                      f"fidelity bill monotone={r.fidelity_monotone}, "
+                      f"honest cells exact={r.honest_cells_correct}"),
 }
 
 

@@ -56,10 +56,34 @@ class ChannelFaultModel:
         self.rng: Optional[np.random.Generator] = None
 
     def bind(self, seed_seq: np.random.SeedSequence) -> None:
-        """Seed the model's RNG (own ``seed`` wins over the engine's)."""
+        """Seed the model's RNG (own ``seed`` wins over the engine's).
+
+        Binding also clears any per-run mutable state via :meth:`_reset`,
+        so a model instance reused across runs (or re-bound with the same
+        seed) honours the module contract: same seed ⇒ identical fault
+        schedule.  Before this reset existed, a reused
+        :class:`GilbertElliottLoss` carried its per-edge burst states —
+        and a reused :class:`BoundedDelay` its *undelivered held
+        messages* — from the previous run into the next one.
+        """
+        self.rng = np.random.default_rng(self._resolve_seed(seed_seq))
+        self._reset()
+
+    def _resolve_seed(
+        self, seed_seq: np.random.SeedSequence
+    ) -> np.random.SeedSequence:
+        """The model's own ``seed`` wins over the engine-provided one."""
         if self.seed is not None:
-            seed_seq = np.random.SeedSequence(self.seed)
-        self.rng = np.random.default_rng(seed_seq)
+            return np.random.SeedSequence(self.seed)
+        return seed_seq
+
+    def _reset(self) -> None:
+        """Clear per-run mutable state (burst chains, held messages).
+
+        Called by :meth:`bind`; the base channel holds none.  Subclasses
+        with cross-message state MUST override this, or reusing a model
+        instance leaks one run's state into the next.
+        """
 
     def _require_rng(self) -> np.random.Generator:
         if self.rng is None:
@@ -153,6 +177,10 @@ class GilbertElliottLoss(ChannelFaultModel):
         self.loss_good = loss_good
         self.loss_bad = loss_bad
         self._bad: Dict[Tuple[int, int], bool] = {}
+
+    def _reset(self):
+        """Every edge chain restarts in the good state on re-bind."""
+        self._bad.clear()
 
     def apply(self, msg, round_no):
         """Step the edge's chain, then drop at the state's loss rate."""
@@ -256,6 +284,11 @@ class BoundedDelay(ChannelFaultModel):
         self.max_delay = max_delay
         self._held: Dict[int, List[Message]] = {}
 
+    def _reset(self):
+        """Drop held messages on re-bind: a new run must never receive
+        traffic delayed out of a *previous* run."""
+        self._held.clear()
+
     def apply(self, msg, round_no):
         """Hold the message for a random bounded number of extra rounds."""
         rng = self._require_rng()
@@ -297,11 +330,23 @@ class CompositeFaults(ChannelFaultModel):
         self.models = list(models)
 
     def bind(self, seed_seq):
-        """Give every chained model an independent child seed."""
-        if self.seed is not None:
-            seed_seq = np.random.SeedSequence(self.seed)
-        self.rng = np.random.default_rng(seed_seq)
-        children = seed_seq.spawn(len(self.models))
+        """Give every chained model an independent child seed.
+
+        Children are spawned from a *fresh copy* of the resolved seed
+        sequence (same entropy and spawn key, spawn counter at zero), so
+        re-binding with the same seed hands every chained model the
+        identical child seed it got the first time —
+        ``SeedSequence.spawn`` otherwise advances a counter and a second
+        ``bind`` would silently re-seed the whole chain differently.
+        Each child's own ``bind`` clears its per-run state, so the reset
+        guarantee composes through the chain.
+        """
+        resolved = self._resolve_seed(seed_seq)
+        self.rng = np.random.default_rng(resolved)
+        self._reset()
+        children = np.random.SeedSequence(
+            entropy=resolved.entropy, spawn_key=resolved.spawn_key
+        ).spawn(len(self.models))
         for model, child in zip(self.models, children):
             model.bind(child)
 

@@ -31,6 +31,7 @@ from .events import (
     FAULT,
     QUERY_BATCH,
     ROUND,
+    SCENARIO,
     SERVE_BATCH,
     SERVE_DRAIN,
     SERVE_REQUEST,
@@ -41,6 +42,7 @@ from .events import (
     FaultEvent,
     QueryBatchEvent,
     RoundEvent,
+    ScenarioEvent,
     ServeBatchEvent,
     ServeDrainEvent,
     ServeRequestEvent,
@@ -65,6 +67,7 @@ __all__ = [
     "FAULT",
     "QUERY_BATCH",
     "ROUND",
+    "SCENARIO",
     "SERVE_BATCH",
     "SERVE_DRAIN",
     "SERVE_REQUEST",
@@ -82,6 +85,7 @@ __all__ = [
     "QueryBatchEvent",
     "Recorder",
     "RoundEvent",
+    "ScenarioEvent",
     "ServeBatchEvent",
     "ServeDrainEvent",
     "ServeRequestEvent",

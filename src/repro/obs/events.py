@@ -1,6 +1,6 @@
 """Typed events carried by the observability spine.
 
-Every accounting mechanism in the repository speaks through these ten
+Every accounting mechanism in the repository speaks through these eleven
 event kinds (DESIGN.md §"Observability spine"):
 
 * ``round`` — one engine communication round (message count, payload bits),
@@ -18,7 +18,11 @@ event kinds (DESIGN.md §"Observability spine"):
   the :mod:`repro.serve` daemon,
 * ``serve.batch`` — one physical batch executed by a daemon lane,
 * ``serve.drain`` — the daemon's shutdown handshake (what was flushed,
-  what was abandoned).
+  what was abandoned),
+* ``scenario`` — one wall-clock pricing of a run under a scenario's
+  :class:`~repro.core.cost.LinkCostModel` (PR 9's "Mind the Õ" layer):
+  which scenario, which link, the charged rounds, and what they cost in
+  microseconds once per-message latency and constant factors are paid.
 
 Events are small frozen dataclasses.  Each carries a ``span`` string — the
 ``/``-joined path of recorder spans open when it was emitted — so any sink
@@ -33,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, ClassVar, Dict
 
-#: The ten event kinds, as they appear in JSONL ``type`` fields.
+#: The eleven event kinds, as they appear in JSONL ``type`` fields.
 ROUND = "round"
 DELIVER = "deliver"
 FAULT = "fault"
@@ -44,10 +48,11 @@ COALESCE = "coalesce"
 SERVE_REQUEST = "serve.request"
 SERVE_BATCH = "serve.batch"
 SERVE_DRAIN = "serve.drain"
+SCENARIO = "scenario"
 
 EVENT_KINDS = (
     ROUND, DELIVER, FAULT, QUERY_BATCH, CHARGE, SPAN, COALESCE,
-    SERVE_REQUEST, SERVE_BATCH, SERVE_DRAIN,
+    SERVE_REQUEST, SERVE_BATCH, SERVE_DRAIN, SCENARIO,
 )
 
 
@@ -224,6 +229,28 @@ class ServeDrainEvent:
     span: str = ""
 
 
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One wall-clock pricing of a run under a scenario's link model.
+
+    ``scenario`` names the declared :class:`~repro.scenarios.Scenario`,
+    ``link`` the :class:`~repro.core.cost.LinkCostModel` the rounds were
+    priced on, ``rounds`` the round count being re-denominated, and
+    ``wall_clock_us`` the resulting microseconds.  The event is emitted
+    *in addition to* the underlying round/charge stream — pricing is an
+    annotation, never a replacement, so scenario-free traces are
+    byte-identical to pre-scenario ones.
+    """
+
+    kind: ClassVar[str] = SCENARIO
+
+    scenario: str
+    link: str
+    rounds: int
+    wall_clock_us: float
+    span: str = ""
+
+
 def _jsonable(value: Any) -> Any:
     """Coerce an arbitrary payload into a JSON-serializable shape."""
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -284,4 +311,8 @@ def to_json(event: Any) -> Dict[str, Any]:
         return {"type": SERVE_DRAIN, "reason": event.reason,
                 "flushed": event.flushed, "abandoned": event.abandoned,
                 "span": event.span}
+    if kind == SCENARIO:
+        return {"type": SCENARIO, "scenario": event.scenario,
+                "link": event.link, "rounds": event.rounds,
+                "wall_clock_us": event.wall_clock_us, "span": event.span}
     raise ValueError(f"unknown event kind {kind!r}")

@@ -5,8 +5,8 @@ One record per line.  The first line is a header::
     {"type": "meta", "schema": "repro-trace/1"}
 
 and every subsequent line is one event record as produced by
-:func:`repro.obs.events.to_json` — its ``type`` is one of the ten event
-kinds and its remaining fields are fixed per type (see ``_REQUIRED``).
+:func:`repro.obs.events.to_json` — its ``type`` is one of the eleven
+event kinds and its remaining fields are fixed per type (``_REQUIRED``).
 The CI ``trace-smoke`` and ``serve-smoke`` jobs round-trip real
 experiments through this schema with :func:`validate_jsonl`.
 
@@ -20,6 +20,11 @@ added by the communication-model layer (PR 8), following the precedent
 of ``round``'s optional ``mode`` (PR 7): omitted under the default
 CONGEST model, so pre-model streams are byte-identical and still
 validate; present (and type-checked) for non-default models.
+
+The ``scenario`` record type (PR 9) prices charged rounds in wall-clock
+microseconds under a scenario's link model — the same pure-extension
+discipline: emitted only when a scenario is declared, so scenario-free
+streams are byte-identical to pre-scenario ones and still validate.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from .events import (
     FAULT,
     QUERY_BATCH,
     ROUND,
+    SCENARIO,
     SERVE_BATCH,
     SERVE_DRAIN,
     SERVE_REQUEST,
@@ -64,6 +70,8 @@ _REQUIRED = {
                   "span": str},
     SERVE_DRAIN: {"reason": str, "flushed": int, "abandoned": int,
                   "span": str},
+    SCENARIO: {"scenario": str, "link": str, "rounds": int,
+               "wall_clock_us": (int, float), "span": str},
 }
 
 #: optional field -> type, per record type.  Optional fields are omitted

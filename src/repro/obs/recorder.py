@@ -29,6 +29,7 @@ from .events import (
     FaultEvent,
     QueryBatchEvent,
     RoundEvent,
+    ScenarioEvent,
     ServeBatchEvent,
     ServeDrainEvent,
     ServeRequestEvent,
@@ -140,6 +141,14 @@ class Recorder:
     def serve_drain(self, reason: str, flushed: int, abandoned: int) -> None:
         self.emit(ServeDrainEvent(reason, flushed, abandoned, self._span_path))
 
+    def scenario(
+        self, scenario: str, link: str, rounds: int, wall_clock_us: float
+    ) -> None:
+        self.emit(
+            ScenarioEvent(scenario, link, rounds, wall_clock_us,
+                          self._span_path)
+        )
+
     # -- spans ----------------------------------------------------------
 
     @property
@@ -205,6 +214,9 @@ class NullRecorder(Recorder):
         pass
 
     def serve_drain(self, reason, flushed, abandoned) -> None:
+        pass
+
+    def scenario(self, scenario, link, rounds, wall_clock_us) -> None:
         pass
 
     def span(self, name: str):

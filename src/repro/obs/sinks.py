@@ -23,6 +23,7 @@ from .events import (
     FAULT,
     QUERY_BATCH,
     ROUND,
+    SCENARIO,
     SERVE_BATCH,
     SERVE_DRAIN,
     SERVE_REQUEST,
@@ -96,6 +97,9 @@ class MetricsSink(Sink):
         self.serve_batches = 0
         self.serve_batch_rounds = 0
         self.serve_drains = 0
+        self.scenario_events = 0
+        #: accumulated wall-clock microseconds per link model name.
+        self.wall_clock_by_link: Dict[str, float] = {}
 
     def handle(self, event) -> None:
         kind = event.kind
@@ -166,6 +170,12 @@ class MetricsSink(Sink):
             self.serve_batch_rounds += event.rounds
         elif kind == SERVE_DRAIN:
             self.serve_drains += 1
+        elif kind == SCENARIO:
+            self.scenario_events += 1
+            self.wall_clock_by_link[event.link] = (
+                self.wall_clock_by_link.get(event.link, 0.0)
+                + event.wall_clock_us
+            )
 
     # -- cross-process merge --------------------------------------------
 
@@ -238,6 +248,11 @@ class MetricsSink(Sink):
         self.serve_batches += other.serve_batches
         self.serve_batch_rounds += other.serve_batch_rounds
         self.serve_drains += other.serve_drains
+        self.scenario_events += other.scenario_events
+        for link, us in other.wall_clock_by_link.items():
+            self.wall_clock_by_link[link] = (
+                self.wall_clock_by_link.get(link, 0.0) + us
+            )
         return self
 
     # -- checkpoint serialization ---------------------------------------
@@ -281,6 +296,8 @@ class MetricsSink(Sink):
             "serve_batches": self.serve_batches,
             "serve_batch_rounds": self.serve_batch_rounds,
             "serve_drains": self.serve_drains,
+            "scenario_events": self.scenario_events,
+            "wall_clock_by_link": dict(self.wall_clock_by_link),
         }
 
     @classmethod
@@ -326,6 +343,10 @@ class MetricsSink(Sink):
         sink.serve_batches = state.get("serve_batches", 0)
         sink.serve_batch_rounds = state.get("serve_batch_rounds", 0)
         sink.serve_drains = state.get("serve_drains", 0)
+        # Scenario counters arrived with the scenario matrix (PR 9);
+        # same backward-compat defaulting.
+        sink.scenario_events = state.get("scenario_events", 0)
+        sink.wall_clock_by_link = dict(state.get("wall_clock_by_link", {}))
         return sink
 
     # -- derived --------------------------------------------------------
@@ -375,4 +396,5 @@ class MetricsSink(Sink):
             "memo_evictions": self.memo_evictions,
             "serve_requests": dict(self.serve_requests),
             "serve_batches": self.serve_batches,
+            "wall_clock_by_link": dict(self.wall_clock_by_link),
         }

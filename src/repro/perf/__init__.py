@@ -29,6 +29,12 @@ Three workload families, matching the PR-2 optimization targets:
   asserted before timing), plus the E20 diameter-duel and E21
   CONGEST-CLIQUE APSP exponent fits.  ``bench --workload models``
   writes ``BENCH_PR8.json``.
+* :mod:`repro.perf.scenarios_bench` — the PR-9 scenario matrix:
+  fault-model reuse determinism (bind/run/bind/run verdict-stream
+  identity across every :class:`~repro.faults.ChannelFaultModel`), the
+  link-fidelity re-amplification bill, and the E22 quantum-vs-classical
+  wall-clock crossover verdicts.  Assertion-only; ``bench --workload
+  scenarios`` writes ``BENCH_PR9.json``.
 * :mod:`repro.perf.scaling_bench` — the PR-7 scaling ceiling: largest n
   per topology family that a single vectorized engine run sustains
   within a wall-clock budget, with points at n ≥ 10^5 fanned across
@@ -60,6 +66,7 @@ from .models_bench import models_workload
 from .obs_bench import OVERHEAD_BUDGET, obs_overhead_workload
 from .parallel_bench import parallel_verify_workload
 from .scaling_bench import scaling_ceiling_workload
+from .scenarios_bench import scenarios_workload
 from .sched_bench import sched_coalescing_workload
 from .serve_bench import serve_daemon_workload
 
@@ -75,13 +82,16 @@ WORKLOADS = {
     "sched": sched_coalescing_workload,
     "serve": serve_daemon_workload,
     "scaling_ceiling": scaling_ceiling_workload,
+    "scenarios": scenarios_workload,
 }
 
 
 #: What a bare ``bench`` runs: one entry per workload (no aliases), and
 #: not ``scaling_ceiling`` — at full scale it builds 10^5..2·10^5-node
 #: graphs and ships its own report (BENCH_PR7.json); run it explicitly
-#: with ``--workload scaling_ceiling``.
+#: with ``--workload scaling_ceiling``.  ``scenarios`` likewise ships
+#: its own report (BENCH_PR9.json) and re-runs E22 end to end, so it
+#: too is opt-in via ``--workload scenarios``.
 DEFAULT_WORKLOADS = [
     "engine", "gates", "framework", "obs", "parallel", "sched", "serve",
     "models",
@@ -116,6 +126,7 @@ __all__ = [
     "parallel_verify_workload",
     "run_all",
     "scaling_ceiling_workload",
+    "scenarios_workload",
     "sched_coalescing_workload",
     "serve_daemon_workload",
     "write_report",

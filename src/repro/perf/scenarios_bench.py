@@ -1,0 +1,149 @@
+"""Scenario-matrix benchmarks (PR 9): determinism, fidelity, crossovers.
+
+``python -m repro bench --workload scenarios`` writes ``BENCH_PR9.json``
+with three assertion-only sections in one workload sweep:
+
+* **fault-model reuse** — every :class:`~repro.faults.ChannelFaultModel`
+  is bound, driven over a deterministic traffic schedule, re-bound with
+  the same seed and driven again; the verdict streams must be
+  byte-identical and no held message may leak across runs (the
+  determinism contract fixed in this PR).
+* **fidelity bill** — the link-fidelity axis: the Lemma 7
+  re-amplification bill must grow monotonically as fidelity drops.
+* **wall-clock crossovers** — the E22 verdicts embedded so the report
+  carries the "Mind the Õ" headline: the rounds-advantage crossover
+  exists, the mature-link wall-clock crossover is measured or predicted,
+  and the near-term link is latency-dominated.
+
+Assertion-only (no fast-vs-reference race): like ``serve`` and
+``scaling_ceiling``, this workload certifies behavior rather than
+timing a speedup.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..congest.encoding import Field
+from ..congest.messages import Message
+from ..faults.models import (
+    BernoulliLoss,
+    BitCorruption,
+    BoundedDelay,
+    ChannelFaultModel,
+    CompositeFaults,
+    GilbertElliottLoss,
+)
+from .harness import WorkloadResult
+
+
+def _traffic(rounds: int = 16) -> List[Tuple[int, Message]]:
+    msgs = []
+    for r in range(1, rounds + 1):
+        for src, dst in ((0, 1), (1, 0), (1, 2), (2, 3)):
+            msgs.append((r, Message.make(src, dst, Field(r % 8, 8), r)))
+    return msgs
+
+
+def _verdict_stream(model: ChannelFaultModel, seed: int) -> list:
+    model.bind(np.random.SeedSequence(seed))
+    msgs = _traffic()
+    stream = []
+    for r in range(1, 16 + 8 + 1):
+        for released in model.release(r):
+            stream.append(("release", r, released.src, released.dst))
+        for round_no, msg in msgs:
+            if round_no == r:
+                verdict, out = model.apply(msg, r)
+                stream.append(
+                    (verdict, r, msg.src, msg.dst,
+                     out.payload if out is not None else None)
+                )
+    return stream
+
+
+def _reuse_models() -> List[ChannelFaultModel]:
+    return [
+        BernoulliLoss(0.3),
+        GilbertElliottLoss(p_enter_burst=0.4, loss_bad=0.9),
+        BitCorruption(0.4),
+        BoundedDelay(0.5, max_delay=3),
+        CompositeFaults([
+            GilbertElliottLoss(p_enter_burst=0.3, loss_bad=0.8),
+            BoundedDelay(0.4, max_delay=2),
+        ]),
+    ]
+
+
+def scenarios_workload(quick: bool = False) -> WorkloadResult:
+    """Certify the scenario matrix: determinism, fidelity, crossovers."""
+    result = WorkloadResult(
+        name="scenarios",
+        description=(
+            "PR 9 scenario matrix: fault-model reuse determinism "
+            "(bind/run/bind/run verdict-stream identity), the link-"
+            "fidelity re-amplification bill, and the E22 quantum-vs-"
+            "classical wall-clock crossover verdicts (assertion-only)"
+        ),
+    )
+
+    for model in _reuse_models():
+        first = _verdict_stream(model, seed=7)
+        second = _verdict_stream(model, seed=7)
+        if first != second:
+            raise AssertionError(
+                f"{type(model).__name__}: re-bound verdict stream diverged"
+            )
+        if model.pending():
+            raise AssertionError(
+                f"{type(model).__name__}: held messages leaked past the run"
+            )
+        result.sweep.append({
+            "section": "fault_reuse",
+            "model": model.describe(),
+            "verdicts": len(first),
+            "identical_on_rebind": True,
+        })
+
+    # Fidelity + crossover sections ride on E22 so the report and
+    # EXPERIMENTS.md can never disagree about the verdicts.
+    from ..experiments import e22_scenarios
+
+    e22 = e22_scenarios.run(quick=True, seed=0)
+    if not e22.fidelity_monotone:
+        raise AssertionError("fidelity re-amplification bill not monotone")
+    result.sweep.append({
+        "section": "fidelity_bill",
+        "monotone": e22.fidelity_monotone,
+        "max_overhead": e22.fidelity_max_overhead,
+    })
+
+    ok = (
+        e22.rounds_crossover_n is not None
+        and e22.mature_crossover_known
+        and e22.near_term.latency_dominated
+    )
+    if not ok:
+        raise AssertionError(
+            f"crossover verdicts regressed: rounds={e22.rounds_crossover_n}, "
+            f"mature known={e22.mature_crossover_known}, near-term "
+            f"latency-dominated={e22.near_term.latency_dominated}"
+        )
+    result.sweep.append({
+        "section": "crossover",
+        "rounds_crossover_n": e22.rounds_crossover_n,
+        "mature_wall_clock_n": e22.mature.wall_clock_crossover_n,
+        "mature_predicted_n": e22.mature.predicted_crossover_n,
+        "mature_premium": e22.mature.premium,
+        "near_term_premium": e22.near_term.premium,
+        "near_term_latency_dominated": e22.near_term.latency_dominated,
+        "break_even_exponent": e22.break_even_exponent,
+    })
+    result.sweep.append({
+        "section": "matrix",
+        "cells": len(e22.matrix),
+        "honest_cells_correct": e22.honest_cells_correct,
+    })
+    return result

@@ -1,0 +1,82 @@
+"""repro.scenarios — the fidelity / latency / adversary scenario matrix.
+
+The paper's round counts assume perfect links and unit-cost messages.
+This package parameterizes both assumptions and sweeps them as a matrix
+(ROADMAP: "noise-, latency-, and adversary-parameterized scenario
+matrix"):
+
+* :mod:`~repro.scenarios.link_fidelity` — quantum links of fidelity F:
+  derive ε = 1 − F, target δ, and the security parameter S (boosting
+  repetitions), and sweep F against the measured Lemma 7
+  re-amplification bill;
+* :mod:`~repro.scenarios.practicality` — the "Mind the Õ" layer: price
+  round duels on explicit :class:`~repro.core.cost.LinkCostModel`\\ s and
+  locate the wall-clock crossover where asymptotic quantum round wins
+  become practical time wins;
+* :mod:`~repro.scenarios.adversary` — Byzantine senders, node churn, and
+  link flaps as deterministic-by-seed sweep axes;
+* :mod:`~repro.scenarios.spec` / :mod:`~repro.scenarios.matrix` — the
+  frozen :class:`Scenario` declaration and the parallel matrix runner.
+
+Quick tour::
+
+    from repro.core.cost import CLASSICAL_METRO, QUANTUM_OPTIMISTIC
+    from repro.scenarios import Scenario, run_matrix
+
+    cells = [
+        Scenario("clean"),
+        Scenario("noisy", fidelity=0.99,
+                 fault_model=link_flap_model(0.05)),
+    ]
+    outcomes = run_matrix(cells, topology="grid", n=16, seed=0, jobs=2)
+
+E22 (:mod:`repro.experiments.e22_scenarios`) sweeps all three axes and
+reports the rounds-advantage vs latency-dominated regimes.
+"""
+
+from .adversary import (
+    ByzantineNodes,
+    byzantine_nodes,
+    churn_schedule,
+    link_flap_model,
+)
+from .link_fidelity import (
+    FidelityCell,
+    SecurityDerivation,
+    derive_security,
+    fidelity_sweep,
+)
+from .matrix import ScenarioOutcome, build_network, cell_model, run_matrix
+from .practicality import (
+    CrossoverReport,
+    WallClockDuel,
+    break_even_premium,
+    crossover_report,
+    price_duel,
+    price_duels,
+    wall_clock_crossover_n,
+)
+from .spec import Scenario
+
+__all__ = [
+    "ByzantineNodes",
+    "CrossoverReport",
+    "FidelityCell",
+    "Scenario",
+    "ScenarioOutcome",
+    "SecurityDerivation",
+    "WallClockDuel",
+    "break_even_premium",
+    "build_network",
+    "byzantine_nodes",
+    "cell_model",
+    "churn_schedule",
+    "crossover_report",
+    "derive_security",
+    "fidelity_sweep",
+    "link_flap_model",
+    "price_duel",
+    "price_duels",
+    "run_matrix",
+    "wall_clock_crossover_n",
+]

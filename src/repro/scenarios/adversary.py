@@ -1,0 +1,166 @@
+"""Adversary and dynamic-topology axes of the scenario matrix.
+
+Three first-class sweep axes beyond the paper's perfect-network setting:
+
+* **Byzantine senders** — :class:`ByzantineNodes` is a
+  :class:`~repro.faults.models.ChannelFaultModel` that corrupts (within
+  the declared field domains, so bandwidth charges never change) every
+  message *sent by* a designated node set.  This is the weak-Byzantine
+  channel adversary: compromised nodes lie on the wire but cannot forge
+  senders or exceed CONGEST bandwidth.
+* **Node churn** — :func:`churn_schedule` draws a deterministic
+  crash-*recovery* schedule (nodes leave and rejoin) from the existing
+  :func:`~repro.faults.crash.random_crash_schedule` machinery.
+* **Link flaps** — :func:`link_flap_model` instantiates the existing
+  :class:`~repro.faults.models.GilbertElliottLoss` in its outage corner
+  (loss 1.0 while bad), turning the burst chain into an up/down link
+  process with a chosen flap rate and mean outage length.
+
+Everything here is deterministic-by-seed, so the matrix axes compose
+with the fault-model reuse contract fixed in this PR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..faults.crash import CrashSchedule, random_crash_schedule
+from ..faults.models import (
+    CORRUPT,
+    DELIVER,
+    ChannelFaultModel,
+    GilbertElliottLoss,
+    _corrupt_payload,
+)
+from ..congest.messages import Message
+
+__all__ = [
+    "ByzantineNodes",
+    "byzantine_nodes",
+    "churn_schedule",
+    "link_flap_model",
+]
+
+
+class ByzantineNodes(ChannelFaultModel):
+    """Corrupt every message sent by a fixed set of Byzantine nodes.
+
+    Each message from a Byzantine sender is independently corrupted with
+    probability ``p`` (default: always).  Corruption re-randomizes
+    ``Field`` payloads within their domains and flips bools — receivers
+    see well-formed but adversarial values, which is exactly what the
+    checksummed resilience layer must survive.  Honest senders' traffic
+    is untouched.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[int],
+        p: float = 1.0,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"corruption probability must be in [0, 1], got {p}")
+        super().__init__(seed)
+        self.nodes = frozenset(int(v) for v in nodes)
+        self.p = p
+
+    def apply(self, msg, round_no):
+        """Corrupt the payload iff the sender is Byzantine (prob. ``p``)."""
+        if msg.src not in self.nodes:
+            return DELIVER, msg
+        rng = self._require_rng()
+        if self.p < 1.0 and rng.random() >= self.p:
+            return DELIVER, msg
+        corrupted = Message(
+            src=msg.src,
+            dst=msg.dst,
+            payload=_corrupt_payload(msg.payload, rng),
+            bits=msg.bits,
+            round_sent=msg.round_sent,
+        )
+        return CORRUPT, corrupted
+
+    def describe(self) -> str:
+        ids = ",".join(str(v) for v in sorted(self.nodes))
+        return f"byzantine nodes {{{ids}}} p={self.p:g}"
+
+
+def byzantine_nodes(
+    n: int,
+    fraction: float,
+    seed: int = 0,
+    protect: Sequence[int] = (0,),
+) -> Tuple[int, ...]:
+    """Draw a deterministic Byzantine node set of ⌊fraction·n⌋ nodes.
+
+    ``protect`` lists node ids that must stay honest (by default the
+    conventional root/leader 0, mirroring ``random_crash_schedule``'s
+    protection of the root).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    protected = {int(v) for v in protect}
+    eligible = [v for v in range(n) if v not in protected]
+    count = min(int(fraction * n), len(eligible))
+    if count == 0:
+        return ()
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    chosen = rng.choice(len(eligible), size=count, replace=False)
+    return tuple(sorted(eligible[int(i)] for i in chosen))
+
+
+def churn_schedule(
+    n: int,
+    churn_fraction: float,
+    horizon: int,
+    seed: int = 0,
+    outage_rounds: int = 4,
+    protect: Sequence[int] = (0,),
+) -> CrashSchedule:
+    """A deterministic node-churn schedule: nodes leave and rejoin.
+
+    Thin façade over :func:`~repro.faults.crash.random_crash_schedule`
+    forcing crash-*recovery* outages (every churned node comes back after
+    ``outage_rounds`` rounds), so the axis models membership churn rather
+    than permanent failures.
+    """
+    if outage_rounds < 1:
+        raise ValueError("outage_rounds must be >= 1")
+    return random_crash_schedule(
+        n,
+        crash_fraction=churn_fraction,
+        horizon=horizon,
+        seed=seed,
+        outage_rounds=outage_rounds,
+        protect=protect,
+    )
+
+
+def link_flap_model(
+    flap_rate: float,
+    mean_outage_rounds: float = 3.0,
+    seed: Optional[int] = None,
+) -> GilbertElliottLoss:
+    """A link-flap process: links go fully down and come back up.
+
+    The existing Gilbert–Elliott chain in its outage corner: per directed
+    edge, the link enters a flap with probability ``flap_rate`` per
+    message, stays down a geometric number of rounds with mean
+    ``mean_outage_rounds``, and while down drops everything (loss 1.0).
+    """
+    if not 0.0 <= flap_rate <= 1.0:
+        raise ValueError(f"flap_rate must be in [0, 1], got {flap_rate}")
+    if mean_outage_rounds < 1.0:
+        raise ValueError(
+            f"mean_outage_rounds must be >= 1, got {mean_outage_rounds}"
+        )
+    return GilbertElliottLoss(
+        p_enter_burst=flap_rate,
+        p_exit_burst=1.0 / mean_outage_rounds,
+        loss_good=0.0,
+        loss_bad=1.0,
+        seed=seed,
+    )

@@ -1,0 +1,145 @@
+"""The link-fidelity axis: F ⇒ (ε, δ, S) ⇒ the Lemma 7 round bill.
+
+A quantum link of fidelity F delivers each chunk of a streamed register
+intact with probability F — the per-delivery failure is ε = 1 − F, and
+no-cloning means a single lost chunk scraps the whole Lemma 7 transfer
+(:mod:`repro.faults.fidelity`).  The paper's remedy is leader-side
+boosting; this module derives the *security parameter* S — the number of
+independent repetitions the leader must schedule so the end-to-end
+failure stays below a target δ — directly from F, and sweeps F against
+the measured re-amplification bill.
+
+The sweep is the quantitative face of the scenario matrix's fidelity
+axis: each point reports how many rounds the F-fidelity link actually
+costs once the transfer is re-amplified back to the paper's success
+probability, which is what E22 plots against the wall-clock axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..congest.algorithms.bfs import bfs_with_echo
+from ..congest.network import Network
+from ..core.boosting import repetitions_for
+from ..faults.fidelity import reamplified_transfer
+
+__all__ = [
+    "SecurityDerivation",
+    "derive_security",
+    "FidelityCell",
+    "fidelity_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SecurityDerivation:
+    """What a link fidelity F implies for the boosting machinery.
+
+    Attributes:
+        fidelity: the per-delivery link fidelity F.
+        epsilon: per-delivery failure probability, ε = 1 − F.
+        delta: the target end-to-end failure probability.
+        security: S — independent repetitions so that ε^S ≤ δ.
+    """
+
+    fidelity: float
+    epsilon: float
+    delta: float
+    security: int
+
+
+def derive_security(fidelity: float, delta: float = 0.01) -> SecurityDerivation:
+    """Derive (ε, δ, S) from a link fidelity F.
+
+    S is the boosting repetition count from
+    :func:`repro.core.boosting.repetitions_for` with base failure ε: the
+    number of independent attempts after which the probability that *all*
+    fail drops below δ.  A perfect link (F = 1) needs S = 1.
+    """
+    if not 0.0 < fidelity <= 1.0:
+        raise ValueError(f"fidelity must be in (0, 1], got {fidelity}")
+    epsilon = 1.0 - fidelity
+    if epsilon <= 0.0:
+        security = 1
+    else:
+        security = repetitions_for(delta, base_failure=epsilon)
+    return SecurityDerivation(
+        fidelity=fidelity, epsilon=epsilon, delta=delta, security=security
+    )
+
+
+@dataclass(frozen=True)
+class FidelityCell:
+    """One point of the fidelity axis: F against the measured round bill.
+
+    Attributes:
+        fidelity: swept link fidelity F (per chunk delivery).
+        epsilon: 1 − F.
+        security: S from :func:`derive_security` (per-delivery boosting).
+        transfer_fidelity: probability one whole Lemma 7 transfer
+            survives — (1 − ε) raised to the number of chunk deliveries.
+        base_rounds: measured rounds of one (faultless) transfer attempt.
+        repetitions: repetitions sized against the *transfer* fidelity.
+        total_rounds: repetitions × base_rounds, the re-amplified bill.
+        achieved_failure: residual failure probability after boosting.
+    """
+
+    fidelity: float
+    epsilon: float
+    security: int
+    transfer_fidelity: float
+    base_rounds: int
+    repetitions: int
+    total_rounds: int
+    achieved_failure: float
+
+    @property
+    def overhead(self) -> float:
+        """Round inflation over the perfect-link transfer."""
+        return self.total_rounds / max(self.base_rounds, 1)
+
+
+def fidelity_sweep(
+    network: Network,
+    fidelities: Sequence[float],
+    q_bits: int = 32,
+    delta: float = 0.01,
+    register_value: int = 0x5A5A,
+    root: int = 0,
+    seed: Optional[int] = None,
+) -> List[FidelityCell]:
+    """Sweep link fidelity F against the Lemma 7 re-amplification bill.
+
+    Each F becomes a per-delivery loss ``1 − F`` fed to
+    :func:`repro.faults.fidelity.reamplified_transfer`, which measures
+    one real transfer on the engine and prices the repetitions needed to
+    restore the target confidence δ.
+    """
+    tree = bfs_with_echo(network, root, seed=seed)
+    cells: List[FidelityCell] = []
+    for fidelity in fidelities:
+        sec = derive_security(fidelity, delta=delta)
+        transfer = reamplified_transfer(
+            network,
+            tree,
+            register_value=register_value,
+            q_bits=q_bits,
+            loss_p=sec.epsilon,
+            delta=delta,
+            seed=seed,
+        )
+        cells.append(
+            FidelityCell(
+                fidelity=fidelity,
+                epsilon=sec.epsilon,
+                security=sec.security,
+                transfer_fidelity=transfer.fidelity,
+                base_rounds=transfer.base_rounds,
+                repetitions=transfer.repetitions,
+                total_rounds=transfer.total_rounds,
+                achieved_failure=transfer.achieved_failure,
+            )
+        )
+    return cells

@@ -1,0 +1,195 @@
+"""The matrix runner: fan declared scenarios across worker processes.
+
+Each :class:`~repro.scenarios.spec.Scenario` cell runs one resilient BFS
+under the cell's composed adversary (channel faults + Byzantine senders
++ churn schedule) and is re-priced on the cell's classical and quantum
+links.  Cells are independent, so the matrix fans them across
+:func:`repro.parallel.run_parallel` with one BLAKE2b-derived fault seed
+per (root seed, cell) — the same derivation discipline as the E19 sweep,
+so adjacent seeds never share fault streams.
+
+The worker is a top-level function with picklable arguments (scenarios
+are frozen dataclasses over plain data), so the fan-out works under both
+fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from ..congest import topologies
+from ..congest.algorithms.bfs import bfs_with_echo
+from ..congest.network import Network
+from ..faults.models import ChannelFaultModel, CompositeFaults
+from ..faults.resilience import resilient_bfs
+from ..parallel import Task, TaskFailure, derive_seed, run_parallel
+from .adversary import ByzantineNodes
+from .spec import Scenario
+
+__all__ = ["ScenarioOutcome", "run_matrix", "build_network", "cell_model"]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """What one scenario cell measured.
+
+    Attributes:
+        scenario: the cell's name.
+        n: network size the cell ran on.
+        rounds: physical rounds of the resilient BFS under the cell's
+            adversary.
+        baseline_rounds: rounds of the faultless BFS on the same network.
+        correct: whether the distances match the faultless ground truth.
+        security: S derived from the cell's link fidelity.
+        dropped / corrupted / delayed / crashes: fault-stat counters.
+        classical_us / quantum_us: the cell's rounds priced on its two
+            links ("Mind the Õ").
+    """
+
+    scenario: str
+    n: int
+    rounds: int
+    baseline_rounds: int
+    correct: bool
+    security: int
+    dropped: int
+    corrupted: int
+    delayed: int
+    crashes: int
+    classical_us: float
+    quantum_us: float
+
+    @property
+    def overhead(self) -> float:
+        """Round inflation over the faultless baseline."""
+        return self.rounds / max(self.baseline_rounds, 1)
+
+
+def build_network(topology: str, n: int, seed: int = 0) -> Network:
+    """Build the matrix's network family by name.
+
+    ``"grid"`` (⌈n/4⌉×4 grid), ``"path"``, ``"cycle"``, or
+    ``"diameter"`` (the diameter-controlled family E20 sweeps, at D=4).
+    """
+    if topology == "grid":
+        rows = max(2, (n + 3) // 4)
+        return topologies.grid(rows, 4)
+    if topology == "path":
+        return topologies.path(n)
+    if topology == "cycle":
+        return topologies.cycle(n)
+    if topology == "diameter":
+        return topologies.diameter_controlled(n, 4, seed=seed)
+    raise ValueError(f"unknown matrix topology {topology!r}")
+
+
+def cell_model(scenario: Scenario) -> Optional[ChannelFaultModel]:
+    """Compose the cell's channel-fault chain (None: perfect links).
+
+    The declared ``fault_model`` (loss / corruption / delay / flaps)
+    runs first; Byzantine sender corruption is appended so adversarial
+    rewrites happen to messages that survived the channel.
+    """
+    models: List[ChannelFaultModel] = []
+    if scenario.fault_model is not None:
+        models.append(scenario.fault_model)
+    if scenario.byzantine:
+        models.append(ByzantineNodes(scenario.byzantine))
+    if not models:
+        return None
+    if len(models) == 1:
+        return models[0]
+    return CompositeFaults(models)
+
+
+def run_cell(
+    scenario: Scenario, topology: str, n: int, seed: int
+) -> ScenarioOutcome:
+    """Run one scenario cell: resilient BFS under the composed adversary.
+
+    Top-level (picklable) so :func:`run_matrix` can dispatch it through
+    :func:`repro.parallel.run_parallel`.
+    """
+    net = build_network(topology, n, seed=seed)
+    truth = bfs_with_echo(net, 0, seed=seed)
+    fault_seed = scenario.fault_seed
+    if fault_seed is None:
+        fault_seed = derive_seed(seed, "scenario", scenario.name)
+    word = net.log_n_bits
+    try:
+        res, run = resilient_bfs(
+            net,
+            0,
+            fault_model=cell_model(scenario),
+            crash_schedule=scenario.crash_schedule,
+            seed=seed,
+            fault_seed=fault_seed,
+        )
+    except Exception:
+        # A sufficiently adversarial cell CAN defeat the resilience
+        # layer: the 8-bit frame checksum admits ~1/256 corruption
+        # slip-through, and an accepted garbage frame may crash the
+        # inner protocol.  That is a protocol failure to *report*
+        # (correct=False), not a matrix failure.
+        return ScenarioOutcome(
+            scenario=scenario.name,
+            n=net.n,
+            rounds=0,
+            baseline_rounds=truth.rounds,
+            correct=False,
+            security=scenario.security().security,
+            dropped=0,
+            corrupted=0,
+            delayed=0,
+            crashes=0,
+            classical_us=0.0,
+            quantum_us=0.0,
+        )
+    stats = run.fault_stats
+    return ScenarioOutcome(
+        scenario=scenario.name,
+        n=net.n,
+        rounds=res.rounds,
+        baseline_rounds=truth.rounds,
+        correct=res.dist == truth.dist,
+        security=scenario.security().security,
+        dropped=stats.dropped,
+        corrupted=stats.corrupted,
+        delayed=stats.delayed,
+        crashes=stats.crashes,
+        classical_us=scenario.classical_link.wall_clock_us(res.rounds, word),
+        quantum_us=scenario.quantum_link.wall_clock_us(res.rounds, word),
+    )
+
+
+def run_matrix(
+    scenarios: Sequence[Scenario],
+    topology: str = "grid",
+    n: int = 16,
+    seed: int = 0,
+    jobs: int = 1,
+) -> List[Union[ScenarioOutcome, TaskFailure]]:
+    """Fan the scenario cells across worker processes.
+
+    Results come back in scenario order; a cell that fails after retries
+    occupies its slot as a :class:`~repro.parallel.TaskFailure` rather
+    than poisoning the whole matrix.
+    """
+    names = [s.name for s in scenarios]
+    if len(set(names)) != len(names):
+        raise ValueError(f"scenario names must be unique, got {names}")
+    tasks = [
+        Task(
+            key=scenario.name,
+            fn=run_cell,
+            kwargs={
+                "scenario": scenario,
+                "topology": topology,
+                "n": n,
+                "seed": seed,
+            },
+        )
+        for scenario in scenarios
+    ]
+    return run_parallel(tasks, jobs=jobs)

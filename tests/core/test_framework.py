@@ -6,6 +6,7 @@ from repro.congest import topologies
 from repro.core.cost import CostModel
 from repro.core.framework import (
     DistributedInput,
+    FrameworkConfig,
     ValueComputer,
     run_framework,
 )
@@ -52,7 +53,9 @@ class TestOracleSemantics:
         def algorithm(oracle, _rng):
             return oracle.query_batch([0, 3, 7])
 
-        run = run_framework(grid45, algorithm, parallelism=4, dist_input=di, seed=1)
+        run = run_framework(grid45, algorithm, config=FrameworkConfig(
+            parallelism=4, dist_input=di, seed=1,
+        ))
         assert run.result == [agg[0], agg[3], agg[7]]
 
     def test_out_of_range_query_rejected(self, grid45, rng):
@@ -62,7 +65,9 @@ class TestOracleSemantics:
             return oracle.query_batch([4])
 
         with pytest.raises(IndexError):
-            run_framework(grid45, algorithm, parallelism=2, dist_input=di, seed=1)
+            run_framework(grid45, algorithm, config=FrameworkConfig(
+                parallelism=2, dist_input=di, seed=1,
+            ))
 
     def test_parallelism_enforced(self, grid45, rng):
         di = sum_input(grid45, 10, rng)
@@ -73,22 +78,26 @@ class TestOracleSemantics:
         from repro.queries.ledger import ParallelismViolation
 
         with pytest.raises(ParallelismViolation):
-            run_framework(grid45, algorithm, parallelism=3, dist_input=di, seed=1)
+            run_framework(grid45, algorithm, config=FrameworkConfig(
+                parallelism=3, dist_input=di, seed=1,
+            ))
 
     def test_needs_input_or_computer(self, grid45):
         def algorithm(oracle, _rng):
             return None
 
         with pytest.raises(ValueError):
-            run_framework(grid45, algorithm, parallelism=2, seed=1)
+            run_framework(grid45, algorithm, config=FrameworkConfig(
+                parallelism=2, seed=1,
+            ))
 
 
 class TestRoundCharging:
     def test_setup_phase_charged(self, grid45, rng):
         di = sum_input(grid45, 8, rng)
         run = run_framework(
-            grid45, lambda o, r: o.query_batch([0]), parallelism=2,
-            dist_input=di, seed=1,
+            grid45, lambda o, r: o.query_batch([0]),
+            config=FrameworkConfig(parallelism=2, dist_input=di, seed=1),
         )
         phases = run.rounds.by_phase()
         assert "setup:leader-election" in phases
@@ -97,8 +106,10 @@ class TestRoundCharging:
     def test_designated_leader_skips_election(self, grid45, rng):
         di = sum_input(grid45, 8, rng)
         run = run_framework(
-            grid45, lambda o, r: o.query_batch([0]), parallelism=2,
-            dist_input=di, seed=1, leader=0,
+            grid45, lambda o, r: o.query_batch([0]),
+            config=FrameworkConfig(
+                parallelism=2, dist_input=di, seed=1, leader=0,
+            ),
         )
         assert "setup:leader-election" not in run.rounds.by_phase()
         assert run.leader == 0
@@ -112,7 +123,9 @@ class TestRoundCharging:
             oracle.query_batch([0, 1, 2, 3], label="t")
             return None
 
-        run = run_framework(grid45, algorithm, parallelism=p, dist_input=di, seed=1)
+        run = run_framework(grid45, algorithm, config=FrameworkConfig(
+            parallelism=p, dist_input=di, seed=1,
+        ))
         expected = cm.batch_rounds(p, di.semigroup.bits, di.k)
         assert run.rounds.by_phase()["batch:t"] == expected
 
@@ -126,8 +139,9 @@ class TestRoundCharging:
                 return None
             return algorithm
 
-        one = run_framework(grid45, algo_n(1), parallelism=2, dist_input=di, seed=1)
-        five = run_framework(grid45, algo_n(5), parallelism=2, dist_input=di, seed=1)
+        cfg = FrameworkConfig(parallelism=2, dist_input=di, seed=1)
+        one = run_framework(grid45, algo_n(1), config=cfg)
+        five = run_framework(grid45, algo_n(5), config=cfg)
         setup = one.total_rounds - one.rounds.by_phase().get("batch:query", 0)
         per_batch = one.rounds.by_phase()["batch:query"]
         assert five.total_rounds == setup + 5 * per_batch
@@ -140,10 +154,10 @@ class TestEngineMode:
         def algorithm(oracle, _rng):
             return oracle.query_batch([1, 5, 9])
 
-        f = run_framework(grid45, algorithm, parallelism=3, dist_input=di,
-                          mode="formula", seed=2)
-        e = run_framework(grid45, algorithm, parallelism=3, dist_input=di,
-                          mode="engine", seed=2)
+        cfg = FrameworkConfig(parallelism=3, dist_input=di, seed=2)
+        f = run_framework(grid45, algorithm, config=cfg)
+        e = run_framework(grid45, algorithm,
+                          config=cfg.replace(mode="engine"))
         assert f.result == e.result
 
     def test_engine_rounds_within_constant_of_formula(self, grid45, rng):
@@ -154,18 +168,20 @@ class TestEngineMode:
             oracle.query_batch(list(range(6, 12)))
             return None
 
-        f = run_framework(grid45, algorithm, parallelism=6, dist_input=di,
-                          mode="formula", seed=2)
-        e = run_framework(grid45, algorithm, parallelism=6, dist_input=di,
-                          mode="engine", seed=2)
+        cfg = FrameworkConfig(parallelism=6, dist_input=di, seed=2)
+        f = run_framework(grid45, algorithm, config=cfg)
+        e = run_framework(grid45, algorithm,
+                          config=cfg.replace(mode="engine"))
         assert e.total_rounds <= 4 * f.total_rounds
         assert f.total_rounds <= 4 * e.total_rounds
 
     def test_engine_phase_breakdown(self, grid45, rng):
         di = sum_input(grid45, 8, rng)
         run = run_framework(
-            grid45, lambda o, r: o.query_batch([0, 1]), parallelism=2,
-            dist_input=di, mode="engine", seed=2,
+            grid45, lambda o, r: o.query_batch([0, 1]),
+            config=FrameworkConfig(
+                parallelism=2, dist_input=di, mode="engine", seed=2,
+            ),
         )
         phases = run.rounds.by_phase()
         for phase in ("index-distribute", "value-upcast",
@@ -175,8 +191,9 @@ class TestEngineMode:
     def test_invalid_mode_rejected(self, grid45, rng):
         di = sum_input(grid45, 4, rng)
         with pytest.raises(ValueError):
-            run_framework(grid45, lambda o, r: None, parallelism=1,
-                          dist_input=di, mode="quantum", seed=1)
+            run_framework(grid45, lambda o, r: None, config=FrameworkConfig(
+                parallelism=1, dist_input=di, mode="quantum", seed=1,
+            ))
 
 
 class FixedComputer(ValueComputer):
@@ -204,8 +221,10 @@ class TestOnTheFly:
             return oracle.query_batch([2, 5])
 
         run = run_framework(
-            grid45, algorithm, parallelism=2, computer=computer,
-            k=30, seed=1, semigroup=max_semigroup(1000),
+            grid45, algorithm, config=FrameworkConfig(
+                parallelism=2, computer=computer, k=30, seed=1,
+                semigroup=max_semigroup(1000),
+            ),
         )
         assert run.result == [4, 25]
 
@@ -219,8 +238,10 @@ class TestOnTheFly:
             return None
 
         run = run_framework(
-            grid45, algorithm, parallelism=1, computer=computer,
-            k=30, seed=1, semigroup=max_semigroup(1000),
+            grid45, algorithm, config=FrameworkConfig(
+                parallelism=1, computer=computer, k=30, seed=1,
+                semigroup=max_semigroup(1000),
+            ),
         )
         per_batch = cm.batch_rounds(1, max_semigroup(1000).bits, 30, alpha=11)
         assert run.rounds.by_phase()["batch:q"] == 2 * per_batch
@@ -233,8 +254,10 @@ class TestOnTheFly:
             return list(oracle.peek_all())
 
         run = run_framework(
-            grid45, algorithm, parallelism=1, computer=computer,
-            k=10, seed=1, semigroup=max_semigroup(1000),
+            grid45, algorithm, config=FrameworkConfig(
+                parallelism=1, computer=computer, k=10, seed=1,
+                semigroup=max_semigroup(1000),
+            ),
         )
         assert run.result == [j * j for j in range(10)]
 
@@ -245,7 +268,9 @@ class TestOnTheFly:
             return parallel_minimum.find_minimum(oracle, rng)
 
         run = run_framework(
-            grid45, algorithm, parallelism=5, computer=computer,
-            k=40, seed=3, semigroup=max_semigroup(10**4),
+            grid45, algorithm, config=FrameworkConfig(
+                parallelism=5, computer=computer, k=40, seed=3,
+                semigroup=max_semigroup(10**4),
+            ),
         )
         assert run.result.value == 0

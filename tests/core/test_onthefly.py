@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.eccentricity import EccentricityComputer
 from repro.congest import topologies
-from repro.core.framework import run_framework
+from repro.core.framework import FrameworkConfig, run_framework
 from repro.core.semigroup import max_semigroup
 
 
@@ -45,10 +45,10 @@ class TestOnTheFlyFrameworkIntegration:
             oracle.query_batch([0, 1], label="probe")
             return None
 
-        with_alpha = run_framework(
-            net, algorithm, parallelism=2, computer=computer,
-            k=net.n, seed=1, leader=0, semigroup=max_semigroup(2 * net.n),
-        )
+        with_alpha = run_framework(net, algorithm, config=FrameworkConfig(
+            parallelism=2, computer=computer, k=net.n, seed=1, leader=0,
+            semigroup=max_semigroup(2 * net.n),
+        ))
         from repro.core.cost import CostModel
 
         cm = CostModel.for_network(net)
@@ -64,10 +64,10 @@ class TestOnTheFlyFrameworkIntegration:
         def algorithm(oracle, _rng):
             return oracle.query_batch(list(range(net.n)))
 
-        run = run_framework(
-            net, algorithm, parallelism=net.n, computer=computer,
-            k=net.n, seed=1, leader=0, semigroup=max_semigroup(2 * net.n),
-        )
+        run = run_framework(net, algorithm, config=FrameworkConfig(
+            parallelism=net.n, computer=computer, k=net.n, seed=1, leader=0,
+            semigroup=max_semigroup(2 * net.n),
+        ))
         assert run.result == [net.eccentricities[j] for j in range(net.n)]
 
     def test_engine_mode_end_to_end(self):
@@ -77,9 +77,8 @@ class TestOnTheFlyFrameworkIntegration:
         def algorithm(oracle, _rng):
             return oracle.query_batch([2, 6])
 
-        run = run_framework(
-            net, algorithm, parallelism=2, computer=computer,
-            k=net.n, mode="engine", seed=3, leader=0,
-            semigroup=max_semigroup(2 * net.n),
-        )
+        run = run_framework(net, algorithm, config=FrameworkConfig(
+            parallelism=2, computer=computer, k=net.n, mode="engine",
+            seed=3, leader=0, semigroup=max_semigroup(2 * net.n),
+        ))
         assert run.result == [net.eccentricities[2], net.eccentricities[6]]

@@ -7,6 +7,7 @@ import pytest
 from repro.congest import topologies
 from repro.core.framework import (
     DistributedInput,
+    FrameworkConfig,
     PreparedCache,
     PreparedNetwork,
     configure_prepared_cache,
@@ -159,13 +160,13 @@ class TestRunFrameworkCaching:
     @pytest.mark.parametrize("mode", ["formula", "engine"])
     def test_cached_setup_is_transparent(self, case, mode):
         net, di = case
+        cfg = FrameworkConfig(parallelism=3, dist_input=di, mode=mode,
+                              seed=9)
         runs = [
-            run_framework(net, algorithm, parallelism=3, dist_input=di,
-                          mode=mode, seed=9, reuse_setup=False),
-            run_framework(net, algorithm, parallelism=3, dist_input=di,
-                          mode=mode, seed=9),  # fills the cache
-            run_framework(net, algorithm, parallelism=3, dist_input=di,
-                          mode=mode, seed=9),  # hits the cache
+            run_framework(net, algorithm,
+                          config=cfg.replace(reuse_setup=False)),
+            run_framework(net, algorithm, config=cfg),  # fills the cache
+            run_framework(net, algorithm, config=cfg),  # hits the cache
         ]
         baseline = runs[0]
         for run in runs[1:]:
@@ -179,21 +180,22 @@ class TestRunFrameworkCaching:
         net, di = case
         prepared = prepare_network(net, seed=9)
         assert isinstance(prepared, PreparedNetwork)
+        cfg = FrameworkConfig(parallelism=3, dist_input=di, mode="engine",
+                              seed=9)
         via_prepared = run_framework(
-            net, algorithm, parallelism=3, dist_input=di, mode="engine",
-            seed=9, prepared=prepared,
+            net, algorithm, config=cfg.replace(prepared=prepared),
         )
         fresh = run_framework(
-            net, algorithm, parallelism=3, dist_input=di, mode="engine",
-            seed=9, reuse_setup=False,
+            net, algorithm, config=cfg.replace(reuse_setup=False),
         )
         assert via_prepared.rounds.charges == fresh.rounds.charges
         assert via_prepared.result == fresh.result
 
     def test_designated_leader_skips_election_charge(self, case):
         net, di = case
-        run = run_framework(net, algorithm, parallelism=3, dist_input=di,
-                            mode="engine", seed=9, leader=4)
+        run = run_framework(net, algorithm, config=FrameworkConfig(
+            parallelism=3, dist_input=di, mode="engine", seed=9, leader=4,
+        ))
         phases = run.rounds.by_phase()
         assert "setup:leader-election" not in phases
         assert "setup:bfs-tree" in phases

@@ -1,0 +1,188 @@
+"""Regression tests: re-binding a fault model restores determinism.
+
+The module contract of :mod:`repro.faults.models` is "same seed ⇒
+identical fault schedule".  Before the ``bind()`` reset existed, a
+reused :class:`GilbertElliottLoss` carried its per-edge burst states —
+and a reused :class:`BoundedDelay` its *undelivered held messages* —
+from one run into the next, so the second run of a reused instance saw
+a different (and polluted) schedule than a fresh instance with the same
+seed.  These tests pin the fix at three levels: raw verdict streams,
+the chained :class:`CompositeFaults` reset guarantee, and full
+:class:`~repro.faults.engine.FaultyEngine` runs.
+"""
+
+import numpy as np
+
+from repro.congest.encoding import Field
+from repro.congest.messages import Message
+from repro.congest import topologies
+from repro.congest.algorithms.bfs import BFSEchoProgram
+from repro.faults.engine import run_with_faults
+from repro.faults.resilience import resilient_bfs
+from repro.faults.models import (
+    BernoulliLoss,
+    BitCorruption,
+    BoundedDelay,
+    CompositeFaults,
+    GilbertElliottLoss,
+)
+
+
+def traffic(rounds=12, edges=((0, 1), (1, 0), (1, 2), (2, 3))):
+    """A deterministic multi-edge message schedule."""
+    msgs = []
+    for r in range(1, rounds + 1):
+        for src, dst in edges:
+            msgs.append((r, Message.make(src, dst, Field(r % 8, 8), r)))
+    return msgs
+
+
+def verdict_stream(model, seed, extra_rounds=8):
+    """Bind ``model`` to ``seed`` and drive the deterministic traffic.
+
+    Returns one flat list capturing everything observable: released
+    messages at the top of each round, then per-message verdicts (with
+    the delivered payload, so corruption schedules are compared too).
+    """
+    model.bind(np.random.SeedSequence(seed))
+    msgs = traffic()
+    last_round = max(r for r, _ in msgs)
+    stream = []
+    for r in range(1, last_round + extra_rounds + 1):
+        for released in model.release(r):
+            stream.append(("release", r, released.src, released.dst,
+                           released.payload))
+        for round_no, msg in msgs:
+            if round_no != r:
+                continue
+            verdict, out = model.apply(msg, r)
+            stream.append(
+                (verdict, r, msg.src, msg.dst,
+                 out.payload if out is not None else None)
+            )
+    return stream
+
+
+MODELS = [
+    lambda: BernoulliLoss(0.3),
+    lambda: GilbertElliottLoss(p_enter_burst=0.4, p_exit_burst=0.3,
+                               loss_bad=0.9),
+    lambda: BitCorruption(0.4),
+    lambda: BoundedDelay(0.5, max_delay=3),
+    lambda: CompositeFaults([
+        GilbertElliottLoss(p_enter_burst=0.3, loss_bad=0.8),
+        BitCorruption(0.3),
+        BoundedDelay(0.4, max_delay=2),
+    ]),
+]
+
+
+class TestRebindDeterminism:
+    def test_bind_twice_identical_verdict_stream(self):
+        """bind(s); run; bind(s); run — byte-identical schedules."""
+        for make in MODELS:
+            model = make()
+            first = verdict_stream(model, seed=7)
+            second = verdict_stream(model, seed=7)
+            assert first == second, type(model).__name__
+
+    def test_reused_instance_matches_fresh_instance(self):
+        """A re-bound instance behaves exactly like a fresh one."""
+        for make in MODELS:
+            reused = make()
+            verdict_stream(reused, seed=3)  # pollute with a first run
+            assert verdict_stream(reused, seed=3) == verdict_stream(
+                make(), seed=3
+            ), type(reused).__name__
+
+    def test_gilbert_elliott_burst_state_cleared(self):
+        model = GilbertElliottLoss(p_enter_burst=0.9, p_exit_burst=0.05,
+                                   loss_bad=1.0)
+        verdict_stream(model, seed=1)
+        assert model._bad  # the run drove edges into burst states
+        model.bind(np.random.SeedSequence(1))
+        assert model._bad == {}
+
+    def test_bounded_delay_no_cross_run_leakage(self):
+        """Held messages from run 1 must never surface in run 2."""
+        model = BoundedDelay(1.0, max_delay=5)
+        model.bind(np.random.SeedSequence(0))
+        # Every message is delayed; release nothing, so state is held.
+        for r, msg in traffic(rounds=4):
+            model.apply(msg, r)
+        assert model.pending()
+        model.bind(np.random.SeedSequence(0))
+        assert not model.pending()
+        assert all(model.release(r) == [] for r in range(1, 40))
+
+    def test_composite_resets_chained_models(self):
+        inner_delay = BoundedDelay(1.0, max_delay=5)
+        inner_burst = GilbertElliottLoss(p_enter_burst=0.9, loss_bad=1.0)
+        model = CompositeFaults([inner_burst, inner_delay])
+        model.bind(np.random.SeedSequence(2))
+        for r, msg in traffic(rounds=6):
+            model.apply(msg, r)
+        model.bind(np.random.SeedSequence(2))
+        assert not model.pending()
+        assert inner_delay._held == {}
+        assert inner_burst._bad == {}
+
+    def test_composite_children_reseeded_identically(self):
+        """Child seeds must not drift across re-binds (spawn counter)."""
+        model = CompositeFaults([BernoulliLoss(0.5), BernoulliLoss(0.5)])
+        seq = np.random.SeedSequence(11)
+        model.bind(seq)
+        first = [m.rng.random(8).tolist() for m in model.models]
+        model.bind(seq)
+        second = [m.rng.random(8).tolist() for m in model.models]
+        assert first == second
+
+
+class TestEngineRunReuse:
+    def test_reused_model_reproduces_resilient_run(self):
+        """Two resilient runs sharing one burst-model instance agree.
+
+        Raw BFS-echo cannot survive drops (that is what the resilience
+        layer is for), so the lossy engine regression runs through
+        :func:`resilient_bfs` exactly as E19 does — reusing one
+        GilbertElliottLoss instance across both calls.
+        """
+        net = topologies.grid(3, 3)
+        model = GilbertElliottLoss(p_enter_burst=0.3, loss_bad=0.7)
+
+        def one_run():
+            return resilient_bfs(
+                net, 0, fault_model=model, seed=5, fault_seed=17
+            )
+
+        res1, run1 = one_run()
+        res2, run2 = one_run()
+        assert res1.rounds == res2.rounds
+        assert res1.dist == res2.dist
+        assert run1.fault_stats.dropped == run2.fault_stats.dropped
+        assert (
+            run1.fault_stats.per_round_drops
+            == run2.fault_stats.per_round_drops
+        )
+
+    def test_reused_delay_model_run_identity(self):
+        net = topologies.grid(3, 3)
+        model = BoundedDelay(0.4, max_delay=2)
+
+        def one_run():
+            result, _, stats = run_with_faults(
+                net,
+                {v: BFSEchoProgram(v, 0) for v in net.nodes()},
+                fault_model=model,
+                seed=1,
+                fault_seed=9,
+            )
+            return result, stats
+
+        res1, stats1 = one_run()
+        res2, stats2 = one_run()
+        assert res1.rounds == res2.rounds
+        assert res1.outputs == res2.outputs
+        assert stats1.delayed == stats2.delayed
+        model.bind(np.random.SeedSequence(0))
+        assert not model.pending()

@@ -13,7 +13,11 @@ from repro.baselines.cycles import detect_cycle_classical
 from repro.baselines.streaming import classical_meeting
 from repro.congest import topologies
 from repro.core.cost import CostModel
-from repro.core.framework import DistributedInput, run_framework
+from repro.core.framework import (
+    DistributedInput,
+    FrameworkConfig,
+    run_framework,
+)
 from repro.core.semigroup import sum_semigroup
 from repro.queries import minimum as parallel_minimum
 
@@ -41,10 +45,9 @@ class TestEngineVsFormula:
                 oracle.query_batch(list(range(start, min(start + p, k))))
             return None
 
-        f = run_framework(net, algorithm, parallelism=p, dist_input=di,
-                          mode="formula", seed=1)
-        e = run_framework(net, algorithm, parallelism=p, dist_input=di,
-                          mode="engine", seed=1)
+        cfg = FrameworkConfig(parallelism=p, dist_input=di, seed=1)
+        f = run_framework(net, algorithm, config=cfg)
+        e = run_framework(net, algorithm, config=cfg.replace(mode="engine"))
         assert e.total_rounds <= 4 * f.total_rounds + 20
         assert f.total_rounds <= 4 * e.total_rounds + 20
 
@@ -75,8 +78,9 @@ class TestTheorem8Formula:
                 oracle.query_batch(list(range(i * p, (i + 1) * p)), label="x")
             return None
 
-        run = run_framework(net, algorithm, parallelism=p, dist_input=di,
-                            seed=2, leader=0)
+        run = run_framework(net, algorithm, config=FrameworkConfig(
+            parallelism=p, dist_input=di, seed=2, leader=0,
+        ))
         batch_total = run.rounds.by_phase()["batch:x"]
         assert batch_total == b * cm.batch_rounds(p, di.semigroup.bits, k)
 

@@ -52,7 +52,9 @@ class TestSeedRobustness:
     @pytest.mark.parametrize("experiment", ["E1", "E5", "E15", "E17"])
     @pytest.mark.parametrize("seed", [7, 2026])
     def test_criteria_hold_across_seeds(self, experiment, seed):
-        from repro.experiments.runner import verify_experiment
+        from repro.experiments.runner import RunRequest, verify_experiment
 
-        verdict = verify_experiment(experiment, quick=True, seed=seed)
+        verdict = verify_experiment(RunRequest(
+            experiments=(experiment,), seed=seed,
+        ))
         assert verdict.passed, f"{experiment}@seed={seed}: {verdict.detail}"

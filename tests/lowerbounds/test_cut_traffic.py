@@ -76,15 +76,16 @@ class TestQuantumCutTraffic:
             # One batch of 4 queries through the real engine, traced via
             # the round ledger's engine-mode charges (messages per batch
             # are independent of k, so compare round charges).
-            from repro.core.framework import run_framework
+            from repro.core.framework import FrameworkConfig, run_framework
 
             def algorithm(oracle, _rng):
                 oracle.query_batch([0, 1, 2, 3], label="probe")
                 return None
 
-            run = run_framework(net, algorithm, parallelism=4,
-                                dist_input=di, mode="engine", seed=3,
-                                leader=0)
+            run = run_framework(net, algorithm, config=FrameworkConfig(
+                parallelism=4, dist_input=di, mode="engine", seed=3,
+                leader=0,
+            ))
             phases = run.rounds.by_phase()
             return sum(v for key, v in phases.items()
                        if not key.startswith("setup"))

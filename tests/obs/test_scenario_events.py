@@ -1,0 +1,126 @@
+"""The ``scenario`` event: schema, sinks, and the framework annotation."""
+
+import json
+
+import pytest
+
+from repro.congest import topologies
+from repro.core.framework import (
+    DistributedInput,
+    FrameworkConfig,
+    run_framework,
+)
+from repro.core.semigroup import sum_semigroup
+from repro.obs import (
+    SCENARIO,
+    JSONLSink,
+    MemorySink,
+    MetricsSink,
+    Recorder,
+    ScenarioEvent,
+    install,
+)
+from repro.obs.jsonl import validate_jsonl
+from repro.scenarios import Scenario
+
+
+@pytest.fixture
+def net():
+    return topologies.grid(3, 4)
+
+
+@pytest.fixture
+def di(net):
+    vectors = {v: [(v + j) % 3 for j in range(8)] for v in net.nodes()}
+    return DistributedInput(vectors, sum_semigroup(3 * net.n))
+
+
+def algorithm(oracle, _rng):
+    return oracle.query_batch([0, 1])
+
+
+class TestScenarioEvent:
+    def test_json_roundtrip(self):
+        from repro.obs.events import to_json
+
+        event = ScenarioEvent("clean", "classical-metro", 42, 1234.5, "s")
+        record = json.loads(json.dumps(to_json(event)))
+        assert record == {
+            "type": SCENARIO, "scenario": "clean",
+            "link": "classical-metro", "rounds": 42,
+            "wall_clock_us": 1234.5, "span": "s",
+        }
+
+    def test_metrics_sink_accumulates_by_link(self):
+        sink = MetricsSink()
+        sink.handle(ScenarioEvent("a", "classical-metro", 10, 100.0, ""))
+        sink.handle(ScenarioEvent("a", "quantum-mature", 10, 900.0, ""))
+        sink.handle(ScenarioEvent("b", "classical-metro", 5, 50.0, ""))
+        assert sink.scenario_events == 3
+        assert sink.wall_clock_by_link == {
+            "classical-metro": 150.0, "quantum-mature": 900.0,
+        }
+        assert sink.summary()["wall_clock_by_link"] == (
+            sink.wall_clock_by_link
+        )
+
+    def test_metrics_merge_and_state_roundtrip(self):
+        a, b = MetricsSink(), MetricsSink()
+        a.handle(ScenarioEvent("a", "l", 1, 10.0, ""))
+        b.handle(ScenarioEvent("a", "l", 1, 30.0, ""))
+        a.merge(b)
+        assert a.wall_clock_by_link == {"l": 40.0}
+        restored = MetricsSink.from_state(a.to_state())
+        assert restored.scenario_events == 2
+        assert restored.wall_clock_by_link == {"l": 40.0}
+
+
+class TestFrameworkScenarioAnnotation:
+    def test_scenario_config_prices_both_links(self, net, di):
+        scenario = Scenario("annotated")
+        sink = MemorySink()
+        with install(Recorder([sink])):
+            run = run_framework(net, algorithm, config=FrameworkConfig(
+                parallelism=2, dist_input=di, seed=1, scenario=scenario,
+            ))
+        assert run.wall_clock_us is not None
+        assert set(run.wall_clock_us) == {
+            scenario.classical_link.name, scenario.quantum_link.name,
+        }
+        events = sink.events_of_kind(SCENARIO)
+        assert {e.link for e in events} == set(run.wall_clock_us)
+        for e in events:
+            assert e.scenario == "annotated"
+            assert e.rounds == run.total_rounds
+            assert e.wall_clock_us == pytest.approx(
+                run.wall_clock_us[e.link]
+            )
+
+    def test_annotation_is_pure_extension(self, net, di):
+        """Same run without a scenario: identical result, no events."""
+        cfg = FrameworkConfig(parallelism=2, dist_input=di, seed=1)
+        sink = MemorySink()
+        with install(Recorder([sink])):
+            plain = run_framework(net, algorithm, config=cfg)
+        annotated = run_framework(net, algorithm, config=cfg.replace(
+            scenario=Scenario("x"),
+        ))
+        assert plain.wall_clock_us is None
+        assert sink.events_of_kind(SCENARIO) == []
+        assert plain.result == annotated.result
+        assert plain.rounds.charges == annotated.rounds.charges
+
+    def test_non_scenario_object_rejected(self, di):
+        with pytest.raises(TypeError, match="Scenario"):
+            FrameworkConfig(parallelism=2, dist_input=di,
+                            scenario="clean")
+
+    def test_jsonl_stream_validates(self, net, di, tmp_path):
+        path = str(tmp_path / "scenario.jsonl")
+        with install(Recorder([JSONLSink(path)])):
+            run_framework(net, algorithm, config=FrameworkConfig(
+                parallelism=2, dist_input=di, seed=1,
+                scenario=Scenario("streamed"),
+            ))
+        counts = validate_jsonl(path)
+        assert counts[SCENARIO] == 2

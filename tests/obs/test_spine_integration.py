@@ -13,7 +13,11 @@ from repro.congest.algorithms.bfs import BFSEchoProgram
 from repro.congest.engine import Engine
 from repro.congest.tracing import TraceSink, TracingEngine
 from repro.core.cost import RoundLedger
-from repro.core.framework import DistributedInput, run_framework
+from repro.core.framework import (
+    DistributedInput,
+    FrameworkConfig,
+    run_framework,
+)
 from repro.core.semigroup import min_semigroup
 from repro.faults.engine import run_with_faults
 from repro.faults.models import BoundedDelay
@@ -173,10 +177,9 @@ class TestUnifiedStream:
         sink, metrics = MemorySink(), MetricsSink()
         rec = Recorder([sink, metrics])
         with install(rec):
-            run = run_framework(
-                grid45, algorithm, parallelism=4, dist_input=di,
-                mode="engine", seed=7,
-            )
+            run = run_framework(grid45, algorithm, config=FrameworkConfig(
+                parallelism=4, dist_input=di, mode="engine", seed=7,
+            ))
             with rec.span("faulty"):
                 run_with_faults(
                     grid45, _bfs_programs(grid45),
@@ -207,10 +210,10 @@ class TestUnifiedStream:
 
         def once(recorder):
             di = DistributedInput(vectors, min_semigroup(64))
-            return run_framework(
-                grid45, algorithm, parallelism=4, dist_input=di,
-                mode="engine", seed=9, reuse_setup=False, recorder=recorder,
-            )
+            return run_framework(grid45, algorithm, config=FrameworkConfig(
+                parallelism=4, dist_input=di, mode="engine", seed=9,
+                reuse_setup=False, recorder=recorder,
+            ))
 
         plain = once(None)
         recorded = once(Recorder([MemorySink()]))

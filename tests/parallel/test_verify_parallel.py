@@ -10,7 +10,7 @@ import json
 
 import pytest
 
-from repro.experiments.runner import Verdict, verify_all
+from repro.experiments.runner import RunRequest, Verdict, verify_all
 from repro.obs.jsonl import validate_jsonl
 from repro.parallel import TaskFailure, verify_parallel
 
@@ -24,15 +24,17 @@ def _tuples(verdicts):
 class TestBitIdentity:
     @pytest.mark.parametrize("jobs", [1, 2, 4])
     def test_parallel_matches_serial(self, jobs):
-        serial = verify_all(quick=True, seed=0, only=FAST)
-        parallel = verify_all(quick=True, seed=0, only=FAST, jobs=jobs)
+        request = RunRequest(experiments=tuple(FAST))
+        serial = verify_all(request)
+        parallel = verify_all(request.replace(jobs=jobs))
         assert _tuples(parallel) == _tuples(serial)
         assert all(isinstance(v, Verdict) for v in parallel)
 
     def test_nonzero_seed_matches_too(self):
         only = ["E15", "E17"]
-        serial = verify_all(quick=True, seed=3, only=only)
-        parallel = verify_all(quick=True, seed=3, only=only, jobs=2)
+        request = RunRequest(experiments=tuple(only), seed=3)
+        serial = verify_all(request)
+        parallel = verify_all(request.replace(jobs=2))
         assert _tuples(parallel) == _tuples(serial)
 
     def test_unknown_experiment_rejected(self):
@@ -97,7 +99,7 @@ class TestCheckpointResume:
         ckpt = str(tmp_path / "verify.ckpt.jsonl")
         first = verify_parallel(only=["E15", "E17"], jobs=2, checkpoint=ckpt)
         assert _tuples(first.verdicts) == _tuples(
-            verify_all(quick=True, only=["E15", "E17"])
+            verify_all(RunRequest(experiments=("E15", "E17")))
         )
 
         # Tamper with the recorded E15 detail: if the resumed sweep
@@ -119,7 +121,7 @@ class TestCheckpointResume:
         assert by_name["E15"].detail == "replayed-from-ckpt"
         # The experiment absent from the checkpoint really ran.
         assert by_name["E14"].detail == verify_all(
-            quick=True, only=["E14"]
+            RunRequest(experiments=("E14",))
         )[0].detail
 
     def test_resume_under_different_parameters_rejected(self, tmp_path):
@@ -139,7 +141,7 @@ class TestRunnerValidation:
         # AttributeError — the KeyError proves validation is up front.
         monkeypatch.setitem(ALL_EXPERIMENTS, "E98", object())
         with pytest.raises(KeyError, match="no reproduction criterion"):
-            verify_experiment("E98")
+            verify_experiment(RunRequest(experiments=("E98",)))
 
     def test_unknown_experiment_names_the_registry(self):
         from repro.experiments.runner import verify_experiment

@@ -1,0 +1,157 @@
+"""Property-based tests for the fault-model determinism contract.
+
+:mod:`repro.faults.models` promises "same seed ⇒ identical fault
+schedule" for *any* parameterization, and PR 9's ``bind()`` reset
+extends that promise to reused instances.  The regression tests in
+``tests/faults/test_model_reuse.py`` pin specific historical bugs;
+this module lets hypothesis roam the parameter space:
+
+* ``bind(s); run; bind(s); run`` yields byte-identical verdict streams
+  for every :class:`~repro.faults.models.ChannelFaultModel` (including
+  the scenario layer's :class:`~repro.scenarios.ByzantineNodes` and
+  arbitrary :class:`~repro.faults.models.CompositeFaults` chains);
+* a re-bound instance is indistinguishable from a fresh instance with
+  the same parameters and seed;
+* after a completed run — all traffic applied, delays drained —
+  ``pending()`` is False, and a re-bind drops any undrained state.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.congest.encoding import Field
+from repro.congest.messages import Message
+from repro.faults.models import (
+    BernoulliLoss,
+    BitCorruption,
+    BoundedDelay,
+    CompositeFaults,
+    GilbertElliottLoss,
+    NoFaults,
+)
+from repro.scenarios import ByzantineNodes
+
+FAST = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+MAX_DELAY_BOUND = 4  # every generated BoundedDelay drains within this
+
+probs = st.floats(min_value=0.0, max_value=1.0)
+open_probs = st.floats(min_value=0.05, max_value=1.0)
+
+
+@st.composite
+def atomic_models(draw):
+    kind = draw(st.sampled_from(
+        ["none", "bernoulli", "burst", "corrupt", "delay", "byzantine"]
+    ))
+    if kind == "none":
+        return NoFaults()
+    if kind == "bernoulli":
+        return BernoulliLoss(draw(probs))
+    if kind == "burst":
+        return GilbertElliottLoss(
+            p_enter_burst=draw(probs),
+            p_exit_burst=draw(open_probs),
+            loss_good=draw(st.floats(min_value=0.0, max_value=0.3)),
+            loss_bad=draw(probs),
+        )
+    if kind == "corrupt":
+        return BitCorruption(draw(probs))
+    if kind == "delay":
+        return BoundedDelay(
+            draw(probs),
+            max_delay=draw(st.integers(min_value=1,
+                                       max_value=MAX_DELAY_BOUND)),
+        )
+    return ByzantineNodes(
+        nodes=draw(st.sets(st.integers(min_value=0, max_value=3),
+                           min_size=1, max_size=3)),
+        p=draw(open_probs),
+    )
+
+
+@st.composite
+def fault_models(draw):
+    chain = draw(st.lists(atomic_models(), min_size=1, max_size=3))
+    if len(chain) == 1:
+        return chain[0]
+    return CompositeFaults(chain)
+
+
+@st.composite
+def traffic_schedules(draw):
+    """(round, Message) pairs over a 4-node edge set, rounds ascending."""
+    rounds = draw(st.integers(min_value=1, max_value=10))
+    edges = [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]
+    msgs = []
+    for r in range(1, rounds + 1):
+        for src, dst in draw(
+            st.lists(st.sampled_from(edges), min_size=0, max_size=4)
+        ):
+            value = draw(st.integers(min_value=0, max_value=7))
+            msgs.append((r, Message.make(src, dst, Field(value, 8), r)))
+    return msgs
+
+
+def drive(model, seed, msgs):
+    """bind, apply the schedule, drain delays; return the verdict stream."""
+    model.bind(np.random.SeedSequence(seed))
+    last_round = max((r for r, _ in msgs), default=1)
+    stream = []
+    for r in range(1, last_round + MAX_DELAY_BOUND + 2):
+        for released in model.release(r):
+            stream.append(("release", r, released.src, released.dst,
+                           released.payload))
+        for round_no, msg in msgs:
+            if round_no != r:
+                continue
+            verdict, out = model.apply(msg, r)
+            stream.append(
+                (verdict, r, msg.src, msg.dst,
+                 out.payload if out is not None else None)
+            )
+    return stream
+
+
+class TestRebindDeterminism:
+    @FAST
+    @given(fault_models(), traffic_schedules(),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    def test_bind_run_bind_run_identical(self, model, msgs, seed):
+        assert drive(model, seed, msgs) == drive(model, seed, msgs)
+
+    @FAST
+    @given(atomic_models(), traffic_schedules(),
+           st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    def test_rebound_matches_fresh_instance(self, model, msgs, pollute, seed):
+        import copy
+
+        fresh = copy.deepcopy(model)
+        drive(model, pollute, msgs)  # a polluting first run
+        assert drive(model, seed, msgs) == drive(fresh, seed, msgs)
+
+
+class TestPendingDrains:
+    @FAST
+    @given(fault_models(), traffic_schedules(),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    def test_pending_false_after_completed_run(self, model, msgs, seed):
+        drive(model, seed, msgs)
+        assert not model.pending()
+
+    @FAST
+    @given(st.integers(min_value=1, max_value=MAX_DELAY_BOUND),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    def test_rebind_discards_undrained_state(self, max_delay, seed):
+        model = BoundedDelay(1.0, max_delay=max_delay)
+        model.bind(np.random.SeedSequence(seed))
+        model.apply(Message.make(0, 1, Field(1, 8), 1), 1)
+        model.bind(np.random.SeedSequence(seed))
+        assert not model.pending()
+        assert all(
+            model.release(r) == []
+            for r in range(1, MAX_DELAY_BOUND + 3)
+        )

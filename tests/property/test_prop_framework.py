@@ -6,7 +6,11 @@ from hypothesis import strategies as st
 
 from repro.congest import topologies
 from repro.core.cost import CostModel
-from repro.core.framework import DistributedInput, run_framework
+from repro.core.framework import (
+    DistributedInput,
+    FrameworkConfig,
+    run_framework,
+)
 from repro.core.semigroup import max_semigroup, sum_semigroup, xor_semigroup
 
 FAST = settings(max_examples=20, deadline=None,
@@ -61,8 +65,9 @@ class TestOracleTruth:
         def algorithm(oracle, _rng):
             return oracle.query_batch(queries)
 
-        run = run_framework(net, algorithm, parallelism=p, dist_input=di,
-                            seed=0, leader=0)
+        run = run_framework(net, algorithm, config=FrameworkConfig(
+            parallelism=p, dist_input=di, seed=0, leader=0,
+        ))
         assert run.result == [truth[j] for j in queries]
 
     @FAST
@@ -78,8 +83,9 @@ class TestOracleTruth:
                 oracle.query_batch(list(range(p)), label="b")
             return None
 
-        run = run_framework(net, algorithm, parallelism=p, dist_input=di,
-                            seed=0, leader=0)
+        run = run_framework(net, algorithm, config=FrameworkConfig(
+            parallelism=p, dist_input=di, seed=0, leader=0,
+        ))
         cm = CostModel.for_network(net)
         expected_batches = batches * cm.batch_rounds(p, di.semigroup.bits, di.k)
         phases = run.rounds.by_phase()
@@ -95,8 +101,9 @@ class TestOracleTruth:
             oracle.peek_all()
             return None
 
-        run = run_framework(net, algorithm, parallelism=1, dist_input=di,
-                            seed=0, leader=0)
+        run = run_framework(net, algorithm, config=FrameworkConfig(
+            parallelism=1, dist_input=di, seed=0, leader=0,
+        ))
         assert all(
             phase.startswith("setup") for phase, _ in run.rounds.charges
         )
@@ -116,8 +123,8 @@ class TestOracleTruth:
         def algorithm(oracle, _rng):
             return oracle.query_batch(queries)
 
-        f = run_framework(net, algorithm, parallelism=p, dist_input=di,
-                          mode="formula", seed=0, leader=0)
-        e = run_framework(net, algorithm, parallelism=p, dist_input=di,
-                          mode="engine", seed=0, leader=0)
+        cfg = FrameworkConfig(parallelism=p, dist_input=di, seed=0,
+                              leader=0)
+        f = run_framework(net, algorithm, config=cfg)
+        e = run_framework(net, algorithm, config=cfg.replace(mode="engine"))
         assert f.result == e.result

@@ -1,0 +1,174 @@
+"""The repro.scenarios package: fidelity, practicality, adversary axes."""
+
+import numpy as np
+import pytest
+
+from repro.congest import topologies
+from repro.core.cost import (
+    CLASSICAL_METRO,
+    QUANTUM_MATURE,
+    QUANTUM_NEAR_TERM,
+)
+from repro.faults.models import CompositeFaults, GilbertElliottLoss
+from repro.scenarios import (
+    ByzantineNodes,
+    Scenario,
+    byzantine_nodes,
+    cell_model,
+    churn_schedule,
+    crossover_report,
+    derive_security,
+    fidelity_sweep,
+    link_flap_model,
+    run_matrix,
+)
+from repro.apps.diameter import sweep_diameter
+
+
+class TestSecurityDerivation:
+    def test_perfect_fidelity_needs_one_repetition(self):
+        sec = derive_security(1.0)
+        assert sec.epsilon == 0.0 and sec.security == 1
+
+    def test_security_grows_as_fidelity_drops(self):
+        securities = [
+            derive_security(f).security for f in (0.999, 0.99, 0.9, 0.5)
+        ]
+        assert securities == sorted(securities)
+        assert securities[-1] > securities[0]
+
+    def test_invalid_fidelity_rejected(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                derive_security(bad)
+
+
+class TestFidelitySweep:
+    def test_bill_monotone_in_dropped_fidelity(self):
+        net = topologies.grid(3, 4)
+        cells = fidelity_sweep(net, [1.0, 0.99, 0.9], q_bits=16, seed=0)
+        bills = [c.total_rounds for c in cells]
+        assert bills == sorted(bills)
+        assert cells[0].overhead == pytest.approx(1.0)
+        assert cells[-1].overhead > 1.0
+
+    def test_achieved_failure_within_delta(self):
+        net = topologies.grid(3, 4)
+        for cell in fidelity_sweep(net, [0.99, 0.95], q_bits=16,
+                                   delta=0.05, seed=0):
+            assert cell.achieved_failure <= 0.05
+
+
+class TestCrossoverReport:
+    def _duels(self, quick_ns=(256, 512, 1024, 2048)):
+        return sweep_diameter(list(quick_ns), diameter=4, trials=1, seed=0)
+
+    def test_mature_link_crossover_known(self):
+        report = crossover_report(
+            self._duels(), CLASSICAL_METRO, QUANTUM_MATURE
+        )
+        assert report.rounds_crossover_n is not None
+        assert (
+            report.wall_clock_crossover_n is not None
+            or report.predicted_crossover_n is not None
+        )
+        assert not report.latency_dominated
+
+    def test_near_term_link_latency_dominated(self):
+        report = crossover_report(
+            self._duels(), CLASSICAL_METRO, QUANTUM_NEAR_TERM
+        )
+        assert report.rounds_crossover_n is not None
+        assert report.wall_clock_crossover_n is None
+        assert report.latency_dominated
+
+    def test_premium_is_link_ratio(self):
+        report = crossover_report(
+            self._duels((256, 512)), CLASSICAL_METRO, QUANTUM_MATURE
+        )
+        bits = 9  # ceil(log2(512)): word size at the largest swept n
+        assert report.premium == pytest.approx(
+            QUANTUM_MATURE.round_time_us(bits)
+            / CLASSICAL_METRO.round_time_us(bits)
+        )
+
+
+class TestAdversaryAxes:
+    def test_byzantine_nodes_deterministic_and_protected(self):
+        a = byzantine_nodes(16, 0.25, seed=3)
+        b = byzantine_nodes(16, 0.25, seed=3)
+        assert a == b and len(a) == 4
+        assert 0 not in a  # the default protect set keeps the root honest
+
+    def test_byzantine_model_corrupts_only_its_senders(self):
+        model = ByzantineNodes(nodes={1}, p=1.0)
+        model.bind(np.random.SeedSequence(0))
+        from repro.congest.encoding import Field
+        from repro.congest.messages import Message
+
+        verdict, out = model.apply(Message.make(1, 2, Field(3, 8), 1), 1)
+        assert verdict == "corrupt" and out is not None
+        verdict, out = model.apply(Message.make(2, 1, Field(3, 8), 1), 1)
+        assert verdict == "deliver"
+
+    def test_churn_schedule_spares_protected_nodes(self):
+        schedule = churn_schedule(16, 0.3, horizon=10, seed=1)
+        assert schedule.specs
+        assert all(c.node != 0 for c in schedule.specs)
+        assert all(c.recover_round is not None for c in schedule.specs)
+
+    def test_link_flap_model_is_burst_loss(self):
+        model = link_flap_model(0.1, mean_outage_rounds=4.0)
+        assert isinstance(model, GilbertElliottLoss)
+        assert model.p_exit_burst == pytest.approx(0.25)
+        assert model.loss_bad == 1.0 and model.loss_good == 0.0
+
+
+class TestScenarioSpec:
+    def test_defaults_are_clean(self):
+        s = Scenario("clean")
+        assert s.fidelity == 1.0 and s.byzantine == ()
+        assert s.security().security == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario("")
+        with pytest.raises(ValueError):
+            Scenario("bad", fidelity=0.0)
+        with pytest.raises(ValueError):
+            Scenario("bad", delta=1.0)
+
+    def test_premium_reflects_links(self):
+        cheap = Scenario("a", quantum_link=QUANTUM_MATURE)
+        dear = Scenario("b", quantum_link=QUANTUM_NEAR_TERM)
+        assert dear.premium > cheap.premium > 1.0
+
+    def test_cell_model_composes_faults_and_byzantine(self):
+        assert cell_model(Scenario("clean")) is None
+        byz = Scenario("byz", byzantine=(2, 3))
+        assert isinstance(cell_model(byz), ByzantineNodes)
+        both = Scenario(
+            "both", fault_model=link_flap_model(0.1), byzantine=(2,),
+        )
+        assert isinstance(cell_model(both), CompositeFaults)
+
+
+class TestRunMatrix:
+    def test_honest_cells_exact_and_deterministic(self):
+        scenarios = [
+            Scenario("clean"),
+            Scenario("flaps", fault_model=link_flap_model(0.05)),
+        ]
+        first = run_matrix(scenarios, topology="grid", n=16, seed=0)
+        second = run_matrix(scenarios, topology="grid", n=16, seed=0)
+        assert all(out.correct for out in first)
+        assert [(o.scenario, o.rounds) for o in first] == [
+            (o.scenario, o.rounds) for o in second
+        ]
+        clean, flaps = first
+        assert clean.dropped == 0
+        assert flaps.classical_us > 0 and flaps.quantum_us > 0
+
+    def test_duplicate_scenario_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            run_matrix([Scenario("x"), Scenario("x")], n=16)

@@ -8,7 +8,12 @@ reproduction.
 
 import pytest
 
-from repro.experiments.runner import CRITERIA, verify_all, verify_experiment
+from repro.experiments.runner import (
+    CRITERIA,
+    RunRequest,
+    verify_all,
+    verify_experiment,
+)
 
 FAST_EXPERIMENTS = ["E1", "E4", "E5", "E6", "E14", "E15", "E16", "E17"]
 
@@ -16,7 +21,7 @@ FAST_EXPERIMENTS = ["E1", "E4", "E5", "E6", "E14", "E15", "E16", "E17"]
 class TestCriteria:
     @pytest.mark.parametrize("experiment", FAST_EXPERIMENTS)
     def test_fast_experiment_reproduces(self, experiment):
-        verdict = verify_experiment(experiment, quick=True, seed=0)
+        verdict = verify_experiment(RunRequest(experiments=(experiment,)))
         assert verdict.passed, verdict.detail
 
     def test_every_experiment_has_a_criterion(self):
@@ -25,7 +30,7 @@ class TestCriteria:
         assert set(CRITERIA) == set(ALL_EXPERIMENTS)
 
     def test_verify_all_subset(self):
-        verdicts = verify_all(only=["E15", "E17"])
+        verdicts = verify_all(RunRequest(experiments=("E15", "E17")))
         assert [v.experiment for v in verdicts] == ["E15", "E17"]
         assert all(v.passed for v in verdicts)
 

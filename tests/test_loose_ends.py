@@ -91,7 +91,11 @@ class TestAppEdges:
 class TestOracleProtocolCompliance:
     def test_congest_oracle_satisfies_protocol(self, grid45, rng):
         """CongestBatchOracle structurally satisfies BatchOracle."""
-        from repro.core.framework import DistributedInput, run_framework
+        from repro.core.framework import (
+            DistributedInput,
+            FrameworkConfig,
+            run_framework,
+        )
         from repro.core.semigroup import sum_semigroup
         from repro.queries.oracle import BatchOracle
 
@@ -103,8 +107,9 @@ class TestOracleProtocolCompliance:
             captured["oracle"] = oracle
             return None
 
-        run_framework(grid45, algorithm, parallelism=1, dist_input=di,
-                      seed=1, leader=0)
+        run_framework(grid45, algorithm, config=FrameworkConfig(
+            parallelism=1, dist_input=di, seed=1, leader=0,
+        ))
         assert isinstance(captured["oracle"], BatchOracle)
 
     def test_string_oracle_satisfies_protocol(self):
