@@ -1,0 +1,29 @@
+"""Quick-mode smoke wrapper: amplitude-sketch serving benchmark.
+
+The workload gates exact-vs-emulated decision bit-identity before any
+timing, raises if the E23 space-accuracy ladder inverts, and raises
+unless the daemon drain completes every client with at least one memo
+invalidation, so collecting it under pytest enforces the PR-10
+acceptance bar.  See DESIGN.md §6k.
+"""
+
+from repro.perf.sketches_bench import sketches_workload
+
+
+def test_sketches_quick():
+    wl = sketches_workload(quick=True)
+    sections = {e["section"] for e in wl.sweep}
+    assert sections == {"fidelity_gate", "mix_sensitivity", "serve", "e23"}
+    gates = [e for e in wl.sweep if e["section"] == "fidelity_gate"]
+    assert all(
+        e["decisions_identical"] for e in gates if "decisions_identical" in e
+    )
+    mixes = [e for e in wl.sweep if e["section"] == "mix_sensitivity"]
+    assert len(mixes) == 3
+    for entry in mixes:
+        assert entry["ops_per_sec"] > 0
+        assert entry["memo_invalidations"] > 0
+    (e23,) = [e for e in wl.sweep if e["section"] == "e23"]
+    assert e23["alpha_non_increasing"] and e23["alpha_shrinks"]
+    (served,) = [e for e in wl.sweep if e["section"] == "serve"]
+    assert served["memo_invalidations"] > 0

@@ -49,7 +49,7 @@ def main(argv=None) -> int:
     bounds_parser.add_argument("--epsilon", type=float, default=0.5)
     bounds_parser.add_argument("--girth", type=int, default=6)
     run_parser = sub.add_parser("run", help="run an experiment")
-    run_parser.add_argument("experiment", help="experiment id (E1..E22) or 'all'")
+    run_parser.add_argument("experiment", help="experiment id (E1..E23) or 'all'")
     run_parser.add_argument("--full", action="store_true", help="full sweep")
     run_parser.add_argument("--seed", type=int, default=0)
     faults_parser = sub.add_parser(
@@ -92,7 +92,7 @@ def main(argv=None) -> int:
         metavar="NAME",
         help="run only this workload (repeatable): engine (alias "
         "engine_flooding), gates, framework, obs, parallel, sched, "
-        "serve, scaling_ceiling, scenarios",
+        "serve, scaling_ceiling, scenarios, sketches",
     )
     serve_parser = sub.add_parser(
         "serve",
@@ -176,7 +176,7 @@ def main(argv=None) -> int:
         "a per-phase cost breakdown (rounds, query batches, busiest "
         "edge, fault counts)",
     )
-    trace_parser.add_argument("experiment", help="experiment id (E1..E22)")
+    trace_parser.add_argument("experiment", help="experiment id (E1..E23)")
     trace_parser.add_argument("--full", action="store_true", help="full sweep")
     trace_parser.add_argument("--seed", type=int, default=0)
     trace_parser.add_argument(
@@ -218,6 +218,8 @@ def main(argv=None) -> int:
                 out = "BENCH_PR8.json"
             elif args.workloads == ["scenarios"]:
                 out = "BENCH_PR9.json"
+            elif args.workloads == ["sketches"]:
+                out = "BENCH_PR10.json"
             else:
                 out = "BENCH_PR2.json"
         start = time.time()

@@ -11,6 +11,7 @@ from . import (
     even_cycles,
     girth,
     meeting,
+    sketches,
     triangles,
 )
 
@@ -25,5 +26,6 @@ __all__ = [
     "even_cycles",
     "girth",
     "meeting",
+    "sketches",
     "triangles",
 ]

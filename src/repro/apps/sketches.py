@@ -1,0 +1,690 @@
+"""Amplitude sketches: quantum probabilistic data structures (SNIPPETS #3).
+
+An amplitude sketch ``AS = (m, H, θ, Φ)`` stores a stream of items in the
+*phases* of an m-qubit product state ``Φ``.  ``Insert(x)`` applies an
+``Rz`` rotation at each of the k hashed qubit positions ``h_i(x)``;
+``Query(y)`` builds the reference rotations y would have written and
+measures, by interference, how close the state is to containing them;
+``Compose`` merges two sketches by adding their accumulated phases
+(phase rotations commute, so composition is exact).  The state is always
+a product of single-qubit states ``(|0⟩ + e^{iφ_j}|1⟩)/√2``, which is
+what makes an m-qubit object a *sketch*: m phase accumulators, not 2^m
+amplitudes.
+
+Two implementations, same two-fidelity-level discipline as
+:mod:`repro.queries` (and the PR 7 vectorized engine):
+
+* **exact** (small m) — a real :class:`~repro.quantum.statevector.
+  Statevector` evolved gate-by-gate with :func:`~repro.quantum.gates.rz`
+  (each application lands on the diagonal 1-qubit fast path).  Queries
+  apply the *inverse* reference rotations followed by Hadamards on the
+  queried buckets and read the probability that all of them return
+  ``|0⟩`` — genuine interference on 2^m amplitudes.
+* **emulated** (large m) — an m-entry phase-accumulator vector with the
+  closed-form overlap ``∏ cos²((φ_j − r_j)/2)``; queries can optionally
+  be *sampled* (``shots``) from that law, mirroring the Level-S
+  stochastic emulation.
+
+The exact path is the oracle: on overlapping m the two paths agree on
+every *decision* output bit-for-bit (membership verdicts, integer count
+estimates, heavy-hitter rankings — pinned by
+``tests/property/test_prop_sketches.py``) and on raw overlaps to 1e-9
+(an m-product and a 2^m-sum cannot reassociate floats identically; the
+decision layer is where bit-identity is defined, exactly as the engine's
+schedule-equivalence excludes advisory metadata).
+
+Taxonomy (the instantiations): :class:`QCount` (bucket counts, θ=π/6),
+:class:`QSimHash` (sign-based ±θ, Hamming/cosine similarity),
+:class:`QHeavyHitters` (frequency-weighted θ·log₂(1+f), top-k ranking).
+
+Theorem 1 (space–accuracy): distinguishing membership at false-positive
+rate α needs ``m ≥ Ω(log(1/α)/(1−ε))`` — verified empirically as
+experiment E23 (α falls with m at fixed load).
+
+Every ``insert``/``query``/``compose`` lands on the observability spine
+as a ``sketch`` event (:mod:`repro.obs`); the serving integration
+(:mod:`repro.sched.sketch`, :mod:`repro.serve`) adds memo hit and
+invalidation edges on top.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs.recorder import Recorder, current_recorder
+from ..quantum import gates
+from ..quantum.statevector import Statevector, uniform_superposition
+
+__all__ = [
+    "AmplitudeSketch",
+    "QCount",
+    "QHeavyHitters",
+    "QSimHash",
+    "SketchSpec",
+    "TAXONOMY",
+    "item_token",
+    "theorem1_min_qubits",
+]
+
+#: Largest m the exact 2^m statevector backend accepts (16 MiB of
+#: complex128 at m=20; "auto" switches to emulation well before that).
+EXACT_MAX_M = 16
+
+#: Where ``backend="auto"`` draws the line: exact at or below, emulated
+#: above.  Chosen so the default overlap regime stays cheap (2^10 amps).
+AUTO_EXACT_M = 10
+
+
+@dataclass(frozen=True)
+class TaxonomyRow:
+    """One row of the unified sketch taxonomy (SNIPPETS #3 table)."""
+
+    family: str
+    m_range: Tuple[int, int]
+    k_range: Tuple[int, int]
+    theta: float
+    phase_pattern: str      # "uniform" | "sign" | "log-weighted"
+    query_metric: str
+    #: True when permuting the insert stream provably yields a
+    #: bit-identical emulated state (integer accumulators); the
+    #: log-weighted family is only invariant up to float reassociation.
+    order_invariant: bool
+
+
+#: The unified taxonomy: family name -> its canonical parameters.
+TAXONOMY: Dict[str, TaxonomyRow] = {
+    "qcount": TaxonomyRow(
+        family="qcount", m_range=(32, 128), k_range=(2, 4),
+        theta=math.pi / 6, phase_pattern="uniform",
+        query_metric="variance-estimator (min-bucket count)",
+        order_invariant=True,
+    ),
+    "qsimhash": TaxonomyRow(
+        family="qsimhash", m_range=(32, 128), k_range=(4, 8),
+        theta=math.pi / 4, phase_pattern="sign",
+        query_metric="hamming distance on sign signature",
+        order_invariant=True,
+    ),
+    "qhh": TaxonomyRow(
+        family="qhh", m_range=(64, 128), k_range=(3, 4),
+        theta=math.pi / 6, phase_pattern="log-weighted",
+        query_metric="top-k ranking by inverted bucket phase",
+        order_invariant=False,
+    ),
+}
+
+
+def theorem1_min_qubits(alpha: float, eps: float = 0.0) -> int:
+    """Theorem 1's lower bound: ``m ≥ log2(1/α) / (1 − ε)`` qubits."""
+    if not 0 < alpha < 1:
+        raise ValueError("alpha must be in (0, 1)")
+    if not 0 <= eps < 1:
+        raise ValueError("eps must be in [0, 1)")
+    return math.ceil(math.log2(1.0 / alpha) / (1.0 - eps))
+
+
+def _item_bytes(x: Any) -> bytes:
+    """A stable byte encoding for hashable sketch items."""
+    if isinstance(x, bytes):
+        return b"b:" + x
+    if isinstance(x, bool):
+        return b"B:" + (b"1" if x else b"0")
+    if isinstance(x, int):
+        return b"i:" + str(x).encode()
+    if isinstance(x, float):
+        return b"f:" + x.hex().encode()
+    if isinstance(x, str):
+        return b"s:" + x.encode()
+    if isinstance(x, tuple):
+        return b"t:" + b"|".join(_item_bytes(v) for v in x)
+    raise TypeError(
+        f"unsupported sketch item type {type(x).__name__!r}; "
+        f"use int/str/bytes/float/bool/tuple"
+    )
+
+
+def item_token(x: Any) -> int:
+    """A stable 63-bit integer token for an item (memo addressing)."""
+    digest = hashlib.blake2b(_item_bytes(x), digest_size=8).digest()
+    return int.from_bytes(digest, "big") >> 1
+
+
+@dataclass(frozen=True)
+class SketchSpec:
+    """Everything that parameterizes one sketch, frozen.
+
+    Attributes:
+        family: taxonomy key (``qcount`` / ``qsimhash`` / ``qhh``).
+        m: qubit (bucket) count.
+        k: hash functions per item.
+        theta: base rotation angle; ``None`` takes the taxonomy default.
+        seed: hash-family seed (two sketches compose only when their
+            specs — and therefore hash families — match exactly).
+        backend: ``"auto"`` (exact at m ≤ 10, emulated above),
+            ``"exact"``, or ``"emulated"``.
+    """
+
+    family: str = "qcount"
+    m: int = 64
+    k: int = 3
+    theta: Optional[float] = None
+    seed: int = 0
+    backend: str = "auto"
+
+    def __post_init__(self):
+        if self.family not in TAXONOMY:
+            raise ValueError(
+                f"unknown sketch family {self.family!r}; "
+                f"expected one of {sorted(TAXONOMY)}"
+            )
+        if self.m < 1:
+            raise ValueError(f"m must be >= 1, got {self.m}")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.backend not in ("auto", "exact", "emulated"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.backend == "exact" and self.m > EXACT_MAX_M:
+            raise ValueError(
+                f"exact backend is bounded at m <= {EXACT_MAX_M} "
+                f"(2^m amplitudes); got m={self.m}"
+            )
+        theta = self.resolved_theta
+        if not 0 < theta < math.pi:
+            raise ValueError(f"theta must be in (0, pi), got {theta}")
+
+    @property
+    def resolved_theta(self) -> float:
+        return (
+            self.theta if self.theta is not None
+            else TAXONOMY[self.family].theta
+        )
+
+    @property
+    def resolved_backend(self) -> str:
+        if self.backend != "auto":
+            return self.backend
+        return "exact" if self.m <= AUTO_EXACT_M else "emulated"
+
+    @property
+    def taxonomy(self) -> TaxonomyRow:
+        return TAXONOMY[self.family]
+
+    def replace(self, **changes: Any) -> "SketchSpec":
+        return replace(self, **changes)
+
+    @property
+    def fingerprint(self) -> str:
+        """The sketch *identity* fingerprint (stable across inserts).
+
+        Deliberately excludes the backend: exact and emulated lanes over
+        the same spec answer the same queries, exactly as execution
+        ``mode`` is excluded from :func:`~repro.sched.oracle_fingerprint`.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(
+            f"amplitude-sketch/1;{self.family};m={self.m};k={self.k};"
+            f"theta={self.resolved_theta!r};seed={self.seed}".encode()
+        )
+        return h.hexdigest()
+
+
+class _EmulatedState:
+    """Phase-accumulator backend: m floats (plus exact integer counts).
+
+    ``counts`` carries the *integer* net rotation multiplicities for the
+    uniform/sign families — integer accumulation is what makes
+    insert-order invariance exact rather than approximate.  ``phases``
+    carries the real-valued accumulators the log-weighted family needs.
+    Only one of the two drives ``bucket_phases`` per sketch (see
+    ``weighted``), but both are maintained so compose can merge either.
+    """
+
+    def __init__(self, m: int, theta: float, weighted: bool):
+        self.m = m
+        self.theta = theta
+        self.weighted = weighted
+        self.counts = np.zeros(m, dtype=np.int64)
+        self.phases = np.zeros(m, dtype=np.float64)
+
+    def rotate(self, bucket: int, steps: int, delta: float) -> None:
+        self.counts[bucket] += steps
+        self.phases[bucket] += delta
+
+    def bucket_phases(self) -> np.ndarray:
+        if self.weighted:
+            return self.phases
+        return self.theta * self.counts.astype(np.float64)
+
+    def overlap(self, ref: np.ndarray, buckets: Sequence[int]) -> float:
+        diff = self.bucket_phases()[list(buckets)] - ref[list(buckets)]
+        return float(np.prod(np.cos(diff / 2.0) ** 2))
+
+    def state_fidelity(self, other: "_EmulatedState") -> float:
+        diff = self.bucket_phases() - other.bucket_phases()
+        return float(np.prod(np.cos(diff / 2.0) ** 2))
+
+    def wrapped_angle(self, bucket: int) -> float:
+        """The bucket phase wrapped to (−π, π] — what a qubit can hold."""
+        phi = float(self.bucket_phases()[bucket])
+        return math.atan2(math.sin(phi), math.cos(phi))
+
+    def merge(self, other: "_EmulatedState") -> None:
+        self.counts += other.counts
+        self.phases += other.phases
+
+
+class _ExactState:
+    """Statevector backend: 2^m amplitudes evolved gate-by-gate.
+
+    Every ``Rz`` application dispatches to the statevector's diagonal
+    1-qubit kernel (in-place scaling, no temporaries) — the PR 7
+    diagonal-phase fast path.
+    """
+
+    def __init__(self, m: int, theta: float, weighted: bool):
+        self.m = m
+        self.theta = theta
+        self.weighted = weighted
+        self.sv: Statevector = uniform_superposition(m)
+
+    def rotate(self, bucket: int, steps: int, delta: float) -> None:
+        del steps  # the statevector only sees the physical rotation
+        self.sv.apply(gates.rz(delta), [bucket])
+
+    def overlap(self, ref: np.ndarray, buckets: Sequence[int]) -> float:
+        """Interference readout: P(all queried buckets measure |0⟩).
+
+        Copies the state, applies the inverse reference rotations, then
+        Hadamards on the queried buckets; a bucket holding exactly the
+        reference phase returns to |+⟩ and measures 0 with certainty.
+        """
+        probe = self.sv.copy()
+        buckets = list(buckets)
+        for j in buckets:
+            probe.apply(gates.rz(-float(ref[j])), [j])
+            probe.apply(gates.H, [j])
+        marg = probe.marginal_probabilities(buckets)
+        return float(marg[0])
+
+    def state_fidelity(self, other: "_ExactState") -> float:
+        return self.sv.fidelity(other.sv)
+
+    def wrapped_angle(self, bucket: int) -> float:
+        """Read the bucket's relative phase off the amplitudes.
+
+        For a product state the amplitude ratio between a basis state
+        with the bucket bit set and its bit-cleared partner is exactly
+        ``e^{iφ_j}`` — phases are only ever knowable mod 2π here, which
+        is the physical capacity limit the emulated path mirrors.
+        """
+        bit = 1 << (self.m - 1 - bucket)
+        a0 = self.sv.data[0]
+        a1 = self.sv.data[bit]
+        return float(np.angle(a1 / a0))
+
+    def merge(self, other: "_ExactState") -> None:
+        """Compose by phase addition: elementwise product, renormalized.
+
+        The product of two m-qubit phase-product states (amplitudes
+        ``2^{-m/2}·e^{iφ(b)}``) has amplitudes ``2^{-m}·e^{i(φ+ψ)(b)}``;
+        multiplying back by ``2^{m/2}`` is exactly the composed sketch.
+        """
+        merged = self.sv.data * other.sv.data * math.sqrt(self.sv.dim)
+        norm = np.linalg.norm(merged)
+        self.sv.data = merged / norm
+
+
+class AmplitudeSketch:
+    """The base sketch: ``insert(x)``, ``query(y) → overlap``, ``compose``.
+
+    Args:
+        spec: the frozen :class:`SketchSpec` (or keyword fields to build
+            one: ``AmplitudeSketch(m=64, k=3, family="qcount")``).
+        recorder: observability bus (defaults to the ambient recorder);
+            every operation emits a ``sketch`` event.
+        name: label carried on emitted events (defaults to the family).
+    """
+
+    def __init__(
+        self,
+        spec: Optional[SketchSpec] = None,
+        recorder: Optional[Recorder] = None,
+        name: str = "",
+        **spec_fields: Any,
+    ):
+        if spec is None:
+            spec = SketchSpec(**spec_fields)
+        elif spec_fields:
+            raise TypeError("pass either a SketchSpec or its fields, not both")
+        self.spec = spec
+        self.name = name or spec.family
+        self._recorder = (
+            recorder if recorder is not None else current_recorder()
+        )
+        weighted = spec.taxonomy.phase_pattern == "log-weighted"
+        theta = spec.resolved_theta
+        if spec.resolved_backend == "exact":
+            self._state: Any = _ExactState(spec.m, theta, weighted)
+        else:
+            self._state = _EmulatedState(spec.m, theta, weighted)
+        self.inserts = 0
+        self.queries = 0
+        self.composes = 0
+        #: Bumped on every write; the serving layer keys invalidation
+        #: decisions on it (a memo entry is stale iff versions differ).
+        self.version = 0
+        #: Per-item insert multiplicities, needed by the log-weighted
+        #: increment (Δ = θ·(log₂(1+c) − log₂ c)) and the Q-HH candidate
+        #: ranking.  Unit-weight families skip it to stay O(m).
+        self._item_counts: Optional[Dict[int, int]] = (
+            {} if weighted else None
+        )
+
+    # -- hashing ---------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        return self.spec.resolved_backend
+
+    @property
+    def fingerprint(self) -> str:
+        return self.spec.fingerprint
+
+    def buckets(self, x: Any) -> List[int]:
+        """The k hashed bucket positions for an item (duplicates kept)."""
+        spec = self.spec
+        out = []
+        for i in range(spec.k):
+            h = hashlib.blake2b(digest_size=8)
+            h.update(f"sketch-hash/{spec.seed}/{i};".encode())
+            h.update(_item_bytes(x))
+            out.append(int.from_bytes(h.digest(), "big") % spec.m)
+        return out
+
+    def _sign(self, x: Any, i: int) -> int:
+        h = hashlib.blake2b(digest_size=1)
+        h.update(f"sketch-sign/{self.spec.seed}/{i};".encode())
+        h.update(_item_bytes(x))
+        return 1 if h.digest()[0] & 1 else -1
+
+    def _increments(self, x: Any, count: int) -> List[Tuple[int, int, float]]:
+        """Per-hash ``(bucket, steps, delta)`` rotations for one insert.
+
+        ``count`` is the item's multiplicity *after* this insert.
+        Uniform: +θ per hash.  Sign: ±θ per hash.  Log-weighted: the
+        increment that moves the accumulated phase from θ·log₂(count) to
+        θ·log₂(1+count), so the total is order-independent up to float
+        reassociation.
+        """
+        spec = self.spec
+        theta = spec.resolved_theta
+        pattern = spec.taxonomy.phase_pattern
+        out = []
+        for i, bucket in enumerate(self.buckets(x)):
+            if pattern == "uniform":
+                steps, delta = 1, theta
+            elif pattern == "sign":
+                s = self._sign(x, i)
+                steps, delta = s, s * theta
+            else:  # log-weighted
+                delta = theta * (math.log2(1 + count) - math.log2(count))
+                steps = 1
+            out.append((bucket, steps, delta))
+        return out
+
+    def _reference(self, y: Any) -> Tuple[np.ndarray, List[int]]:
+        """The phase vector one insert of ``y`` writes, plus its buckets."""
+        ref = np.zeros(self.spec.m, dtype=np.float64)
+        touched: List[int] = []
+        for bucket, _steps, delta in self._increments(y, count=1):
+            if bucket not in touched:
+                touched.append(bucket)
+            ref[bucket] += delta
+        return ref, sorted(touched)
+
+    # -- operations ------------------------------------------------------
+
+    def insert(self, x: Any) -> None:
+        """Rotate the item's hashed buckets; O(k) gates, O(1) state."""
+        count = 1
+        if self._item_counts is not None:
+            token = item_token(x)
+            count = self._item_counts.get(token, 0) + 1
+            self._item_counts[token] = count
+        for bucket, steps, delta in self._increments(x, count):
+            self._state.rotate(bucket, steps, delta)
+        self.inserts += 1
+        self.version += 1
+        if self._recorder.active:
+            self._recorder.sketch(self.name, "insert", 1)
+
+    def query(
+        self,
+        y: Any,
+        shots: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Overlap in [0, 1]: 1.0 iff y's buckets hold exactly y's phases.
+
+        With ``shots`` the deterministic law is *sampled* (each shot is
+        one interference measurement; the estimate is the success
+        fraction) — the stochastic face of the two-level design.
+        """
+        ref, touched = self._reference(y)
+        overlap = self._state.overlap(ref, touched)
+        # Clamp float dust so callers can rely on the [0, 1] contract.
+        overlap = min(1.0, max(0.0, overlap))
+        if shots is not None:
+            if shots < 1:
+                raise ValueError("shots must be >= 1")
+            rng = rng if rng is not None else np.random.default_rng(0)
+            overlap = float(rng.binomial(shots, overlap)) / shots
+        self.queries += 1
+        if self._recorder.active:
+            self._recorder.sketch(self.name, "query", 1)
+        return overlap
+
+    def baseline_overlap(self, y: Any) -> float:
+        """``query(y)`` against an *empty* sketch, in closed form.
+
+        ``∏ cos²(r_j/2)`` over y's touched buckets — no state involved,
+        so both backends compute the identical float.  With small θ this
+        is close to 1 (one missing rotation barely moves a qubit off
+        |+⟩), which is why membership needs a per-item threshold rather
+        than a fixed 0.5.
+        """
+        ref, touched = self._reference(y)
+        return float(np.prod(np.cos(ref[touched] / 2.0) ** 2))
+
+    def membership_threshold(self, y: Any) -> float:
+        """Midpoint between a perfect member (1.0) and y's empty-bucket
+        baseline — the decision boundary :meth:`contains` uses."""
+        return (1.0 + self.baseline_overlap(y)) / 2.0
+
+    def contains(self, y: Any, threshold: Optional[float] = None) -> bool:
+        """Membership verdict: overlap above the (per-item) threshold.
+
+        One-sided up to collisions: an inserted item (still at exactly
+        its reference phases) always reports True; a non-member passes
+        only when other items' rotations happen to push its buckets
+        toward its reference — the false-positive rate Theorem 1 bounds
+        via m.  ``threshold`` defaults to :meth:`membership_threshold`
+        (a fixed global cut like 0.5 is wrong for small θ: an empty
+        bucket already overlaps its reference at cos²(θ/2) ≈ 0.93).
+
+        The comparison quantizes both sides to 12 decimals first: when a
+        collision lands a probe's overlap *analytically on* the
+        threshold, the two backends sit one ulp on either side of it,
+        and decision-level bit-identity (the emulation's correctness
+        contract) must not hinge on that last bit.
+        """
+        if threshold is None:
+            threshold = self.membership_threshold(y)
+        return round(self.query(y), 12) >= round(threshold, 12)
+
+    def compose(self, other: "AmplitudeSketch") -> "AmplitudeSketch":
+        """A new sketch holding both streams (phases add; exact).
+
+        Only sketches with identical specs (same hash family) compose.
+        Error propagation obeys the pure-state angle triangle inequality
+        ``ε ≤ ε₁ + ε₂ + 2√(ε₁ε₂)`` — the exact form of the snippet's
+        ``ε₁ + ε₂ + O(ε₁·ε₂)`` claim — pinned by the property suite.
+        """
+        if other.spec != self.spec:
+            raise ValueError(
+                "compose requires identical specs (same hash family); "
+                f"got {self.spec} vs {other.spec}"
+            )
+        out = AmplitudeSketch(
+            self.spec, recorder=self._recorder,
+            name=f"{self.name}+{other.name}",
+        )
+        out._state.merge(self._state)
+        out._state.merge(other._state)
+        out.inserts = self.inserts + other.inserts
+        out.version = 1  # fresh object, one logical write (the merge)
+        if out._item_counts is not None:
+            for counts in (self._item_counts, other._item_counts):
+                for token, c in (counts or {}).items():
+                    out._item_counts[token] = (
+                        out._item_counts.get(token, 0) + c
+                    )
+        self.composes += 1
+        if self._recorder.active:
+            self._recorder.sketch(self.name, "compose", other.inserts)
+        return out
+
+    # -- readout helpers -------------------------------------------------
+
+    def state_fidelity(self, other: "AmplitudeSketch") -> float:
+        """|⟨Φ_self|Φ_other⟩|² over the full m-qubit state."""
+        if other.spec != self.spec:
+            raise ValueError("fidelity requires identical specs")
+        if type(other._state) is not type(self._state):
+            raise ValueError(
+                "fidelity requires matching backends; rebuild one side"
+            )
+        return float(self._state.state_fidelity(other._state))
+
+    def bucket_count(self, bucket: int) -> int:
+        """The bucket's rotation count read off its *wrapped* phase.
+
+        Both backends answer through the mod-2π wrapped angle — a qubit
+        phase physically cannot hold more — so exact and emulated agree
+        bit-for-bit after integer rounding.  Counts are faithful only
+        below the period ``round(2π/θ)``; that is the capacity price of
+        logarithmic space, not an implementation artifact.
+        """
+        if not 0 <= bucket < self.spec.m:
+            raise ValueError(f"bucket {bucket} out of range")
+        theta = self.spec.resolved_theta
+        period = max(1, round(2.0 * math.pi / theta))
+        angle = self._state.wrapped_angle(bucket)
+        return round(angle / theta) % period
+
+
+class QCount(AmplitudeSketch):
+    """Count estimation: min over the item's buckets of wrapped counts.
+
+    The count-min shape: collisions only ever *inflate* a bucket, so the
+    minimum across k independent buckets is the tightest (over-)estimate.
+    """
+
+    def __init__(self, m: int = 64, k: int = 3, seed: int = 0,
+                 backend: str = "auto", **kw: Any):
+        super().__init__(
+            SketchSpec(family="qcount", m=m, k=k, seed=seed,
+                       backend=backend), **kw,
+        )
+
+    def estimate(self, x: Any) -> int:
+        return min(self.bucket_count(b) for b in set(self.buckets(x)))
+
+
+class QSimHash(AmplitudeSketch):
+    """Sign-based similarity: ±θ rotations, compared by sign signature."""
+
+    def __init__(self, m: int = 64, k: int = 6, seed: int = 0,
+                 backend: str = "auto", **kw: Any):
+        super().__init__(
+            SketchSpec(family="qsimhash", m=m, k=k, seed=seed,
+                       backend=backend), **kw,
+        )
+
+    def signature(self) -> Tuple[int, ...]:
+        """One bit per bucket: the sign of its wrapped phase."""
+        return tuple(
+            1 if self._state.wrapped_angle(j) > 0 else 0
+            for j in range(self.spec.m)
+        )
+
+    @staticmethod
+    def hamming(a: Sequence[int], b: Sequence[int]) -> int:
+        if len(a) != len(b):
+            raise ValueError("signature lengths differ")
+        return sum(1 for x, y in zip(a, b) if x != y)
+
+    def similarity(self, other: "QSimHash") -> float:
+        """1 − normalized Hamming distance between sign signatures."""
+        d = self.hamming(self.signature(), other.signature())
+        return 1.0 - d / self.spec.m
+
+
+class QHeavyHitters(AmplitudeSketch):
+    """Heavy hitters: log-weighted phases plus a candidate index.
+
+    The quantum state holds frequency mass as θ·log₂(1+f) per bucket;
+    the classical side keeps a bounded candidate map (standard for HH
+    sketches) so ``top(j)`` can rank observed items by their inverted
+    bucket phases.
+    """
+
+    def __init__(self, m: int = 64, k: int = 3, seed: int = 0,
+                 backend: str = "auto", capacity: int = 64, **kw: Any):
+        super().__init__(
+            SketchSpec(family="qhh", m=m, k=k, seed=seed,
+                       backend=backend), **kw,
+        )
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._candidates: Dict[Any, int] = {}
+
+    def insert(self, x: Any) -> None:
+        super().insert(x)
+        if x in self._candidates or len(self._candidates) < self.capacity:
+            self._candidates[x] = self._candidates.get(x, 0) + 1
+        else:
+            # Space-saving style: evict the weakest candidate and adopt
+            # its (over-)count, so frequent late arrivals still surface.
+            weakest = min(
+                self._candidates, key=lambda c: (self._candidates[c], repr(c))
+            )
+            floor = self._candidates.pop(weakest)
+            self._candidates[x] = floor + 1
+
+    def estimate(self, x: Any) -> int:
+        """Frequency inverted from the min bucket phase: 2^{φ/θ} − 1."""
+        theta = self.spec.resolved_theta
+        phases = [
+            abs(self._state.wrapped_angle(b)) for b in set(self.buckets(x))
+        ]
+        phi = min(phases)
+        return max(0, round(2.0 ** (phi / theta) - 1.0))
+
+    def top(self, j: int = 10) -> List[Tuple[Any, int]]:
+        """The j candidate items with the largest estimates, ranked.
+
+        Ties break on the candidate map's own count then item repr, so
+        rankings are deterministic and backend-independent.
+        """
+        ranked = sorted(
+            self._candidates,
+            key=lambda x: (-self.estimate(x), -self._candidates[x], repr(x)),
+        )
+        return [(x, self.estimate(x)) for x in ranked[:j]]

@@ -30,6 +30,7 @@ from . import (
     e20_diameter,
     e21_apsp,
     e22_scenarios,
+    e23_sketches,
 )
 
 ALL_EXPERIMENTS = {
@@ -55,6 +56,7 @@ ALL_EXPERIMENTS = {
     "E20": e20_diameter,
     "E21": e21_apsp,
     "E22": e22_scenarios,
+    "E23": e23_sketches,
 }
 
 # Imported after ALL_EXPERIMENTS exists: runner reads the registry at

@@ -122,6 +122,12 @@ CRITERIA: Dict[str, Callable] = {
                       f"f* ~ n^{r.break_even_exponent:.2f}, "
                       f"fidelity bill monotone={r.fidelity_monotone}, "
                       f"honest cells exact={r.honest_cells_correct}"),
+    "E23": lambda r: (r.tradeoff_holds and r.backend_agreement
+                      and r.max_backend_delta <= 1e-9,
+                      f"alpha non-increasing={r.alpha_non_increasing}, "
+                      f"top<bottom={r.alpha_shrinks}, exact/emulated "
+                      f"decisions identical={r.backend_agreement} "
+                      f"(max |Δoverlap|={r.max_backend_delta:.1e})"),
 }
 
 

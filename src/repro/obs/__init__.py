@@ -35,6 +35,7 @@ from .events import (
     SERVE_BATCH,
     SERVE_DRAIN,
     SERVE_REQUEST,
+    SKETCH,
     SPAN,
     ChargeEvent,
     CoalesceEvent,
@@ -46,6 +47,7 @@ from .events import (
     ServeBatchEvent,
     ServeDrainEvent,
     ServeRequestEvent,
+    SketchEvent,
     SpanEvent,
     to_json,
 )
@@ -71,6 +73,7 @@ __all__ = [
     "SERVE_BATCH",
     "SERVE_DRAIN",
     "SERVE_REQUEST",
+    "SKETCH",
     "SPAN",
     "SCHEMA",
     "ChargeEvent",
@@ -90,6 +93,7 @@ __all__ = [
     "ServeDrainEvent",
     "ServeRequestEvent",
     "Sink",
+    "SketchEvent",
     "SpanEvent",
     "current_recorder",
     "install",

@@ -1,6 +1,6 @@
 """Typed events carried by the observability spine.
 
-Every accounting mechanism in the repository speaks through these eleven
+Every accounting mechanism in the repository speaks through these twelve
 event kinds (DESIGN.md §"Observability spine"):
 
 * ``round`` — one engine communication round (message count, payload bits),
@@ -22,7 +22,12 @@ event kinds (DESIGN.md §"Observability spine"):
 * ``scenario`` — one wall-clock pricing of a run under a scenario's
   :class:`~repro.core.cost.LinkCostModel` (PR 9's "Mind the Õ" layer):
   which scenario, which link, the charged rounds, and what they cost in
-  microseconds once per-message latency and constant factors are paid.
+  microseconds once per-message latency and constant factors are paid,
+* ``sketch`` — one amplitude-sketch operation (:mod:`repro.apps.
+  sketches`): a physical ``insert``/``query``/``compose`` on a sketch,
+  or a sketch-lane memo edge (``memo="hit"`` for a query served without
+  touching the state, ``memo="invalidate"`` for entries dropped by a
+  write — the PR 10 write-path invalidation protocol).
 
 Events are small frozen dataclasses.  Each carries a ``span`` string — the
 ``/``-joined path of recorder spans open when it was emitted — so any sink
@@ -37,7 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, ClassVar, Dict
 
-#: The eleven event kinds, as they appear in JSONL ``type`` fields.
+#: The twelve event kinds, as they appear in JSONL ``type`` fields.
 ROUND = "round"
 DELIVER = "deliver"
 FAULT = "fault"
@@ -49,10 +54,11 @@ SERVE_REQUEST = "serve.request"
 SERVE_BATCH = "serve.batch"
 SERVE_DRAIN = "serve.drain"
 SCENARIO = "scenario"
+SKETCH = "sketch"
 
 EVENT_KINDS = (
     ROUND, DELIVER, FAULT, QUERY_BATCH, CHARGE, SPAN, COALESCE,
-    SERVE_REQUEST, SERVE_BATCH, SERVE_DRAIN, SCENARIO,
+    SERVE_REQUEST, SERVE_BATCH, SERVE_DRAIN, SCENARIO, SKETCH,
 )
 
 
@@ -176,7 +182,7 @@ class CoalesceEvent:
     submissions: int
     callers: int
     rounds: int
-    memo: str = "miss"  # "hit" | "miss" | "evict"
+    memo: str = "miss"  # "hit" | "miss" | "evict" | "invalidate"
     span: str = ""
 
 
@@ -251,6 +257,30 @@ class ScenarioEvent:
     span: str = ""
 
 
+@dataclass(frozen=True)
+class SketchEvent:
+    """One amplitude-sketch operation or sketch-lane memo edge.
+
+    ``sketch`` names the sketch (lane), ``op`` the operation kind
+    (``insert`` / ``query`` / ``compose``), ``count`` the payload width
+    (items inserted or queried; for ``compose``, the absorbed sketch's
+    insert count; for ``memo="invalidate"``, the memo entries dropped).
+    ``memo`` is ``""`` for a physical state operation, ``"hit"`` for a
+    query served from the lane memo without touching the state, or
+    ``"invalidate"`` for the write-path protocol dropping stale entries.
+    The JSONL record omits ``memo`` when empty, keeping the common
+    physical-op records minimal.
+    """
+
+    kind: ClassVar[str] = SKETCH
+
+    sketch: str
+    op: str
+    count: int
+    memo: str = ""  # "" | "hit" | "invalidate"
+    span: str = ""
+
+
 def _jsonable(value: Any) -> Any:
     """Coerce an arbitrary payload into a JSON-serializable shape."""
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -315,4 +345,10 @@ def to_json(event: Any) -> Dict[str, Any]:
         return {"type": SCENARIO, "scenario": event.scenario,
                 "link": event.link, "rounds": event.rounds,
                 "wall_clock_us": event.wall_clock_us, "span": event.span}
+    if kind == SKETCH:
+        record = {"type": SKETCH, "sketch": event.sketch, "op": event.op,
+                  "count": event.count, "span": event.span}
+        if event.memo:
+            record["memo"] = event.memo
+        return record
     raise ValueError(f"unknown event kind {kind!r}")

@@ -5,7 +5,7 @@ One record per line.  The first line is a header::
     {"type": "meta", "schema": "repro-trace/1"}
 
 and every subsequent line is one event record as produced by
-:func:`repro.obs.events.to_json` — its ``type`` is one of the eleven
+:func:`repro.obs.events.to_json` — its ``type`` is one of the twelve
 event kinds and its remaining fields are fixed per type (``_REQUIRED``).
 The CI ``trace-smoke`` and ``serve-smoke`` jobs round-trip real
 experiments through this schema with :func:`validate_jsonl`.
@@ -25,6 +25,13 @@ The ``scenario`` record type (PR 9) prices charged rounds in wall-clock
 microseconds under a scenario's link model — the same pure-extension
 discipline: emitted only when a scenario is declared, so scenario-free
 streams are byte-identical to pre-scenario ones and still validate.
+
+The ``sketch`` record type (PR 10) carries amplitude-sketch operations
+(insert/query/compose) and sketch-lane memo edges; its optional ``memo``
+field (``"hit"`` / ``"invalidate"``) is omitted for physical state
+operations.  ``coalesce`` records additionally admit
+``memo="invalidate"`` for the write-path memo protocol.  Pure extension
+again: sketch-free streams are byte-identical to pre-sketch ones.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ from .events import (
     SERVE_BATCH,
     SERVE_DRAIN,
     SERVE_REQUEST,
+    SKETCH,
     SPAN,
     to_json,
 )
@@ -72,6 +80,7 @@ _REQUIRED = {
                   "span": str},
     SCENARIO: {"scenario": str, "link": str, "rounds": int,
                "wall_clock_us": (int, float), "span": str},
+    SKETCH: {"sketch": str, "op": str, "count": int, "span": str},
 }
 
 #: optional field -> type, per record type.  Optional fields are omitted
@@ -83,6 +92,7 @@ _REQUIRED = {
 _OPTIONAL = {
     ROUND: {"mode": str, "model": str},
     CHARGE: {"model": str},
+    SKETCH: {"memo": str},
 }
 
 

@@ -33,6 +33,7 @@ from .events import (
     ServeBatchEvent,
     ServeDrainEvent,
     ServeRequestEvent,
+    SketchEvent,
     SpanEvent,
 )
 
@@ -149,6 +150,11 @@ class Recorder:
                           self._span_path)
         )
 
+    def sketch(
+        self, sketch: str, op: str, count: int, memo: str = ""
+    ) -> None:
+        self.emit(SketchEvent(sketch, op, count, memo, self._span_path))
+
     # -- spans ----------------------------------------------------------
 
     @property
@@ -217,6 +223,9 @@ class NullRecorder(Recorder):
         pass
 
     def scenario(self, scenario, link, rounds, wall_clock_us) -> None:
+        pass
+
+    def sketch(self, sketch, op, count, memo="") -> None:
         pass
 
     def span(self, name: str):

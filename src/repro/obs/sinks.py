@@ -27,6 +27,7 @@ from .events import (
     SERVE_BATCH,
     SERVE_DRAIN,
     SERVE_REQUEST,
+    SKETCH,
     SPAN,
 )
 
@@ -100,6 +101,16 @@ class MetricsSink(Sink):
         self.scenario_events = 0
         #: accumulated wall-clock microseconds per link model name.
         self.wall_clock_by_link: Dict[str, float] = {}
+        #: physical sketch operations by op kind (insert/query/compose),
+        #: summing payload widths.  Memo-edge sketch events (``memo``
+        #: non-empty) are *not* counted here — a memo-hit query never
+        #: touches the state — they land in ``sketch_memo`` instead.
+        self.sketch_ops: Dict[str, int] = {}
+        #: sketch-lane memo edges by outcome ("hit"/"invalidate").
+        self.sketch_memo: Dict[str, int] = {}
+        #: memo entries dropped by write-path invalidation (``coalesce``
+        #: events with ``memo="invalidate"``, sized by entries dropped).
+        self.memo_invalidations = 0
 
     def handle(self, event) -> None:
         kind = event.kind
@@ -153,6 +164,8 @@ class MetricsSink(Sink):
                 self.memo_hits += 1
             elif event.memo == "evict":
                 self.memo_evictions += 1
+            elif event.memo == "invalidate":
+                self.memo_invalidations += event.size
             else:
                 self.memo_misses += 1
                 self.coalesced_batches += 1
@@ -176,6 +189,15 @@ class MetricsSink(Sink):
                 self.wall_clock_by_link.get(event.link, 0.0)
                 + event.wall_clock_us
             )
+        elif kind == SKETCH:
+            if event.memo:
+                self.sketch_memo[event.memo] = (
+                    self.sketch_memo.get(event.memo, 0) + 1
+                )
+            else:
+                self.sketch_ops[event.op] = (
+                    self.sketch_ops.get(event.op, 0) + event.count
+                )
 
     # -- cross-process merge --------------------------------------------
 
@@ -253,6 +275,13 @@ class MetricsSink(Sink):
             self.wall_clock_by_link[link] = (
                 self.wall_clock_by_link.get(link, 0.0) + us
             )
+        for op, count in other.sketch_ops.items():
+            self.sketch_ops[op] = self.sketch_ops.get(op, 0) + count
+        for outcome, count in other.sketch_memo.items():
+            self.sketch_memo[outcome] = (
+                self.sketch_memo.get(outcome, 0) + count
+            )
+        self.memo_invalidations += other.memo_invalidations
         return self
 
     # -- checkpoint serialization ---------------------------------------
@@ -298,6 +327,9 @@ class MetricsSink(Sink):
             "serve_drains": self.serve_drains,
             "scenario_events": self.scenario_events,
             "wall_clock_by_link": dict(self.wall_clock_by_link),
+            "sketch_ops": dict(self.sketch_ops),
+            "sketch_memo": dict(self.sketch_memo),
+            "memo_invalidations": self.memo_invalidations,
         }
 
     @classmethod
@@ -347,6 +379,11 @@ class MetricsSink(Sink):
         # same backward-compat defaulting.
         sink.scenario_events = state.get("scenario_events", 0)
         sink.wall_clock_by_link = dict(state.get("wall_clock_by_link", {}))
+        # Sketch counters arrived with the sketch serving layer (PR 10);
+        # same backward-compat defaulting.
+        sink.sketch_ops = dict(state.get("sketch_ops", {}))
+        sink.sketch_memo = dict(state.get("sketch_memo", {}))
+        sink.memo_invalidations = state.get("memo_invalidations", 0)
         return sink
 
     # -- derived --------------------------------------------------------
@@ -397,4 +434,7 @@ class MetricsSink(Sink):
             "serve_requests": dict(self.serve_requests),
             "serve_batches": self.serve_batches,
             "wall_clock_by_link": dict(self.wall_clock_by_link),
+            "sketch_ops": dict(self.sketch_ops),
+            "sketch_memo": dict(self.sketch_memo),
+            "memo_invalidations": self.memo_invalidations,
         }

@@ -35,6 +35,13 @@ Three workload families, matching the PR-2 optimization targets:
   link-fidelity re-amplification bill, and the E22 quantum-vs-classical
   wall-clock crossover verdicts.  Assertion-only; ``bench --workload
   scenarios`` writes ``BENCH_PR9.json``.
+* :mod:`repro.perf.sketches_bench` — the PR-10 amplitude-sketch stack:
+  exact-vs-emulated decision bit-identity asserted before timing, the
+  emulated-over-exact speedup at the largest overlapping width,
+  sustained ops/sec vs insert:query mix through the FIFO sketch
+  scheduler (the memo-invalidation price), one full daemon serving
+  point, and the E23 Theorem 1 ladder.  ``bench --workload sketches``
+  writes ``BENCH_PR10.json``.
 * :mod:`repro.perf.scaling_bench` — the PR-7 scaling ceiling: largest n
   per topology family that a single vectorized engine run sustains
   within a wall-clock budget, with points at n ≥ 10^5 fanned across
@@ -69,6 +76,7 @@ from .scaling_bench import scaling_ceiling_workload
 from .scenarios_bench import scenarios_workload
 from .sched_bench import sched_coalescing_workload
 from .serve_bench import serve_daemon_workload
+from .sketches_bench import sketches_workload
 
 WORKLOADS = {
     "engine": engine_flooding_workload,
@@ -83,6 +91,7 @@ WORKLOADS = {
     "serve": serve_daemon_workload,
     "scaling_ceiling": scaling_ceiling_workload,
     "scenarios": scenarios_workload,
+    "sketches": sketches_workload,
 }
 
 
@@ -91,7 +100,8 @@ WORKLOADS = {
 #: graphs and ships its own report (BENCH_PR7.json); run it explicitly
 #: with ``--workload scaling_ceiling``.  ``scenarios`` likewise ships
 #: its own report (BENCH_PR9.json) and re-runs E22 end to end, so it
-#: too is opt-in via ``--workload scenarios``.
+#: too is opt-in via ``--workload scenarios``; ``sketches`` ships
+#: BENCH_PR10.json and is opt-in for the same reason.
 DEFAULT_WORKLOADS = [
     "engine", "gates", "framework", "obs", "parallel", "sched", "serve",
     "models",
@@ -129,5 +139,6 @@ __all__ = [
     "scenarios_workload",
     "sched_coalescing_workload",
     "serve_daemon_workload",
+    "sketches_workload",
     "write_report",
 ]

@@ -29,6 +29,7 @@ from typing import Dict, List, Tuple
 from ..congest import topologies
 from ..congest.network import Network
 from ..core.framework import DistributedInput, FrameworkConfig, run_framework
+from ..core.operation import Operation
 from ..core.semigroup import sum_semigroup
 from ..sched import CoalescingScheduler, verify_coalescing
 from .harness import WorkloadResult, measure
@@ -70,7 +71,7 @@ def _run_coalesced(
     sched = CoalescingScheduler(net, cfg, memo=memo)
     for arrivals in bursts:
         tickets = [
-            sched.submit(caller, indices, label=label)
+            sched.submit(Operation.query(caller, indices, label=label))
             for caller, indices, label in arrivals
         ]
         for ticket in tickets:
@@ -175,7 +176,7 @@ def sched_coalescing_workload(quick: bool = False) -> WorkloadResult:
     warm = _run_coalesced(net, cfg, bursts, memo=True)
     replay = CoalescingScheduler(net, cfg, memo=warm.memo)
     tickets = [
-        replay.submit(caller, indices, label=label)
+        replay.submit(Operation.query(caller, indices, label=label))
         for arrivals in bursts for caller, indices, label in arrivals
     ]
     replay.drain()

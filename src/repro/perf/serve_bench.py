@@ -24,6 +24,7 @@ import asyncio
 import time
 from typing import Any, Dict
 
+from ..core.operation import Operation
 from ..sched import CoalescingScheduler
 from ..serve.daemon import QueryService
 from ..serve.loadgen import LoadSpec, generate_arrivals, run_load
@@ -44,7 +45,7 @@ def _sync_baseline(
     sched = CoalescingScheduler(net, cfg, memo=False)
     start = time.perf_counter()
     tickets = [
-        sched.submit(a.tenant, list(a.indices), label=a.label)
+        sched.submit(Operation.query(a.tenant, a.indices, label=a.label))
         for a in arrivals
     ]
     sched.drain()

@@ -1,0 +1,203 @@
+"""Amplitude-sketch benchmarks (PR 10): ops/sec under mixed streams.
+
+``python -m repro bench --workload sketches`` writes ``BENCH_PR10.json``
+with four sections in one workload sweep:
+
+* **fidelity gate** — exact vs emulated backends on overlapping widths:
+  raw overlaps within 1e-9 and decision-level outputs bit-identical,
+  asserted *before* any timing (the bench refuses to time a wrong
+  emulation), plus the measured emulated-over-exact speedup at m=10;
+* **mix sensitivity** — sustained operations/sec through a bare
+  :class:`~repro.sched.sketch.SketchScheduler` at insert fractions
+  0.1 / 0.5 / 0.9: the write fraction controls how often the memo is
+  invalidated, so throughput vs mix is the price of the PR-10
+  correctness fix (writes must purge the content-addressed memo);
+* **serve path** — one :func:`~repro.serve.session.run_sketch_session`
+  point: the full daemon (admission → stride fairness → pinned sketch
+  lane → drain) must complete every offered operation with zero
+  failures and a *positive* memo-invalidation count (the invariant
+  CI's ``sketches-smoke`` job also asserts);
+* **E23 tradeoff** — the quick space–accuracy ladder embedded so the
+  report and EXPERIMENTS.md can never disagree about Theorem 1.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List
+
+from ..apps.sketches import AmplitudeSketch, QCount, SketchSpec
+from ..core.operation import Operation
+from ..sched.sketch import SketchScheduler
+from .harness import WorkloadResult, measure
+
+
+def _fidelity_gate(result: WorkloadResult) -> None:
+    """Assert cross-backend identity, then time the two backends."""
+    for m in (8, 10):
+        pair = [
+            QCount(m=m, k=3, seed=0, backend=backend)
+            for backend in ("exact", "emulated")
+        ]
+        keys = [f"key-{i}" for i in range(3)]
+        probes = keys + [f"probe-{i}" for i in range(32)]
+        for sk in pair:
+            for x in keys:
+                sk.insert(x)
+        ex, em = pair
+        worst = 0.0
+        for y in probes:
+            worst = max(worst, abs(ex.query(y) - em.query(y)))
+            if ex.contains(y) != em.contains(y):
+                raise AssertionError(
+                    f"m={m}: membership verdict diverged on {y!r}"
+                )
+            if ex.estimate(y) != em.estimate(y):
+                raise AssertionError(
+                    f"m={m}: count estimate diverged on {y!r}"
+                )
+        if worst > 1e-9:
+            raise AssertionError(
+                f"m={m}: exact/emulated overlap gap {worst:.2e} > 1e-9"
+            )
+        result.sweep.append({
+            "section": "fidelity_gate",
+            "m": m,
+            "max_overlap_delta": worst,
+            "decisions_identical": True,
+        })
+
+    # The emulation exists because the statevector costs 2^m; measure
+    # what it buys at the largest overlapping width.
+    def run_backend(backend: str) -> None:
+        sk = AmplitudeSketch(
+            SketchSpec(family="qcount", m=10, k=3, seed=0, backend=backend)
+        )
+        for i in range(64):
+            sk.insert(f"key-{i % 16}")
+        for i in range(64):
+            sk.query(f"key-{i % 24}")
+
+    t_exact = measure(lambda: run_backend("exact"))
+    t_emulated = measure(lambda: run_backend("emulated"))
+    result.sweep.append({
+        "section": "fidelity_gate",
+        "m": 10,
+        "exact_s": t_exact,
+        "emulated_s": t_emulated,
+        "speedup": t_exact / t_emulated,
+    })
+
+
+def _mix_stream(
+    fraction: float, ops: int, universe: int
+) -> List[Operation]:
+    """A deterministic mixed stream with exactly the requested fraction."""
+    stream: List[Operation] = []
+    acc = 0.0
+    for i in range(ops):
+        acc += fraction
+        items = (f"key-{(i * 7) % universe}", f"key-{(i * 13) % universe}")
+        if acc >= 1.0:
+            acc -= 1.0
+            stream.append(Operation.insert(f"tenant{i % 4}", items))
+        else:
+            stream.append(Operation.sketch_query(f"tenant{i % 4}", items))
+    return stream
+
+
+def _mix_sensitivity(result: WorkloadResult, quick: bool) -> None:
+    ops = 2_000 if quick else 10_000
+    universe = 64
+    for fraction in (0.1, 0.5, 0.9):
+        stream = _mix_stream(fraction, ops, universe)
+        sketch = AmplitudeSketch(
+            SketchSpec(family="qcount", m=64, k=3, seed=0,
+                       backend="emulated")
+        )
+        sched = SketchScheduler(sketch, parallelism=64, memo=True)
+        start = time.perf_counter()
+        tickets = [sched.submit(op) for op in stream]
+        sched.drain()
+        wall = time.perf_counter() - start
+        for ticket in tickets:
+            if not sched.done(ticket):
+                raise AssertionError("drained scheduler left work undone")
+        report = sched.report()
+        result.sweep.append({
+            "section": "mix_sensitivity",
+            "insert_fraction": fraction,
+            "ops": ops,
+            "ops_per_sec": ops / wall,
+            "items_per_sec": report.total_ops / wall,
+            "memo_hits": report.memo_hits,
+            "memo_misses": report.memo_misses,
+            "memo_invalidations": report.memo_invalidations,
+        })
+
+
+def _serve_point(result: WorkloadResult, quick: bool) -> None:
+    from ..serve.session import run_sketch_session
+
+    clients = 400 if quick else 2_000
+    out = run_sketch_session(
+        clients=clients, tenants=4, rate_hz=8000.0, insert_fraction=0.5,
+        m=64, k=3, parallelism=64,
+    )
+    load = out["load"]
+    if load["completed"] != clients or load["failed"]:
+        raise AssertionError(
+            f"serve path dropped work: completed={load['completed']}/"
+            f"{clients}, failed={load['failed']}"
+        )
+    if out["lane"]["memo_invalidations"] <= 0:
+        raise AssertionError(
+            "mixed stream produced zero memo invalidations — the "
+            "write-path correctness fix is not engaged"
+        )
+    result.sweep.append({
+        "section": "serve",
+        "clients": clients,
+        "ops_per_sec": load["qps"],
+        "p50_ms": load["p50_ms"],
+        "p99_ms": load["p99_ms"],
+        "memo_invalidations": out["lane"]["memo_invalidations"],
+        "sketch_backend": out["sketch"]["backend"],
+    })
+
+
+def _tradeoff(result: WorkloadResult) -> None:
+    from ..experiments import e23_sketches
+
+    e23 = e23_sketches.run(quick=True, seed=0)
+    if not (e23.tradeoff_holds and e23.backend_agreement):
+        raise AssertionError(
+            f"E23 regressed: tradeoff={e23.tradeoff_holds}, "
+            f"agreement={e23.backend_agreement}"
+        )
+    result.sweep.append({
+        "section": "e23",
+        "alphas": {str(m): a for m, a in e23.alphas.items()},
+        "alpha_non_increasing": e23.alpha_non_increasing,
+        "alpha_shrinks": e23.alpha_shrinks,
+        "max_backend_delta": e23.max_backend_delta,
+    })
+
+
+def sketches_workload(quick: bool = False) -> WorkloadResult:
+    """Certify and time the amplitude-sketch serving stack."""
+    result = WorkloadResult(
+        name="sketches",
+        description=(
+            "PR 10 amplitude sketches: exact/emulated fidelity gate "
+            "(decision bit-identity asserted before timing), sustained "
+            "ops/sec vs insert:query mix through the FIFO sketch "
+            "scheduler, one full daemon serving point, and the E23 "
+            "Theorem 1 space-accuracy ladder"
+        ),
+    )
+    _fidelity_gate(result)
+    _mix_sensitivity(result, quick)
+    _serve_point(result, quick)
+    _tradeoff(result)
+    return result

@@ -18,7 +18,13 @@ Layers:
   :class:`~repro.queries.oracle.BatchOracle` algorithm run over a shared
   scheduler unchanged.
 * :mod:`repro.sched.memo` — the (oracle fingerprint × sorted index
-  tuple) result memo.
+  tuple) result memo, with the PR 10 write-path invalidation protocol
+  (:meth:`ResultMemo.invalidate_fingerprint`).
+* :mod:`repro.sched.sketch` — the :class:`SketchScheduler`: FIFO
+  insert/query streams against a shared amplitude sketch
+  (:mod:`repro.apps.sketches`), duck-typing the daemon-facing scheduler
+  surface so :mod:`repro.serve` drives sketch lanes and oracle lanes
+  through one worker loop.
 * :mod:`repro.sched.verify` — the bit-identical-to-serial equivalence
   invariant (outputs, per-caller query-ledger signatures, exact round
   conservation), same discipline as :mod:`repro.parallel.verify`.
@@ -29,6 +35,7 @@ the observability spine (:mod:`repro.obs`); ``python -m repro bench
 count (DESIGN.md §6f).
 """
 
+from ..core.operation import Operation, OperationStream
 from .memo import ResultMemo, oracle_fingerprint
 from .scheduler import (
     CallerAccount,
@@ -37,6 +44,7 @@ from .scheduler import (
     SchedulerReport,
     Ticket,
 )
+from .sketch import SketchCallerAccount, SketchReport, SketchScheduler
 from .verify import CoalescingVerdict, Submission, verify_coalescing
 
 __all__ = [
@@ -44,8 +52,13 @@ __all__ = [
     "CallerOracle",
     "CoalescingScheduler",
     "CoalescingVerdict",
+    "Operation",
+    "OperationStream",
     "ResultMemo",
     "SchedulerReport",
+    "SketchCallerAccount",
+    "SketchReport",
+    "SketchScheduler",
     "Submission",
     "Ticket",
     "oracle_fingerprint",

@@ -12,8 +12,13 @@ content address::
 
 The *oracle fingerprint* (:func:`oracle_fingerprint`) hashes everything
 the answer can depend on; a mutated input or a different topology yields
-a different fingerprint, so stale entries can never be served — there is
-no invalidation protocol, only addresses that stop being asked for.
+a different fingerprint, so for the read-only oracles stale entries can
+never be served — addresses simply stop being asked for.  Writable lanes
+(the PR 10 amplitude sketches, whose *identity* fingerprint is stable
+across inserts by design) break that assumption, so the memo also has an
+explicit write-path protocol: :meth:`ResultMemo.invalidate_fingerprint`
+drops every entry under one fingerprint, and the sketch scheduler calls
+it on every insert — a stale memo can never serve a pre-insert overlap.
 Index tuples are sorted (duplicates kept) so permuted submissions share
 one entry; values are stored per index and re-ordered to the submission
 order at serve time.
@@ -100,6 +105,7 @@ class ResultMemo:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0  # entries dropped by write-path invalidation
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -155,6 +161,29 @@ class ResultMemo:
                     size=len(evicted), submissions=0, callers=0,
                     rounds=0, memo="evict",
                 )
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry addressed under ``fingerprint``; returns count.
+
+        The write-path protocol: a lane whose content just changed but
+        whose identity fingerprint is stable (an amplitude sketch after
+        an insert) must call this *before* the write is acknowledged, so
+        no reader can be served a pre-write value.  Dropped entries are
+        counted in ``invalidations`` (distinct from LRU ``evictions``,
+        which are a capacity phenomenon, not a correctness one) and
+        surfaced as one ``coalesce`` event with ``memo="invalidate"``.
+        """
+        stale = [k for k in self._entries if k[0] == fingerprint]
+        for key in stale:
+            del self._entries[key]
+        if stale:
+            self.invalidations += len(stale)
+            if self._recorder is not None and self._recorder.active:
+                self._recorder.coalesce(
+                    size=len(stale), submissions=0, callers=0,
+                    rounds=0, memo="invalidate",
+                )
+        return len(stale)
 
     @property
     def hit_rate(self) -> float:

@@ -41,6 +41,7 @@ under-filled batches.  The scheduler coalesces:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -53,6 +54,7 @@ from ..core.framework import (
     build_oracle,
     setup_network,
 )
+from ..core.operation import Operation
 from ..obs.recorder import Recorder, current_recorder
 from ..queries.ledger import QueryLedger
 from .memo import ResultMemo, oracle_fingerprint
@@ -284,15 +286,47 @@ class CoalescingScheduler:
         return acct
 
     def submit(
-        self, caller: str, indices: Sequence[int], label: str = ""
+        self,
+        operation: Any,
+        indices: Optional[Sequence[int]] = None,
+        label: str = "",
     ) -> Ticket:
-        """Enqueue one query set for ``caller``; may trigger flushes.
+        """Enqueue one :class:`~repro.core.operation.Operation`.
+
+        The canonical form is ``submit(Operation.query(caller, indices))``.
+        The pre-PR 10 positional form ``submit(caller, indices, label=...)``
+        still works but raises a :class:`DeprecationWarning`; it builds
+        the identical Operation internally, so the two spellings are
+        equivalent by construction.
 
         Meters the submission on the caller's ledger exactly as a serial
         ``oracle.query_batch(indices, label)`` would, then either serves
         it from the memo (zero rounds) or queues it for coalescing.
         """
-        indices = list(indices)
+        if not isinstance(operation, Operation):
+            warnings.warn(
+                "CoalescingScheduler.submit(caller, indices, label=...) is "
+                "deprecated; pass Operation.query(caller, indices, label)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            operation = Operation.query(
+                str(operation), tuple(indices or ()), label=label
+            )
+        elif indices is not None:
+            raise TypeError(
+                "submit(Operation, ...) takes no separate indices; the "
+                "payload lives inside the Operation"
+            )
+        if operation.is_write or operation.items:
+            raise ValueError(
+                "CoalescingScheduler serves oracle reads only; sketch "
+                "traffic (inserts, item queries) goes to "
+                "repro.sched.SketchScheduler"
+            )
+        caller = operation.caller
+        label = operation.label
+        indices = list(operation.indices)
         k = self._oracle.k
         for j in indices:
             if not 0 <= j < k:
@@ -516,7 +550,9 @@ class CallerOracle:
         return self.scheduler.k
 
     def query_batch(self, indices: Sequence[int], label: str = "") -> List[Any]:
-        ticket = self.scheduler.submit(self.caller, indices, label=label)
+        ticket = self.scheduler.submit(
+            Operation.query(self.caller, indices, label=label)
+        )
         return self.scheduler.result(ticket)
 
     def peek_all(self) -> Sequence[Any]:

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..congest.network import Network
 from ..core.framework import FrameworkConfig, run_framework
+from ..core.operation import Operation
 from .scheduler import CoalescingScheduler, Ticket
 
 __all__ = ["CoalescingVerdict", "Submission", "verify_coalescing"]
@@ -123,7 +124,7 @@ def verify_coalescing(
         network, config, deadline_rounds=deadline_rounds, memo=False,
     )
     tickets: List[Ticket] = [
-        sched.submit(caller, list(indices), label=label)
+        sched.submit(Operation.query(caller, indices, label=label))
         for caller, indices, label in workload
     ]
     sched.drain()

@@ -15,16 +15,24 @@ on two substrates the rest of the repository provides:
 
 Quick tour::
 
+    from repro.core import Operation
     from repro.serve import LoadSpec, QueryService, TenantQuota, run_load
 
     service = QueryService(default_quota=TenantQuota("any", max_pending=32))
     service.add_profile(network, config)          # warm pool + scheduler
 
     async def main():
-        fut = service.submit("alice", [0, 3, 5])  # asyncio.Future
-        print((await fut).values)
+        fut = service.submit(Operation.query("alice", [0, 3, 5]))
+        print((await fut).values)                 # fut: asyncio.Future
         report = await run_load(service, LoadSpec(clients=1000))
         print(report.qps, report.p99_ms)
+
+Sketch lanes (PR 10) ride the same machinery:
+:meth:`~repro.serve.daemon.QueryService.add_sketch_profile` pins an
+amplitude-sketch lane, ``Operation.insert`` / ``Operation.sketch_query``
+stream writes and reads through the same admission/fairness/drain path,
+and :func:`~repro.serve.loadgen.run_operation_load` drives deterministic
+mixed insert/query open-loop load (``bench --workload sketches``).
 
 Layers: :mod:`~repro.serve.tenants` (quotas, stride fairness,
 backpressure), :mod:`~repro.serve.pool` (warm LRU of prepared lanes),
@@ -35,9 +43,24 @@ backpressure), :mod:`~repro.serve.pool` (warm LRU of prepared lanes),
 """
 
 from .daemon import DEFAULT_PROFILE, QueryService, ServeResult, ServiceClosed
-from .loadgen import Arrival, LoadReport, LoadSpec, generate_arrivals, run_load
+from .loadgen import (
+    Arrival,
+    LoadReport,
+    LoadSpec,
+    OperationArrival,
+    SketchLoadSpec,
+    generate_arrivals,
+    generate_operation_arrivals,
+    run_load,
+    run_operation_load,
+)
 from .pool import Lane, PreparedPool
-from .session import build_profile, run_serve_session
+from .session import (
+    build_profile,
+    build_sketch_profile,
+    run_serve_session,
+    run_sketch_session,
+)
 from .tenants import AdmissionError, StridePicker, TenantQuota, TenantState
 
 __all__ = [
@@ -47,15 +70,21 @@ __all__ = [
     "Lane",
     "LoadReport",
     "LoadSpec",
+    "OperationArrival",
     "PreparedPool",
     "QueryService",
     "ServeResult",
     "ServiceClosed",
+    "SketchLoadSpec",
     "StridePicker",
     "TenantQuota",
     "TenantState",
     "build_profile",
+    "build_sketch_profile",
     "generate_arrivals",
+    "generate_operation_arrivals",
     "run_load",
+    "run_operation_load",
     "run_serve_session",
+    "run_sketch_session",
 ]

@@ -1,8 +1,12 @@
 """The always-on query-serving daemon (``python -m repro serve``).
 
-:class:`QueryService` is a long-lived asyncio service that accepts query
-requests from many concurrent clients and serves them over the
-:class:`~repro.sched.CoalescingScheduler`:
+:class:`QueryService` is a long-lived asyncio service that accepts
+:class:`~repro.core.operation.Operation` streams from many concurrent
+clients and serves them over the :class:`~repro.sched.CoalescingScheduler`
+(oracle read profiles) or the :class:`~repro.sched.sketch.SketchScheduler`
+(pinned amplitude-sketch profiles, :meth:`QueryService.add_sketch_profile`
+— same admission, fairness, worker loop, and drain machinery, plus
+write-path memo invalidation):
 
 * **Admission** — every request passes its tenant's
   :class:`~repro.serve.tenants.TenantQuota`: a bounded pending queue
@@ -42,11 +46,14 @@ from __future__ import annotations
 import asyncio
 import signal
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..apps.sketches import AmplitudeSketch
 from ..congest.network import Network
 from ..core.framework import FrameworkConfig
+from ..core.operation import Operation
 from ..obs.recorder import Recorder, current_recorder
 from ..sched.scheduler import Ticket
 from .pool import Lane, PreparedPool
@@ -72,17 +79,17 @@ class ServeResult:
 
 
 class _Request:
-    __slots__ = (
-        "tenant", "indices", "label", "profile", "future", "submitted_at",
-    )
+    __slots__ = ("op", "profile", "future", "submitted_at")
 
-    def __init__(self, tenant, indices, label, profile, future, submitted_at):
-        self.tenant = tenant
-        self.indices = indices
-        self.label = label
+    def __init__(self, op, profile, future, submitted_at):
+        self.op = op  # the canonical Operation (tenant == op.caller)
         self.profile = profile
         self.future = future
         self.submitted_at = submitted_at
+
+    @property
+    def tenant(self):
+        return self.op.caller
 
 
 @dataclass
@@ -166,6 +173,28 @@ class QueryService:
             self._lane_state[name] = _LaneState(picker=StridePicker())
         return lane
 
+    def add_sketch_profile(
+        self,
+        name: str,
+        sketch: AmplitudeSketch,
+        parallelism: int = 64,
+    ) -> Lane:
+        """Register a pinned sketch lane serving insert/query streams.
+
+        The lane's :class:`~repro.sched.sketch.SketchScheduler` holds
+        ``sketch`` as authoritative shared state: inserts invalidate the
+        lane memo before they are acknowledged, and the lane is never
+        LRU-evicted.  Traffic arrives through the same :meth:`submit` as
+        oracle reads, as ``Operation.insert`` / ``Operation.sketch_query``
+        with ``profile=name``.
+        """
+        if self._draining:
+            raise ServiceClosed("cannot add profiles while draining")
+        lane = self.pool.add_sketch(name, sketch, parallelism=parallelism)
+        if name not in self._lane_state:
+            self._lane_state[name] = _LaneState(picker=StridePicker())
+        return lane
+
     def _tenant(self, state: _LaneState, name: str) -> TenantState:
         if name in state.picker:
             return state.picker.get(name)
@@ -190,12 +219,20 @@ class QueryService:
 
     def submit(
         self,
-        tenant: str,
-        indices: Sequence[int],
+        operation: Any,
+        indices: Optional[Sequence[int]] = None,
         label: str = "",
         profile: str = DEFAULT_PROFILE,
     ) -> "asyncio.Future[ServeResult]":
-        """Admit one request; returns the future carrying its values.
+        """Admit one operation; returns the future carrying its values.
+
+        The canonical form is ``submit(Operation.query(tenant, indices),
+        profile=...)`` — or ``Operation.insert`` / ``Operation.
+        sketch_query`` against a sketch profile.  The pre-PR 10
+        positional form ``submit(tenant, indices, label=...)`` still
+        works but raises a :class:`DeprecationWarning`; it builds the
+        identical Operation internally.  The tenant is the operation's
+        ``caller``.
 
         Must be called on the service's event loop.  Raises
         :class:`ServiceClosed` after drain starts,
@@ -203,31 +240,45 @@ class QueryService:
         quota exhaustion, and ``KeyError`` for an unknown profile or an
         unknown tenant without a default quota.
         """
+        if not isinstance(operation, Operation):
+            warnings.warn(
+                "QueryService.submit(tenant, indices, label=...) is "
+                "deprecated; pass Operation.query(tenant, indices, label)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            operation = Operation.query(
+                str(operation), tuple(indices or ()), label=label
+            )
+        elif indices is not None:
+            raise TypeError(
+                "submit(Operation, ...) takes no separate indices; the "
+                "payload lives inside the Operation"
+            )
         if self._draining:
             raise ServiceClosed("service is draining; submission refused")
         if profile not in self._lane_state:
             raise KeyError(f"unknown profile {profile!r}")
+        tenant = operation.caller
         state = self._lane_state[profile]
         tstate = self._tenant(state, tenant)
-        indices = list(indices)
         try:
-            tstate.admit(len(indices))
+            tstate.admit(operation.size)
         except AdmissionError:
             if self._recorder.active:
                 self._recorder.serve_request(
-                    tenant, len(indices), "rejected"
+                    tenant, operation.size, "rejected"
                 )
             raise
         tstate.accepted += 1
-        tstate.queries_admitted += len(indices)
+        tstate.queries_admitted += operation.size
         loop = asyncio.get_running_loop()
         request = _Request(
-            tenant, indices, label, profile, loop.create_future(),
-            time.monotonic(),
+            operation, profile, loop.create_future(), time.monotonic(),
         )
         tstate.queue.append(request)
         if self._recorder.active:
-            self._recorder.serve_request(tenant, len(indices), "accepted")
+            self._recorder.serve_request(tenant, operation.size, "accepted")
         self._ensure_worker(profile)
         state.event.set()
         return request.future
@@ -256,9 +307,7 @@ class QueryService:
                 return
             request = tenant.queue.popleft()
             try:
-                ticket = sched.submit(
-                    request.tenant, request.indices, label=request.label
-                )
+                ticket = sched.submit(request.op)
             except Exception as exc:  # bad indices, width violation, ...
                 if not request.future.done():
                     request.future.set_exception(exc)
@@ -287,7 +336,7 @@ class QueryService:
             )
         if self._recorder.active:
             self._recorder.serve_request(
-                request.tenant, len(request.indices), "completed",
+                request.tenant, request.op.size, "completed",
                 wait_ms=wait_ms,
             )
 

@@ -28,12 +28,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..core.operation import Operation
 from ..parallel import derive_seed
 from .daemon import DEFAULT_PROFILE, QueryService
 from .tenants import AdmissionError
 
-__all__ = ["Arrival", "LoadSpec", "LoadReport", "generate_arrivals",
-           "run_load"]
+__all__ = ["Arrival", "LoadSpec", "LoadReport", "OperationArrival",
+           "SketchLoadSpec", "generate_arrivals",
+           "generate_operation_arrivals", "run_load", "run_operation_load"]
 
 
 @dataclass(frozen=True)
@@ -111,6 +113,94 @@ def generate_arrivals(spec: LoadSpec, k: int) -> List[Arrival]:
         arrivals.append(
             Arrival(at_s=at, tenant=tenant, indices=indices,
                     label=spec.label)
+        )
+    return arrivals
+
+
+@dataclass(frozen=True)
+class OperationArrival:
+    """One scheduled client operation (the write-capable arrival)."""
+
+    at_s: float  # offset from load start (virtual seconds)
+    op: Operation
+
+
+@dataclass(frozen=True)
+class SketchLoadSpec:
+    """One open-loop mixed insert/query workload against a sketch lane.
+
+    Attributes:
+        clients: simulated client operations to offer.
+        tenants: distinct tenant names to spread them over.
+        rate_hz: aggregate Poisson arrival rate (virtual time).
+        insert_fraction: probability an arrival is an ``insert`` (the
+            rest are ``sketch_query``); the BENCH_PR10 mix knob.
+        items_min/items_max: per-operation payload size range.
+        universe: item-key space size (items are ``key-0..key-U-1``;
+            smaller universes mean hotter keys, more memo traffic, and
+            more insert/query interference).
+        seed: root seed for :func:`~repro.parallel.derive_seed`.
+        time_scale: virtual-to-wall clock factor; ``0`` collapses the
+            schedule (throughput-bench setting).
+        label: charge label the operations carry.
+    """
+
+    clients: int = 1000
+    tenants: int = 4
+    rate_hz: float = 2000.0
+    insert_fraction: float = 0.5
+    items_min: int = 1
+    items_max: int = 4
+    universe: int = 512
+    seed: int = 0
+    time_scale: float = 0.0
+    label: str = "sketch-load"
+
+    def __post_init__(self):
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if not 0.0 <= self.insert_fraction <= 1.0:
+            raise ValueError("insert_fraction must be in [0, 1]")
+        if not 1 <= self.items_min <= self.items_max:
+            raise ValueError("need 1 <= items_min <= items_max")
+        if self.universe < 1:
+            raise ValueError("universe must be >= 1")
+
+
+def generate_operation_arrivals(spec: SketchLoadSpec) -> List[OperationArrival]:
+    """The spec's deterministic mixed insert/query arrival schedule.
+
+    Same derive_seed coordinate discipline as :func:`generate_arrivals`
+    (gaps, tenants, and each client body draw from their own streams),
+    plus a ``kind`` stream deciding insert vs query so changing the mix
+    fraction does not reshuffle payloads.
+    """
+    gap_rng = random.Random(derive_seed(spec.seed, "serve-load", "gaps"))
+    tenant_rng = random.Random(
+        derive_seed(spec.seed, "serve-load", "tenants")
+    )
+    kind_rng = random.Random(derive_seed(spec.seed, "serve-load", "kinds"))
+    at = 0.0
+    arrivals: List[OperationArrival] = []
+    for i in range(spec.clients):
+        at += gap_rng.expovariate(spec.rate_hz)
+        tenant = f"tenant{tenant_rng.randrange(spec.tenants)}"
+        is_insert = kind_rng.random() < spec.insert_fraction
+        body_rng = random.Random(
+            derive_seed(spec.seed, "serve-load", "client", i)
+        )
+        size = body_rng.randint(spec.items_min, spec.items_max)
+        items = tuple(
+            f"key-{body_rng.randrange(spec.universe)}" for _ in range(size)
+        )
+        build = Operation.insert if is_insert else Operation.sketch_query
+        arrivals.append(
+            OperationArrival(at_s=at, op=build(tenant, items,
+                                               label=spec.label))
         )
     return arrivals
 
@@ -194,10 +284,61 @@ async def run_load(
         try:
             futures.append(
                 service.submit(
-                    arrival.tenant, list(arrival.indices),
-                    label=arrival.label, profile=profile,
+                    Operation.query(
+                        arrival.tenant, arrival.indices, label=arrival.label
+                    ),
+                    profile=profile,
                 )
             )
+        except AdmissionError:
+            rejected += 1
+    if drain:
+        await service.drain(reason="close")
+    results = await asyncio.gather(*futures, return_exceptions=True)
+    duration = time.monotonic() - start
+    latencies = [
+        r.wait_ms for r in results if not isinstance(r, BaseException)
+    ]
+    failed = sum(1 for r in results if isinstance(r, BaseException))
+    return LoadReport(
+        offered=len(arrivals),
+        accepted=len(futures),
+        rejected=rejected,
+        completed=len(latencies),
+        failed=failed,
+        duration_s=duration,
+        latencies_ms=latencies,
+    )
+
+
+async def run_operation_load(
+    service: QueryService,
+    spec: SketchLoadSpec,
+    profile: str,
+    drain: bool = True,
+) -> LoadReport:
+    """Offer a mixed insert/query stream to a sketch profile and measure.
+
+    The write-capable twin of :func:`run_load`: same open-loop
+    discipline (rejections counted, never retried; offered load does not
+    bend to the service), same report shape, but arrivals are canonical
+    :class:`~repro.core.operation.Operation` objects so inserts and
+    queries interleave through the daemon exactly as offered.
+    """
+    arrivals = generate_operation_arrivals(spec)
+    futures: List[asyncio.Future] = []
+    rejected = 0
+    start = time.monotonic()
+    for arrival in arrivals:
+        if spec.time_scale > 0:
+            target = start + arrival.at_s * spec.time_scale
+            delay = target - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        else:
+            await asyncio.sleep(0)
+        try:
+            futures.append(service.submit(arrival.op, profile=profile))
         except AdmissionError:
             rejected += 1
     if drain:

@@ -12,8 +12,14 @@ lane over a previously seen topology skips leader election and tree
 construction.
 
 Only *idle* lanes are evictable; a lane with queued or in-flight work is
-pinned until it drains.  Evicting a lane costs nothing but warmth: the
+busy until it drains.  Evicting a lane costs nothing but warmth: the
 PreparedCache below it usually still holds the topology's setup.
+
+Sketch lanes (PR 10) are different: a :class:`~repro.sched.sketch.
+SketchScheduler` lane *holds authoritative data* (the accumulated sketch
+state), so dropping it would lose inserts, not warmth.  Sketch lanes are
+therefore ``pinned`` — never LRU-evicted — and carry no network/config
+(sketch operations are local phase rotations, not oracle batches).
 """
 
 from __future__ import annotations
@@ -22,10 +28,11 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..apps.sketches import AmplitudeSketch
 from ..congest.network import Network
 from ..core.framework import FrameworkConfig, prepared_cache_stats
 from ..obs.recorder import Recorder, current_recorder
-from ..sched import CoalescingScheduler
+from ..sched import CoalescingScheduler, SketchScheduler
 
 __all__ = ["Lane", "PreparedPool"]
 
@@ -34,14 +41,20 @@ DEFAULT_MAX_LANES = 8
 
 @dataclass
 class Lane:
-    """One serving profile: a named scheduler over one prepared network."""
+    """One serving profile: a named scheduler (oracle or sketch lane).
+
+    Oracle lanes carry their network/config; sketch lanes carry neither
+    (``None``) and are ``pinned`` because their scheduler's sketch is
+    authoritative state, not a rebuildable cache.
+    """
 
     name: str
-    network: Network
-    config: FrameworkConfig
-    scheduler: CoalescingScheduler
+    network: Optional[Network]
+    config: Optional[FrameworkConfig]
+    scheduler: Any  # CoalescingScheduler | SketchScheduler (duck-typed)
     in_flight: Dict[int, Any] = field(default_factory=dict)  # ticket id -> req
     batches: int = 0
+    pinned: bool = False
 
     @property
     def idle(self) -> bool:
@@ -110,13 +123,60 @@ class PreparedPool:
             name=name, network=network, config=config, scheduler=scheduler
         )
         self._lanes[name] = lane
-        if len(self._lanes) > self.max_lanes:
-            for candidate in list(self._lanes):
-                if candidate != name and self._lanes[candidate].idle:
-                    del self._lanes[candidate]
-                    self.evictions += 1
-                    break
+        self._evict_if_over()
         return lane
+
+    def add_sketch(
+        self,
+        name: str,
+        sketch: AmplitudeSketch,
+        parallelism: int = 64,
+        memo: Any = None,
+    ) -> Lane:
+        """Register a *pinned* sketch lane serving ``sketch``.
+
+        Re-adding a warm name returns the existing lane (the sketch
+        argument must then be the same object — a lane's sketch is
+        authoritative and cannot be swapped out from under its memo).
+        ``memo=None`` inherits the pool's memo policy.
+        """
+        lane = self._lanes.get(name)
+        if lane is not None:
+            if getattr(lane.scheduler, "sketch", None) is not sketch:
+                raise ValueError(
+                    f"lane {name!r} already serves a different sketch"
+                )
+            self._lanes.move_to_end(name)
+            return lane
+        scheduler = SketchScheduler(
+            sketch, parallelism=parallelism,
+            memo=self.memo if memo is None else memo,
+            recorder=self._recorder.fork(),
+        )
+        lane = Lane(
+            name=name, network=None, config=None, scheduler=scheduler,
+            pinned=True,
+        )
+        self._lanes[name] = lane
+        self._evict_if_over()
+        return lane
+
+    def _evict_if_over(self) -> None:
+        """Drop the LRU idle, unpinned lane when past ``max_lanes``.
+
+        Pinned (sketch) lanes hold authoritative data and are never
+        eviction candidates; if everything else is busy or pinned the
+        pool temporarily exceeds its bound rather than dropping state.
+        """
+        if len(self._lanes) <= self.max_lanes:
+            return
+        newest = next(reversed(self._lanes))
+        for candidate in list(self._lanes):
+            lane = self._lanes[candidate]
+            if candidate != newest and not lane.pinned and lane.idle:
+                del self._lanes[candidate]
+                self.evictions += 1
+                break
 
     def stats(self) -> Dict[str, Any]:
         """Pool occupancy plus the PreparedCache counters beneath it."""

@@ -23,6 +23,7 @@ from repro.core.framework import (
 from repro.core.semigroup import sum_semigroup
 from repro.sched import CoalescingScheduler
 from repro.sched.verify import verify_coalescing
+from repro.core.operation import Operation
 
 FAST = settings(max_examples=15, deadline=None,
                 suppress_health_check=[HealthCheck.too_slow])
@@ -104,7 +105,7 @@ class TestChargeConservation:
     def test_attribution_sums_to_physical_rounds(self, wl):
         sched = CoalescingScheduler(NET, CONFIG, memo=False)
         for caller, idx, label in wl:
-            sched.submit(caller, idx, label=label)
+            sched.submit(Operation.query(caller, idx, label=label))
         sched.drain()
         report = sched.report()
         assert report.attributed_rounds == report.physical_query_rounds
@@ -130,7 +131,9 @@ class TestInterleavedSubmitFlush:
         )
         tickets = []
         for i, (caller, idx, label) in enumerate(wl):
-            tickets.append(sched.submit(caller, idx, label=label))
+            tickets.append(
+                sched.submit(Operation.query(caller, idx, label=label))
+            )
             if flushes[i % len(flushes)]:
                 sched.flush()
         sched.drain()

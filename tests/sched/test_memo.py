@@ -6,6 +6,7 @@ from repro.congest import topologies
 from repro.core.framework import DistributedInput, FrameworkConfig
 from repro.core.semigroup import sum_semigroup
 from repro.sched import CoalescingScheduler, ResultMemo, oracle_fingerprint
+from repro.core.operation import Operation
 
 
 K = 16
@@ -69,9 +70,9 @@ class TestMemoServing:
     def test_identical_resubmission_hits(self, network):
         cfg = make_config(network)
         sched = CoalescingScheduler(network, cfg)
-        first = sched.result(sched.submit("a", [0, 3, 5]))
+        first = sched.result(sched.submit(Operation.query("a", [0, 3, 5])))
         rounds_after_first = sched.report().physical_query_rounds
-        again = sched.result(sched.submit("b", [0, 3, 5]))
+        again = sched.result(sched.submit(Operation.query("b", [0, 3, 5])))
         assert again == first
         assert sched.report().physical_query_rounds == rounds_after_first
         assert sched.memo.hits == 1
@@ -79,8 +80,8 @@ class TestMemoServing:
     def test_permuted_indices_share_entry(self, network):
         cfg = make_config(network)
         sched = CoalescingScheduler(network, cfg)
-        fwd = sched.result(sched.submit("a", [1, 2, 4]))
-        rev = sched.result(sched.submit("a", [4, 2, 1]))
+        fwd = sched.result(sched.submit(Operation.query("a", [1, 2, 4])))
+        rev = sched.result(sched.submit(Operation.query("a", [4, 2, 1])))
         assert rev == list(reversed(fwd))
         assert sched.memo.hits == 1
 
@@ -88,9 +89,9 @@ class TestMemoServing:
         cfg = make_config(network)
         memo = ResultMemo()
         warm = CoalescingScheduler(network, cfg, memo=memo)
-        warm.result(warm.submit("a", [0, 1]))
+        warm.result(warm.submit(Operation.query("a", [0, 1])))
         replay = CoalescingScheduler(network, cfg, memo=memo)
-        replay.result(replay.submit("b", [0, 1]))
+        replay.result(replay.submit(Operation.query("b", [0, 1])))
         assert replay.report().physical_query_rounds == 0
         assert memo.hits == 1
 
@@ -100,9 +101,9 @@ class TestMemoServing:
         cfg_a = make_config(network)
         cfg_b = make_config(network, bump=1)  # same indices, new content
         a = CoalescingScheduler(network, cfg_a, memo=memo)
-        va = a.result(a.submit("x", [0, 1, 2]))
+        va = a.result(a.submit(Operation.query("x", [0, 1, 2])))
         b = CoalescingScheduler(network, cfg_b, memo=memo)
-        vb = b.result(b.submit("x", [0, 1, 2]))
+        vb = b.result(b.submit(Operation.query("x", [0, 1, 2])))
         assert memo.hits == 0  # cfg_b's lookup missed despite same indices
         assert b.report().physical_query_rounds > 0
         assert va != vb  # and the fresh answer reflects the new content
@@ -110,8 +111,8 @@ class TestMemoServing:
     def test_hit_counters_feed_accounts(self, network):
         cfg = make_config(network)
         sched = CoalescingScheduler(network, cfg)
-        sched.result(sched.submit("a", [0, 1]))
-        sched.result(sched.submit("a", [0, 1]))
+        sched.result(sched.submit(Operation.query("a", [0, 1])))
+        sched.result(sched.submit(Operation.query("a", [0, 1])))
         assert sched.account("a").memo_hits == 1
         report = sched.report()
         assert (report.memo_hits, report.memo_misses) == (1, 1)
@@ -182,3 +183,45 @@ class TestResultMemoStore:
         memo.store("fp", [1], ["a"])
         memo.clear()
         assert len(memo) == 0
+
+
+class TestInvalidateFingerprint:
+    def test_drops_only_the_named_fingerprint(self):
+        memo = ResultMemo()
+        memo.store("fpA", [1], ["a"])
+        memo.store("fpA", [2], ["b"])
+        memo.store("fpB", [1], ["c"])
+        assert memo.invalidate_fingerprint("fpA") == 2
+        assert memo.invalidations == 2
+        assert memo.lookup("fpA", [1]) is None
+        assert memo.lookup("fpB", [1]) == ["c"]
+
+    def test_noop_on_absent_fingerprint(self):
+        memo = ResultMemo()
+        memo.store("fpA", [1], ["a"])
+        assert memo.invalidate_fingerprint("ghost") == 0
+        assert memo.invalidations == 0
+        assert len(memo) == 1
+
+    def test_distinct_from_lru_evictions(self):
+        memo = ResultMemo(max_entries=1)
+        memo.store("fp", [1], ["a"])
+        memo.store("fp", [2], ["b"])  # LRU eviction
+        memo.invalidate_fingerprint("fp")  # write-path invalidation
+        assert memo.evictions == 1
+        assert memo.invalidations == 1
+
+    def test_emits_invalidate_coalesce_event(self):
+        from repro.obs import MemorySink, Recorder
+
+        sink = MemorySink()
+        memo = ResultMemo(recorder=Recorder([sink]))
+        memo.store("fp", [1], ["a"])
+        memo.store("fp", [2], ["b"])
+        memo.invalidate_fingerprint("fp")
+        events = [
+            e for e in sink.events_of_kind("coalesce")
+            if e.memo == "invalidate"
+        ]
+        assert len(events) == 1
+        assert events[0].size == 2  # entries dropped, not indices

@@ -8,6 +8,7 @@ from repro.core.semigroup import sum_semigroup
 from repro.queries.ledger import ParallelismViolation
 from repro.sched import CallerOracle, CoalescingScheduler
 from repro.sched.scheduler import _proportional_shares
+from repro.core.operation import Operation
 
 
 K = 32
@@ -55,16 +56,17 @@ class TestPacking:
     def test_fill_triggers_execution(self, network, config):
         sched = CoalescingScheduler(network, config, memo=False)
         for i in range(3):
-            sched.submit("a", [i * 2, i * 2 + 1])
+            sched.submit(Operation.query("a", [i * 2, i * 2 + 1]))
             assert sched.physical_batches == 0
-        sched.submit("a", [6, 7])  # 8 pending == p: fill
+        sched.submit(Operation.query("a", [6, 7]))  # 8 pending == p: fill
         assert sched.physical_batches == 1
         assert sched.pending_queries == 0
 
     def test_drain_packs_maximal_batches(self, network, config):
         sched = CoalescingScheduler(network, config, memo=False)
         tickets = [
-            sched.submit(f"c{i}", [i, i + 1, i + 2]) for i in range(4)
+            sched.submit(Operation.query(f"c{i}", [i, i + 1, i + 2]))
+            for i in range(4)
         ]
         # 12 queries at p=8: the fill flush fires once during submission.
         sched.drain()
@@ -75,17 +77,17 @@ class TestPacking:
     def test_values_match_direct_oracle(self, network, config):
         sched = CoalescingScheduler(network, config, memo=False)
         truth = list(sched.oracle.peek_all())
-        t = sched.submit("a", [0, 5, 9], label="probe")
+        t = sched.submit(Operation.query("a", [0, 5, 9], label="probe"))
         assert sched.result(t) == [truth[0], truth[5], truth[9]]
 
     def test_result_is_idempotent(self, network, config):
         sched = CoalescingScheduler(network, config, memo=False)
-        t = sched.submit("a", [1, 2])
+        t = sched.submit(Operation.query("a", [1, 2]))
         assert sched.result(t) == sched.result(t)
 
     def test_unknown_ticket_rejected(self, network, config):
         sched = CoalescingScheduler(network, config, memo=False)
-        t = sched.submit("a", [0])
+        t = sched.submit(Operation.query("a", [0]))
         bad = type(t)(id=999, caller="a", size=1)
         with pytest.raises(KeyError):
             sched.result(bad)
@@ -93,17 +95,19 @@ class TestPacking:
     def test_submission_wider_than_p_rejected(self, network, config):
         sched = CoalescingScheduler(network, config, memo=False)
         with pytest.raises(ParallelismViolation):
-            sched.submit("a", list(range(config.parallelism + 1)))
+            sched.submit(
+                Operation.query("a", list(range(config.parallelism + 1)))
+            )
 
     def test_empty_submission_rejected(self, network, config):
         sched = CoalescingScheduler(network, config, memo=False)
         with pytest.raises(ValueError):
-            sched.submit("a", [])
+            sched.submit(Operation.query("a", []))
 
     def test_out_of_range_index_rejected(self, network, config):
         sched = CoalescingScheduler(network, config, memo=False)
         with pytest.raises(IndexError):
-            sched.submit("a", [K])
+            sched.submit(Operation.query("a", [K]))
 
     def test_negative_deadline_rejected(self, network, config):
         with pytest.raises(ValueError):
@@ -116,7 +120,7 @@ class TestDeadline:
             network, config, deadline_rounds=0, memo=False
         )
         for i in range(3):
-            sched.submit("a", [i], label=f"s{i}")
+            sched.submit(Operation.query("a", [i], label=f"s{i}"))
             assert sched.physical_batches == i + 1
         # Serial-degenerate batches keep the submission's own label.
         phases = sched.rounds.by_phase()
@@ -133,15 +137,17 @@ class TestDeadline:
         sched = CoalescingScheduler(
             network, config, deadline_rounds=one_sub, memo=False
         )
-        sched.submit("a", [0, 1])  # deferred cost == deadline: waits
+        # deferred cost == deadline: waits
+        sched.submit(Operation.query("a", [0, 1]))
         assert sched.physical_batches == 0
-        sched.submit("b", [2, 3])  # now exceeds the deadline: flushes
+        # now exceeds the deadline: flushes
+        sched.submit(Operation.query("b", [2, 3]))
         assert sched.physical_batches == 1
         assert sched.pending_queries == 0
 
     def test_none_deadline_waits_for_fill_or_drain(self, network, config):
         sched = CoalescingScheduler(network, config, memo=False)
-        sched.submit("a", [0, 1])
+        sched.submit(Operation.query("a", [0, 1]))
         assert sched.physical_batches == 0
         sched.drain()
         assert sched.physical_batches == 1
@@ -151,7 +157,9 @@ class TestAccounting:
     def test_attribution_conserves_rounds(self, network, config):
         sched = CoalescingScheduler(network, config, memo=False)
         for i, caller in enumerate(["a", "b", "a", "c", "b"]):
-            sched.submit(caller, [(3 * i) % K, (3 * i + 1) % K])
+            sched.submit(
+                Operation.query(caller, [(3 * i) % K, (3 * i + 1) % K])
+            )
         sched.drain()
         report = sched.report()
         assert report.attributed_rounds == report.physical_query_rounds
@@ -161,8 +169,9 @@ class TestAccounting:
 
     def test_equal_work_gets_equal_shares(self, network, config):
         sched = CoalescingScheduler(network, config, memo=False)
-        sched.submit("a", [0, 1, 2, 3])
-        sched.submit("b", [4, 5, 6, 7])  # fills p=8 exactly: one batch
+        sched.submit(Operation.query("a", [0, 1, 2, 3]))
+        # fills p=8 exactly: one batch
+        sched.submit(Operation.query("b", [4, 5, 6, 7]))
         assert sched.physical_batches == 1
         a = sched.account("a").attributed_rounds
         b = sched.account("b").attributed_rounds
@@ -170,8 +179,8 @@ class TestAccounting:
 
     def test_per_caller_ledger_matches_submissions(self, network, config):
         sched = CoalescingScheduler(network, config, memo=False)
-        sched.submit("a", [0, 1], label="x")
-        sched.submit("a", [2, 3, 4], label="y")
+        sched.submit(Operation.query("a", [0, 1], label="x"))
+        sched.submit(Operation.query("a", [2, 3, 4], label="y"))
         sched.drain()
         assert sched.account("a").queries.signature() == (
             (2, "x"), (3, "y"),
@@ -198,7 +207,7 @@ class TestCallerOracle:
         )
         a, b = CallerOracle(sched, "a"), CallerOracle(sched, "b")
         # a's redemption forces execution; b's pending queries ride along.
-        tb = sched.submit("b", [4, 5, 6, 7])
+        tb = sched.submit(Operation.query("b", [4, 5, 6, 7]))
         va = a.query_batch([0, 1, 2, 3])
         assert sched.physical_batches == 1
         assert len(va) == 4 and len(sched.result(tb)) == 4

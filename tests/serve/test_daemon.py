@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs import MemorySink, Recorder
 from repro.obs.events import SERVE_BATCH, SERVE_DRAIN, SERVE_REQUEST
+from repro.core.operation import Operation
 from repro.serve import (
     AdmissionError,
     QueryService,
@@ -41,7 +42,8 @@ class TestServing:
                 ("carol", [4, 4]),
             ]
             futures = [
-                service.submit(tenant, idx) for tenant, idx in requests
+                service.submit(Operation.query(tenant, idx))
+                for tenant, idx in requests
             ]
             await service.drain()
             return requests, await asyncio.gather(*futures)
@@ -58,7 +60,8 @@ class TestServing:
             # Timer far in the future: only a full batch can trigger.
             service = make_service(flush_after_ms=60_000.0)
             futures = [
-                service.submit("t", [j]) for j in range(4)  # p == 4
+                service.submit(Operation.query("t", [j]))
+                for j in range(4)  # p == 4
             ]
             done, _ = await asyncio.wait(futures, timeout=1.0)
             await service.abort()
@@ -69,10 +72,10 @@ class TestServing:
     def test_memo_hit_resolves_without_a_new_batch(self):
         async def run():
             service = make_service()
-            first = await service.submit("alice", [1, 2])
+            first = await service.submit(Operation.query("alice", [1, 2]))
             lane = service.pool.acquire("default")
             batches_before = lane.batches
-            second = await service.submit("bob", [1, 2])
+            second = await service.submit(Operation.query("bob", [1, 2]))
             await service.drain()
             return first, second, batches_before, lane
 
@@ -88,7 +91,7 @@ class TestServing:
                     "default", weight=3.0, max_pending=7
                 )
             )
-            await service.submit("newcomer", [0])
+            await service.submit(Operation.query("newcomer", [0]))
             await service.drain()
             return service
 
@@ -101,7 +104,7 @@ class TestServing:
         async def run():
             service = make_service(default_quota=None, tenants=())
             with pytest.raises(KeyError, match="unknown tenant"):
-                service.submit("stranger", [0])
+                service.submit(Operation.query("stranger", [0]))
             await service.drain()
 
         asyncio.run(run())
@@ -110,7 +113,7 @@ class TestServing:
         async def run():
             service = make_service()
             with pytest.raises(KeyError, match="unknown profile"):
-                service.submit("t", [0], profile="nope")
+                service.submit(Operation.query("t", [0]), profile="nope")
             await service.drain()
 
         asyncio.run(run())
@@ -124,9 +127,13 @@ class TestBackpressure:
             service = make_service(
                 sink, default_quota=TenantQuota("default", max_pending=2)
             )
-            futures = [service.submit("t", [0]), service.submit("t", [1])]
+            futures = [
+                service.submit(Operation.query("t", [0])),
+                service.submit(Operation.query("t", [1])),
+            ]
             with pytest.raises(AdmissionError) as exc:
-                service.submit("t", [2])  # queue already holds 2
+                # queue already holds 2
+                service.submit(Operation.query("t", [2]))
             await service.drain()
             await asyncio.gather(*futures)
             return exc.value
@@ -145,9 +152,9 @@ class TestBackpressure:
                     "default", max_pending=64, max_queries=4
                 )
             )
-            service.submit("t", [0, 1, 2])
+            service.submit(Operation.query("t", [0, 1, 2]))
             with pytest.raises(AdmissionError) as exc:
-                service.submit("t", [3, 4])  # 3 + 2 > 4
+                service.submit(Operation.query("t", [3, 4]))  # 3 + 2 > 4
             await service.drain()
             return exc.value
 
@@ -160,7 +167,10 @@ class TestShutdown:
 
         async def run():
             service = make_service(sink)
-            futures = [service.submit("t", [j % 8]) for j in range(10)]
+            futures = [
+                service.submit(Operation.query("t", [j % 8]))
+                for j in range(10)
+            ]
             await service.drain(reason="test")
             results = await asyncio.gather(*futures)
             return service, results
@@ -178,7 +188,7 @@ class TestShutdown:
     def test_drain_is_idempotent(self):
         async def run():
             service = make_service()
-            service.submit("t", [0])
+            service.submit(Operation.query("t", [0]))
             await service.drain()
             await service.drain()  # second call returns without effect
             return service.completed
@@ -190,7 +200,7 @@ class TestShutdown:
             service = make_service()
             await service.drain()
             with pytest.raises(ServiceClosed):
-                service.submit("t", [0])
+                service.submit(Operation.query("t", [0]))
             with pytest.raises(ServiceClosed):
                 service.add_profile(NET, CFG)
 
@@ -203,7 +213,10 @@ class TestShutdown:
             service = make_service(
                 sink, flush_after_ms=60_000.0
             )  # nothing flushes by itself
-            futures = [service.submit("t", [j]) for j in range(3)]
+            futures = [
+                service.submit(Operation.query("t", [j]))
+                for j in range(3)
+            ]
             await service.abort(reason="test-abort")
             results = await asyncio.gather(*futures, return_exceptions=True)
             return service, results
@@ -231,8 +244,12 @@ class TestFairness:
             # Build both backlogs before the worker gets a slot.
             futures = []
             for j in range(30):
-                futures.append(service.submit("heavy", [j % 8]))
-                futures.append(service.submit("light", [j % 8]))
+                futures.append(
+                    service.submit(Operation.query("heavy", [j % 8]))
+                )
+                futures.append(
+                    service.submit(Operation.query("light", [j % 8]))
+                )
             lane = service.pool.acquire("default")
             # One fill's worth of dispatch: p == 4 single-query requests.
             service._feed(lane, service._lane_state["default"])
@@ -256,7 +273,10 @@ class TestReport:
 
         async def run():
             service = make_service()
-            futures = [service.submit("t", [j % 8]) for j in range(6)]
+            futures = [
+                service.submit(Operation.query("t", [j % 8]))
+                for j in range(6)
+            ]
             await service.drain()
             await asyncio.gather(*futures)
             return service.report()

@@ -4,6 +4,7 @@ import pytest
 
 from repro.serve.pool import PreparedPool
 from repro.serve.session import build_profile
+from repro.core.operation import Operation
 
 
 def _profile(seed=4):
@@ -48,7 +49,8 @@ class TestEviction:
         pool = PreparedPool(max_lanes=2)
         net, cfg = _profile()
         busy = pool.acquire("busy", net, cfg)
-        busy.scheduler.submit("tenant", [0, 1])  # auto_flush off: queued
+        # auto_flush off: queued
+        busy.scheduler.submit(Operation.query("tenant", [0, 1]))
         assert not busy.idle
         pool.acquire("idle", net, cfg)
         pool.acquire("new", net, cfg)
@@ -58,8 +60,8 @@ class TestEviction:
     def test_all_busy_pool_exceeds_bound_rather_than_dropping_work(self):
         pool = PreparedPool(max_lanes=1)
         net, cfg = _profile()
-        pool.acquire("a", net, cfg).scheduler.submit("t", [0])
-        pool.acquire("b", net, cfg).scheduler.submit("t", [1])
+        pool.acquire("a", net, cfg).scheduler.submit(Operation.query("t", [0]))
+        pool.acquire("b", net, cfg).scheduler.submit(Operation.query("t", [1]))
         assert len(pool) == 2
         assert pool.evictions == 0
 
